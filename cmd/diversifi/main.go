@@ -1,0 +1,134 @@
+// Command diversifi simulates one interactive-streaming call over two WiFi
+// links and reports network and call-quality metrics for a chosen
+// receiving strategy.
+//
+// Usage:
+//
+//	diversifi [-seed N] [-impairment none|weak-link|mobility|microwave|congestion]
+//	          [-strategy stronger|better|divert|temporal|cross-link|diversifi|diversifi-mb]
+//	          [-profile g711|highrate] [-duration 2m]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/voip"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	imp := flag.String("impairment", "none", "impairment class")
+	strategy := flag.String("strategy", "diversifi", "receiving strategy")
+	profName := flag.String("profile", "g711", "stream profile: g711 or highrate")
+	duration := flag.Duration("duration", 2*time.Minute, "call duration")
+	fullAssoc := flag.Bool("assoc", false, "run the 802.11 management plane (scan + associate + queue-config IE) before the call")
+	scenarioIn := flag.String("scenario", "", "load the scenario from a JSON file instead of generating one")
+	scenarioOut := flag.String("scenario-out", "", "write the generated scenario to a JSON file for later replay")
+	flag.Parse()
+
+	impairments := map[string]core.Impairment{
+		"none": core.ImpNone, "weak-link": core.ImpWeakLink, "mobility": core.ImpMobility,
+		"microwave": core.ImpMicrowave, "congestion": core.ImpCongestion,
+	}
+	impairment, ok := impairments[*imp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown impairment %q\n", *imp)
+		os.Exit(2)
+	}
+	profile := traffic.G711
+	if *profName == "highrate" {
+		profile = traffic.HighRate
+	}
+
+	var sc core.Scenario
+	if *scenarioIn != "" {
+		data, err := os.ReadFile(*scenarioIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diversifi:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &sc); err != nil {
+			fmt.Fprintln(os.Stderr, "diversifi: bad scenario file:", err)
+			os.Exit(1)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		sc = core.RandomScenario(rng, impairment, profile, *seed).
+			WithDuration(sim.FromSeconds(duration.Seconds()))
+	}
+	if *scenarioOut != "" {
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*scenarioOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diversifi:", err)
+			os.Exit(1)
+		}
+	}
+
+	var tr *trace.Trace
+	var extra string
+	switch *strategy {
+	case "stronger":
+		tr = core.RunDualCall(sc).Stronger()
+	case "better":
+		tr = core.RunDualCall(sc).Better(5 * sim.Second)
+	case "divert":
+		tr = core.RunDualCall(sc).Divert(1, 1)
+	case "cross-link":
+		tr = core.RunDualCall(sc).CrossLink()
+	case "temporal":
+		tr, _ = core.RunTemporal(sc, 100*sim.Millisecond)
+	case "diversifi", "diversifi-mb":
+		mode := core.ModeCustomAP
+		if *strategy == "diversifi-mb" {
+			mode = core.ModeMiddlebox
+		}
+		r := core.RunDiversiFi(sc, core.DiversiFiOptions{Mode: mode, FullAssociation: *fullAssoc})
+		tr = r.Trace
+		if *fullAssoc {
+			extra = fmt.Sprintf("association setup:    %.1f ms\n", r.AssociationDelay.Milliseconds())
+		}
+		extra += fmt.Sprintf(
+			"losses detected:      %d\nrecovered:            %d\nrecovery switches:    %d\nkeepalive switches:   %d\nwasteful duplication: %.2f%%\n",
+			r.Client.LossesDetected, r.Client.Recovered,
+			r.Client.RecoverySwitches, r.Client.KeepaliveSwitches,
+			100*r.WastefulRate)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	q := voip.Assess(tr, profile)
+	lost := tr.LostWithDeadline(profile.Deadline)
+	fmt.Printf("scenario:    %s, seed %d, %s stream, %v call\n", impairment, *seed, profile.Name, *duration)
+	fmt.Printf("strategy:    %s\n\n", *strategy)
+	fmt.Printf("packets:              %d\n", tr.Len())
+	fmt.Printf("loss rate:            %.2f%%\n", 100*stats.LossRate(lost))
+	fmt.Printf("worst 5s loss:        %.1f%%\n", 100*q.WorstWindowLoss)
+	fmt.Printf("mean one-way delay:   %.2f ms\n", q.MeanDelayMs)
+	fmt.Printf("jitter (RFC3550):     %.2f ms\n", q.JitterMs)
+	fmt.Printf("concealment:          %d interpolated, %d extrapolated\n", q.Interpolated, q.Extrapolated)
+	fmt.Printf("MOS estimate:         %.2f (R=%.1f)%s\n", q.MOS, q.RFactor, poorTag(q.Poor))
+	if extra != "" {
+		fmt.Print("\n", extra)
+	}
+}
+
+func poorTag(poor bool) string {
+	if poor {
+		return "  ← POOR CALL"
+	}
+	return ""
+}

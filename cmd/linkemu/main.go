@@ -1,0 +1,65 @@
+// Command linkemu runs a live lossy-link emulator: a UDP forwarder that
+// drops and delays datagrams per a configurable bursty loss process,
+// standing in for a WiFi hop when exercising the live DiversiFi path.
+//
+// Usage:
+//
+//	linkemu -to 127.0.0.1:6000 [-listen 127.0.0.1:5000]
+//	        [-loss 0.05] [-burst-enter 0.002] [-burst-exit 0.05] [-burst-loss 0.6]
+//	        [-delay 2ms] [-jitter 1ms] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/emu"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "ingress address")
+	to := flag.String("to", "", "downstream address (required)")
+	loss := flag.Float64("loss", 0.02, "good-state per-packet loss probability")
+	burstEnter := flag.Float64("burst-enter", 0.002, "probability of entering a bad episode per packet")
+	burstExit := flag.Float64("burst-exit", 0.05, "probability of leaving a bad episode per packet")
+	burstLoss := flag.Float64("burst-loss", 0.6, "per-packet loss probability while bad")
+	delay := flag.Duration("delay", 2*time.Millisecond, "base forwarding delay")
+	jitter := flag.Duration("jitter", time.Millisecond, "mean exponential jitter")
+	seed := flag.Int64("seed", 0, "loss-process seed (0 = time-based)")
+	flag.Parse()
+
+	if *to == "" {
+		fmt.Fprintln(os.Stderr, "linkemu: -to is required")
+		os.Exit(2)
+	}
+	link, err := emu.NewLink(*listen, *to, emu.LinkConfig{
+		Loss: *loss, BurstEnter: *burstEnter, BurstExit: *burstExit, BurstLoss: *burstLoss,
+		Delay: *delay, Jitter: *jitter, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkemu:", err)
+		os.Exit(1)
+	}
+	defer link.Close()
+	fmt.Printf("link up: %s → %s (loss %.1f%%, burst %.0f%%)\n", link.Addr(), *to, 100**loss, 100**burstLoss)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			st := link.Stats()
+			fmt.Printf("final: received %d, forwarded %d, dropped %d\n", st.Received, st.Forwarded, st.Dropped)
+			return
+		case <-tick.C:
+			st := link.Stats()
+			fmt.Printf("stats: received %d, forwarded %d, dropped %d\n", st.Received, st.Forwarded, st.Dropped)
+		}
+	}
+}

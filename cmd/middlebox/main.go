@@ -1,0 +1,38 @@
+// Command middlebox runs the live DiversiFi middlebox daemon: it buffers
+// replicated real-time stream packets per stream (head-drop) and serves
+// the textual start/stop control protocol over UDP (§5.3.2).
+//
+// Usage:
+//
+//	middlebox [-data 127.0.0.1:7000] [-ctrl 127.0.0.1:7001] [-depth 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/emu"
+)
+
+func main() {
+	data := flag.String("data", "127.0.0.1:7000", "data socket (replicated stream copies)")
+	ctrl := flag.String("ctrl", "127.0.0.1:7001", "control socket (REGISTER/START/STOP/STATS)")
+	depth := flag.Int("depth", 5, "per-stream head-drop buffer depth")
+	flag.Parse()
+
+	mb, err := emu.NewMiddlebox(*data, *ctrl, emu.MiddleboxConfig{BufferDepth: *depth})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "middlebox:", err)
+		os.Exit(1)
+	}
+	defer mb.Close()
+	fmt.Printf("middlebox up: data %s, control %s, depth %d\n", mb.DataAddr(), mb.CtrlAddr(), *depth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("middlebox shutting down")
+}

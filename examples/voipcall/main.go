@@ -1,0 +1,45 @@
+// voipcall walks through the impairments the paper's measurement study
+// found in the wild — weak links, client mobility, a running microwave
+// oven, and channel congestion — and shows how single-link VoIP and
+// DiversiFi fare under each (the §4.4 story).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+	"repro/internal/voip"
+)
+
+const callsPerImpairment = 12
+
+func main() {
+	fmt.Println("VoIP under WiFi impairments: single link vs DiversiFi")
+	fmt.Printf("(%d simulated 2-minute calls per row)\n\n", callsPerImpairment)
+	fmt.Printf("%-12s %14s %14s %16s\n", "impairment", "single PCR", "DiversiFi PCR", "mean waste")
+
+	for _, imp := range core.AllImpairments {
+		rng := rand.New(rand.NewSource(int64(imp) + 99))
+		var single, diversifi []voip.Quality
+		var waste float64
+		for i := 0; i < callsPerImpairment; i++ {
+			sc := core.RandomScenario(rng, imp, traffic.G711, int64(imp)*1000+int64(i))
+			single = append(single, voip.Assess(core.RunDualCall(sc).Stronger(), traffic.G711))
+			r := core.RunDiversiFi(sc, core.DiversiFiOptions{Mode: core.ModeCustomAP})
+			diversifi = append(diversifi, voip.Assess(r.Trace, traffic.G711))
+			waste += r.WastefulRate
+		}
+		fmt.Printf("%-12s %13.0f%% %13.0f%% %15.2f%%\n",
+			imp.String(),
+			100*voip.PCR(single),
+			100*voip.PCR(diversifi),
+			100*waste/callsPerImpairment)
+	}
+
+	fmt.Println()
+	fmt.Println("Microwave ovens blanket every 2.4 GHz link at once, so even")
+	fmt.Println("cross-link diversity struggles there (§4.4); everywhere else,")
+	fmt.Println("the secondary link rescues nearly every lost packet.")
+}

@@ -1,0 +1,229 @@
+// Package ap models a WiFi access point as DiversiFi needs it: per-client
+// power-save (PSM) buffering with either the stock tail-drop queue or the
+// paper's customized head-drop queue with a settable maximum length
+// (§5.3.1), plus the hardware-queue commit behaviour responsible for the
+// small wasteful-duplication overhead measured in §6.3.
+package ap
+
+import (
+	"math/rand"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// QueuePolicy selects how the PSM buffer behaves when full.
+type QueuePolicy int
+
+const (
+	// TailDrop is the stock behaviour: new packets are dropped when the
+	// buffer is full. Default depth is 64 (OpenWRT) — large, so a client
+	// waking to fetch one packet first receives a long backlog.
+	TailDrop QueuePolicy = iota
+	// HeadDrop is DiversiFi's customization: the oldest packet is evicted
+	// to admit the new one, so the buffer always holds the most recent
+	// MaxQueue packets.
+	HeadDrop
+)
+
+func (p QueuePolicy) String() string {
+	if p == HeadDrop {
+		return "head-drop"
+	}
+	return "tail-drop"
+}
+
+// DefaultTailDropDepth mirrors the OpenWRT default PSM buffer size.
+const DefaultTailDropDepth = 64
+
+// DefaultHWBatch is how many frames the host hands to the NIC's hardware
+// queue in one go. Frames committed to hardware cannot be recalled: they
+// transmit even if the client goes to sleep or leaves the channel, which is
+// the mechanism behind the paper's residual duplication overhead (§5.3.1:
+// "in practice we find that the AP could also transmit additional queued
+// packets, when all of these are handed down to the hardware queue in one
+// go").
+const DefaultHWBatch = 2
+
+// Packet is the shared packet record; see package pkt.
+type Packet = pkt.Packet
+
+// ClientPresence reports whether the (single modelled) client is currently
+// tuned to the given channel and listening toward this AP. The AP checks it
+// at frame-completion time: transmitting to a client that has switched away
+// simply wastes airtime, exactly as over real radios.
+type ClientPresence interface {
+	Listening(ap *AP, at sim.Time) bool
+}
+
+// AlwaysListening is a ClientPresence for two-NIC setups where a dedicated
+// radio stays on the AP's channel for the whole call.
+type AlwaysListening struct{}
+
+// Listening implements ClientPresence.
+func (AlwaysListening) Listening(*AP, sim.Time) bool { return true }
+
+// Config parameterises an AP.
+type Config struct {
+	Name     string
+	Chan     phy.Channel
+	Policy   QueuePolicy
+	MaxQueue int // PSM buffer depth; 0 selects the policy default
+	HWBatch  int // frames committed to hardware per pull; 0 = default
+	// Voice marks the stream as 802.11e voice class: the AP transmits it
+	// with EDCA priority access.
+	Voice bool
+}
+
+// Stats counts AP-side events for the overhead analysis.
+type Stats struct {
+	EnqueuedWhileAsleep int
+	QueueDrops          int // packets evicted/refused by the PSM buffer
+	Transmitted         int // frames that completed a TX chain (any outcome)
+	DeliveredToClient   int // frames received while the client listened
+	WastedTransmissions int // frames sent while the client was not listening
+	MACDrops            int // frames lost after the full retry chain
+}
+
+// AP is an access point serving one modelled client plus background load.
+type AP struct {
+	cfg  Config
+	sim  *sim.Simulator
+	tx   *mac.Transmitter
+	pres ClientPresence
+
+	asleep  bool
+	queue   []Packet // PSM/host buffer
+	hw      []Packet // hardware queue: committed to the air
+	sending bool
+
+	deliver func(Packet, sim.Time)
+	stats   Stats
+}
+
+// New creates an AP transmitting over link. deliver is invoked (in virtual
+// time) for every frame the client actually receives.
+func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rand.Rand, pres ClientPresence, deliver func(Packet, sim.Time)) *AP {
+	if cfg.MaxQueue <= 0 {
+		if cfg.Policy == HeadDrop {
+			cfg.MaxQueue = 5
+		} else {
+			cfg.MaxQueue = DefaultTailDropDepth
+		}
+	}
+	if cfg.HWBatch <= 0 {
+		cfg.HWBatch = DefaultHWBatch
+	}
+	tx := mac.NewTransmitter(link, rng)
+	if cfg.Voice {
+		tx.AC = mac.ACVoice
+	}
+	return &AP{
+		cfg:     cfg,
+		sim:     s,
+		tx:      tx,
+		pres:    pres,
+		deliver: deliver,
+	}
+}
+
+// Name returns the AP's identifier.
+func (a *AP) Name() string { return a.cfg.Name }
+
+// Channel returns the AP's operating channel.
+func (a *AP) Channel() phy.Channel { return a.cfg.Chan }
+
+// Stats returns a copy of the AP's counters.
+func (a *AP) Stats() Stats { return a.stats }
+
+// Asleep reports whether the client is in power-save toward this AP.
+func (a *AP) Asleep() bool { return a.asleep }
+
+// QueueLen returns the current host-side buffer occupancy.
+func (a *AP) QueueLen() int { return len(a.queue) }
+
+// SetQueueConfig applies the client's requested queue policy and size, as
+// signalled via the association-request information element (§5.3.1).
+func (a *AP) SetQueueConfig(policy QueuePolicy, maxQueue int) {
+	a.cfg.Policy = policy
+	if maxQueue > 0 {
+		a.cfg.MaxQueue = maxQueue
+	}
+}
+
+// Enqueue hands the AP a downlink packet from the wire at the current
+// virtual time. The queue policy applies whenever the buffer is full; while
+// the client is awake the transmit loop drains it.
+func (a *AP) Enqueue(p Packet) {
+	p.Arrived = a.sim.Now()
+	if a.asleep {
+		a.stats.EnqueuedWhileAsleep++
+	}
+	if len(a.queue) >= a.cfg.MaxQueue {
+		a.stats.QueueDrops++
+		if a.cfg.Policy == HeadDrop {
+			// Evict the oldest to keep the freshest MaxQueue packets.
+			a.queue = append(a.queue[1:], p)
+		}
+		// Tail-drop refuses the newcomer instead.
+	} else {
+		a.queue = append(a.queue, p)
+	}
+	if !a.asleep {
+		a.kick()
+	}
+}
+
+// Sleep transitions the client to power-save. Frames already committed to
+// the hardware queue keep transmitting — the host cannot recall them.
+func (a *AP) Sleep() { a.asleep = true }
+
+// Wake transitions the client out of power-save and (re)starts the
+// transmit loop, which pulls buffered packets into the hardware queue in
+// batches of HWBatch.
+func (a *AP) Wake() {
+	a.asleep = false
+	a.kick()
+}
+
+// kick commits buffered frames to hardware (while awake) and runs the
+// transmit loop.
+func (a *AP) kick() {
+	if a.sending {
+		return
+	}
+	if len(a.hw) == 0 {
+		if a.asleep || len(a.queue) == 0 {
+			return
+		}
+		n := a.cfg.HWBatch
+		if n > len(a.queue) {
+			n = len(a.queue)
+		}
+		a.hw = append(a.hw, a.queue[:n]...)
+		a.queue = a.queue[n:]
+	}
+	a.sending = true
+	p := a.hw[0]
+	a.hw = a.hw[1:]
+	out := a.tx.Transmit(a.sim.Now(), p.Size)
+	a.sim.Schedule(out.At, func() {
+		a.stats.Transmitted++
+		listening := a.pres.Listening(a, out.At)
+		switch {
+		case out.Delivered && listening:
+			a.stats.DeliveredToClient++
+			if a.deliver != nil {
+				a.deliver(p, out.At)
+			}
+		case out.Delivered && !listening:
+			a.stats.WastedTransmissions++
+		default:
+			a.stats.MACDrops++
+		}
+		a.sending = false
+		a.kick()
+	})
+}

@@ -1,0 +1,286 @@
+package ap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// presenceFunc adapts a func to ClientPresence.
+type presenceFunc func(*AP, sim.Time) bool
+
+func (f presenceFunc) Listening(a *AP, at sim.Time) bool { return f(a, at) }
+
+func cleanLink(s *sim.Simulator) *phy.Link {
+	return phy.NewLink(s.RNG("link"), phy.NewEnvironment(), phy.LinkParams{
+		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
+		Client:   phy.Static{Pos: phy.Position{X: 3, Y: 0}},
+		ShadowDB: 0, FadeGood: 100 * sim.Minute, FadeBad: sim.Millisecond,
+	})
+}
+
+func mkAP(s *sim.Simulator, cfg Config, pres ClientPresence, deliver func(Packet, sim.Time)) *AP {
+	return New(s, cfg, cleanLink(s), rand.New(rand.NewSource(1)), pres, deliver)
+}
+
+func TestAwakeDeliveryInOrder(t *testing.T) {
+	s := sim.New(1)
+	var got []int
+	a := mkAP(s, Config{Name: "ap1", Chan: phy.Chan1}, AlwaysListening{}, func(p Packet, _ sim.Time) {
+		got = append(got, p.Seq)
+	})
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(sim.Time(i)*sim.Time(20*sim.Millisecond), func() {
+			a.Enqueue(Packet{Seq: i, Size: 160})
+		})
+	}
+	s.RunAll()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d/10", len(got))
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if a.Stats().DeliveredToClient != 10 {
+		t.Errorf("stats delivered = %d", a.Stats().DeliveredToClient)
+	}
+}
+
+func TestSleepBuffers(t *testing.T) {
+	s := sim.New(2)
+	delivered := 0
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5}, AlwaysListening{}, func(Packet, sim.Time) {
+		delivered++
+	})
+	a.Sleep()
+	for i := 0; i < 3; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	s.RunAll()
+	if delivered != 0 {
+		t.Fatal("asleep AP transmitted buffered packets")
+	}
+	if a.QueueLen() != 3 {
+		t.Fatalf("queue len = %d, want 3", a.QueueLen())
+	}
+	a.Wake()
+	s.RunAll()
+	if delivered != 3 {
+		t.Fatalf("wake flushed %d packets, want 3", delivered)
+	}
+}
+
+func TestHeadDropKeepsFreshest(t *testing.T) {
+	s := sim.New(3)
+	var got []int
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5}, AlwaysListening{}, func(p Packet, _ sim.Time) {
+		got = append(got, p.Seq)
+	})
+	a.Sleep()
+	for i := 0; i < 12; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	if a.QueueLen() != 5 {
+		t.Fatalf("queue len = %d, want 5", a.QueueLen())
+	}
+	a.Wake()
+	s.RunAll()
+	want := []int{7, 8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("head-drop kept %v, want %v", got, want)
+		}
+	}
+	if a.Stats().QueueDrops != 7 {
+		t.Errorf("drops = %d, want 7", a.Stats().QueueDrops)
+	}
+}
+
+func TestTailDropKeepsOldest(t *testing.T) {
+	s := sim.New(4)
+	var got []int
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: TailDrop, MaxQueue: 5}, AlwaysListening{}, func(p Packet, _ sim.Time) {
+		got = append(got, p.Seq)
+	})
+	a.Sleep()
+	for i := 0; i < 12; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	a.Wake()
+	s.RunAll()
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tail-drop kept %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDefaultQueueDepths(t *testing.T) {
+	s := sim.New(5)
+	tail := mkAP(s, Config{Chan: phy.Chan1, Policy: TailDrop}, AlwaysListening{}, nil)
+	if tail.cfg.MaxQueue != DefaultTailDropDepth {
+		t.Errorf("tail-drop default depth = %d", tail.cfg.MaxQueue)
+	}
+	head := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop}, AlwaysListening{}, nil)
+	if head.cfg.MaxQueue != 5 {
+		t.Errorf("head-drop default depth = %d", head.cfg.MaxQueue)
+	}
+}
+
+func TestSetQueueConfig(t *testing.T) {
+	s := sim.New(6)
+	a := mkAP(s, Config{Chan: phy.Chan1}, AlwaysListening{}, nil)
+	a.SetQueueConfig(HeadDrop, 7)
+	a.Sleep()
+	for i := 0; i < 20; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	if a.QueueLen() != 7 {
+		t.Errorf("configured queue len = %d, want 7", a.QueueLen())
+	}
+}
+
+func TestWastedTransmissionsWhenClientGone(t *testing.T) {
+	s := sim.New(7)
+	listening := true
+	delivered := 0
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5},
+		presenceFunc(func(*AP, sim.Time) bool { return listening }),
+		func(Packet, sim.Time) { delivered++ })
+	a.Sleep()
+	for i := 0; i < 4; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	a.Wake()
+	// The client vanishes immediately after the wake: the whole flushed
+	// batch is already committed to hardware and transmits into the void.
+	listening = false
+	s.RunAll()
+	if delivered != 0 {
+		t.Fatalf("delivered %d to absent client", delivered)
+	}
+	st := a.Stats()
+	if st.WastedTransmissions == 0 {
+		t.Error("no wasted transmissions recorded")
+	}
+}
+
+func TestHardwareQueueCommitsThroughSleep(t *testing.T) {
+	// The transmit loop commits frames to hardware in batches of HWBatch;
+	// a sleep arriving right after a wake cannot recall the committed
+	// batch, but uncommitted frames stay buffered. This is the mechanism
+	// behind the paper's small wasteful-duplication overhead (§5.3.1).
+	s := sim.New(8)
+	delivered := 0
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5, HWBatch: 2},
+		AlwaysListening{}, func(Packet, sim.Time) { delivered++ })
+	a.Sleep()
+	for i := 0; i < 3; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	a.Wake()
+	a.Sleep() // immediately back to sleep: the 2-frame batch is committed
+	s.RunAll()
+	if delivered != 2 {
+		t.Fatalf("hardware-committed frames delivered = %d, want 2", delivered)
+	}
+	if a.QueueLen() != 1 {
+		t.Fatalf("uncommitted frames buffered = %d, want 1", a.QueueLen())
+	}
+}
+
+func TestEnqueueWhileAsleepCounted(t *testing.T) {
+	s := sim.New(9)
+	a := mkAP(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5}, AlwaysListening{}, nil)
+	a.Sleep()
+	for i := 0; i < 3; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	if got := a.Stats().EnqueuedWhileAsleep; got != 3 {
+		t.Errorf("EnqueuedWhileAsleep = %d, want 3", got)
+	}
+	if a.Asleep() != true {
+		t.Error("Asleep() = false after Sleep()")
+	}
+}
+
+func TestDeliveryTimestampsAdvance(t *testing.T) {
+	s := sim.New(10)
+	var times []sim.Time
+	a := mkAP(s, Config{Chan: phy.Chan1}, AlwaysListening{}, func(_ Packet, at sim.Time) {
+		times = append(times, at)
+	})
+	for i := 0; i < 5; i++ {
+		a.Enqueue(Packet{Seq: i, Size: 160})
+	}
+	s.RunAll()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatal("delivery times not strictly increasing")
+		}
+	}
+	if len(times) != 5 {
+		t.Fatalf("delivered %d", len(times))
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Invariant: every packet offered to the AP is exactly one of
+	// delivered, wasted, MAC-dropped, queue-dropped, still buffered, or
+	// still in the hardware queue. Exercise with a flapping client over a
+	// marginal link.
+	s := sim.New(11)
+	listening := true
+	delivered := 0
+	link := phy.NewLink(s.RNG("link"), phy.NewEnvironment(), phy.LinkParams{
+		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
+		Client:    phy.Static{Pos: phy.Position{X: 30, Y: 0}},
+		ShadowDB:  0,
+		ExtraLoss: 18, // marginal: some MAC drops
+		FadeGood:  100 * sim.Minute, FadeBad: sim.Millisecond,
+	})
+	a := New(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5},
+		link, rand.New(rand.NewSource(11)),
+		presenceFunc(func(*AP, sim.Time) bool { return listening }),
+		func(Packet, sim.Time) { delivered++ })
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		i := i
+		s.Schedule(sim.Time(i)*sim.Time(20*sim.Millisecond), func() {
+			// Flap sleep/wake and presence to hit every code path.
+			switch i % 7 {
+			case 2:
+				a.Sleep()
+			case 4:
+				a.Wake()
+			case 5:
+				listening = !listening
+			}
+			a.Enqueue(Packet{Seq: i, Size: 160})
+		})
+	}
+	s.RunAll()
+	st := a.Stats()
+	accounted := st.DeliveredToClient + st.WastedTransmissions + st.MACDrops +
+		st.QueueDrops + a.QueueLen() + len(a.hw)
+	if accounted != n {
+		t.Fatalf("conservation violated: %d accounted of %d (stats %+v, queued %d, hw %d)",
+			accounted, n, st, a.QueueLen(), len(a.hw))
+	}
+	if st.DeliveredToClient != delivered {
+		t.Fatalf("stats delivered %d != callback count %d", st.DeliveredToClient, delivered)
+	}
+}

@@ -1,0 +1,226 @@
+package assoc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{
+		Type: FrameAssocReq,
+		SA:   MAC{1, 2, 3, 4, 5, 6}, DA: MAC{7, 8, 9, 10, 11, 12},
+		BSSID: MAC{7, 8, 9, 10, 11, 12},
+		Seq:   99, Status: 0,
+		IEs: []IE{SSIDIE("corpnet"), ChannelIE(11), MarshalQueueCfgIE(QueueConfig{HeadDrop: true, MaxQueue: 5})},
+	}
+	got, err := Parse(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != FrameAssocReq || got.SA != f.SA || got.BSSID != f.BSSID || got.Seq != 99 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if ssid, ok := got.SSID(); !ok || ssid != "corpnet" {
+		t.Errorf("ssid = %q, %v", ssid, ok)
+	}
+	if ch, ok := got.Channel(); !ok || ch != 11 {
+		t.Errorf("channel = %d, %v", ch, ok)
+	}
+	cfg, ok := got.ParseQueueCfgIE()
+	if !ok || !cfg.HeadDrop || cfg.MaxQueue != 5 {
+		t.Errorf("queue cfg = %+v, %v", cfg, ok)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(typ byte, sa, da [6]byte, seq, status uint16, ssid string, headDrop bool, q uint16) bool {
+		if len(ssid) > 32 {
+			ssid = ssid[:32]
+		}
+		in := Frame{
+			Type: FrameType(typ % 6), SA: sa, DA: da, BSSID: da,
+			Seq: seq, Status: status,
+			IEs: []IE{SSIDIE(ssid), MarshalQueueCfgIE(QueueConfig{HeadDrop: headDrop, MaxQueue: q})},
+		}
+		out, err := Parse(in.Marshal())
+		if err != nil {
+			return false
+		}
+		gotSSID, _ := out.SSID()
+		cfg, ok := out.ParseQueueCfgIE()
+		return out.Type == in.Type && out.SA == sa && out.Seq == seq &&
+			out.Status == status && gotSSID == ssid &&
+			ok && cfg.HeadDrop == headDrop && cfg.MaxQueue == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsTruncation(t *testing.T) {
+	if _, err := Parse(make([]byte, frameHeaderLen-1)); err == nil {
+		t.Error("short frame accepted")
+	}
+	f := Frame{Type: FrameBeacon, IEs: []IE{SSIDIE("x")}}
+	wire := f.Marshal()
+	// Chop mid-IE.
+	if _, err := Parse(wire[:len(wire)-1]); err == nil {
+		t.Error("truncated IE accepted")
+	}
+	// IE length pointing past end.
+	bad := append([]byte{}, wire...)
+	bad[frameHeaderLen+1] = 200
+	if _, err := Parse(bad); err == nil {
+		t.Error("overlong IE accepted")
+	}
+}
+
+func TestQueueCfgIgnoresForeignVendorIE(t *testing.T) {
+	f := Frame{Type: FrameAssocReq, IEs: []IE{
+		{ID: IEVendor, Data: []byte{0xaa, 0xbb, 0xcc, 1, 0, 5}}, // wrong OUI
+		{ID: IEVendor, Data: []byte{0x00, 0x44}},                // too short
+	}}
+	if _, ok := f.ParseQueueCfgIE(); ok {
+		t.Error("foreign vendor IE parsed as queue config")
+	}
+}
+
+// testBed wires two responders on different channels to one station.
+func testBed(t *testing.T, seed int64, extraA, extraB float64) (*sim.Simulator, *Station, *Responder, *Responder) {
+	t.Helper()
+	s := sim.New(seed)
+	env := phy.NewEnvironment()
+	mk := func(name string, ch phy.Channel, extra float64) *phy.Link {
+		return phy.NewLink(s.RNG("link/"+name), env, phy.LinkParams{
+			APPos: phy.Position{X: 0, Y: 0}, Chan: ch,
+			Client:   phy.Static{Pos: phy.Position{X: 6, Y: 0}},
+			ShadowDB: 0, FadeGood: 100 * sim.Minute, FadeBad: sim.Millisecond,
+			ExtraLoss: extra,
+		})
+	}
+	air := NewAir(s)
+	ra := NewResponder("corp", MAC{2, 0, 0, 0, 0, 1}, phy.Chan1, mk("a", phy.Chan1, extraA))
+	rb := NewResponder("corp", MAC{2, 0, 0, 0, 0, 2}, phy.Chan11, mk("b", phy.Chan11, extraB))
+	air.AddResponder(ra)
+	air.AddResponder(rb)
+	return s, NewStation(s, air), ra, rb
+}
+
+func TestScanFindsBothAPsStrongestFirst(t *testing.T) {
+	s, st, _, _ := testBed(t, 1, 0, 10)
+	var got []ScanResult
+	s.Schedule(0, func() {
+		st.Scan([]phy.Channel{phy.Chan1, phy.Chan6, phy.Chan11}, 20*sim.Millisecond, func(r []ScanResult) {
+			got = r
+		})
+	})
+	s.RunAll()
+	if len(got) != 2 {
+		t.Fatalf("scan found %d BSSes, want 2", len(got))
+	}
+	if got[0].BSSID != (MAC{2, 0, 0, 0, 0, 1}) {
+		t.Errorf("strongest-first ordering wrong: %+v", got)
+	}
+	if got[0].RSSIdBm <= got[1].RSSIdBm {
+		t.Error("RSSI ordering wrong")
+	}
+	// Scan consumed a dwell per channel.
+	if s.Now() < sim.Time(60*sim.Millisecond) {
+		t.Errorf("scan finished too fast: %v", s.Now())
+	}
+}
+
+func TestScanMissesDeadAP(t *testing.T) {
+	s, st, _, _ := testBed(t, 2, 0, 60) // B unreachable
+	var got []ScanResult
+	s.Schedule(0, func() {
+		st.Scan([]phy.Channel{phy.Chan1, phy.Chan11}, 10*sim.Millisecond, func(r []ScanResult) { got = r })
+	})
+	s.RunAll()
+	if len(got) != 1 {
+		t.Fatalf("scan found %d BSSes, want only the live one", len(got))
+	}
+}
+
+func TestAssociateDeliversQueueConfig(t *testing.T) {
+	s, st, ra, _ := testBed(t, 3, 0, 0)
+	var gotCfg QueueConfig
+	var gotHas bool
+	ra.OnAssociate = func(cfg QueueConfig, has bool) { gotCfg, gotHas = cfg, has }
+	ok := false
+	s.Schedule(0, func() {
+		st.Associate(MAC{6, 0, 0, 0, 0, 9}, ra.BSSID, AssocOptions{
+			QueueCfg: &QueueConfig{HeadDrop: true, MaxQueue: 5},
+		}, func(b bool) { ok = b })
+	})
+	s.RunAll()
+	if !ok || !ra.Associated() {
+		t.Fatal("association failed on a clean link")
+	}
+	if !gotHas || !gotCfg.HeadDrop || gotCfg.MaxQueue != 5 {
+		t.Fatalf("queue config not delivered: %+v (has %v)", gotCfg, gotHas)
+	}
+}
+
+func TestAssociateWithoutQueueCfg(t *testing.T) {
+	s, st, ra, _ := testBed(t, 4, 0, 0)
+	has := true
+	ra.OnAssociate = func(_ QueueConfig, h bool) { has = h }
+	s.Schedule(0, func() {
+		st.Associate(MAC{6, 0, 0, 0, 0, 9}, ra.BSSID, AssocOptions{}, func(bool) {})
+	})
+	s.RunAll()
+	if has {
+		t.Error("queue config reported present without the IE")
+	}
+}
+
+func TestAssociateRetriesOnMarginalLink(t *testing.T) {
+	// A marginal link drops some handshakes; with retries the association
+	// should usually still complete, and the state machine must not hang.
+	succ := 0
+	for seed := int64(0); seed < 20; seed++ {
+		s, st, ra, _ := testBed(t, 100+seed, 22, 0)
+		done := false
+		ok := false
+		s.Schedule(0, func() {
+			st.Associate(MAC{6, 0, 0, 0, 0, 9}, ra.BSSID, AssocOptions{Retries: 5},
+				func(b bool) { done, ok = true, b })
+		})
+		s.RunAll()
+		if !done {
+			t.Fatal("association state machine hung")
+		}
+		if ok {
+			succ++
+		}
+	}
+	if succ == 0 {
+		t.Error("no association ever succeeded on a marginal link")
+	}
+}
+
+func TestAssociateUnknownBSSID(t *testing.T) {
+	s, st, _, _ := testBed(t, 5, 0, 0)
+	ok := true
+	s.Schedule(0, func() {
+		st.Associate(MAC{6, 0, 0, 0, 0, 9}, MAC{9, 9, 9, 9, 9, 9}, AssocOptions{}, func(b bool) { ok = b })
+	})
+	s.RunAll()
+	if ok {
+		t.Error("association to unknown BSSID succeeded")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC string = %q", m.String())
+	}
+	if FrameAssocReq.String() != "assoc-req" || FrameType(99).String() == "" {
+		t.Error("frame type strings broken")
+	}
+}

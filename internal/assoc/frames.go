@@ -1,0 +1,209 @@
+// Package assoc implements the 802.11 management plane DiversiFi's
+// multi-link association rides on (§5.2.2): beacon/probe/association
+// frames with information elements, the vendor IE through which the client
+// signals its desired PSM queue policy and depth to a customized AP
+// (§5.3.1), channel scanning, and the per-virtual-adapter association
+// state machine.
+package assoc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit hardware address. DiversiFi's client fabricates one per
+// virtual adapter so it can hold multiple associations with one radio.
+type MAC [6]byte
+
+// String formats the address conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the all-ones address probe requests are sent to.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// FrameType enumerates the management frames the substrate needs.
+type FrameType byte
+
+const (
+	FrameBeacon FrameType = iota
+	FrameProbeReq
+	FrameProbeResp
+	FrameAssocReq
+	FrameAssocResp
+	FrameDisassoc
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameBeacon:
+		return "beacon"
+	case FrameProbeReq:
+		return "probe-req"
+	case FrameProbeResp:
+		return "probe-resp"
+	case FrameAssocReq:
+		return "assoc-req"
+	case FrameAssocResp:
+		return "assoc-resp"
+	case FrameDisassoc:
+		return "disassoc"
+	default:
+		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// Information-element IDs (802.11 §9.4.2).
+const (
+	IESSID    = 0
+	IEDSParam = 3 // current channel
+	IEVendor  = 221
+)
+
+// QueueCfgOUI is the vendor OUI of DiversiFi's queue-configuration IE —
+// "an unused information element in the 802.11 association request frame"
+// (§5.3.1).
+var QueueCfgOUI = [3]byte{0x00, 0x44, 0x46} // "\0DF"
+
+// IE is one information element.
+type IE struct {
+	ID   byte
+	Data []byte
+}
+
+// Frame is a management frame. Payload semantics depend on Type; Status is
+// used by association responses (0 = success).
+type Frame struct {
+	Type   FrameType
+	SA, DA MAC // source and destination
+	BSSID  MAC
+	Seq    uint16
+	Status uint16
+	IEs    []IE
+}
+
+// Errors returned by Parse.
+var (
+	ErrFrameShort = errors.New("assoc: frame too short")
+	ErrBadIE      = errors.New("assoc: truncated information element")
+)
+
+// frame wire layout: type(1) sa(6) da(6) bssid(6) seq(2) status(2) ies...
+const frameHeaderLen = 23
+
+// Marshal serializes the frame.
+func (f *Frame) Marshal() []byte {
+	n := frameHeaderLen
+	for _, ie := range f.IEs {
+		n += 2 + len(ie.Data)
+	}
+	buf := make([]byte, n)
+	buf[0] = byte(f.Type)
+	copy(buf[1:7], f.SA[:])
+	copy(buf[7:13], f.DA[:])
+	copy(buf[13:19], f.BSSID[:])
+	binary.BigEndian.PutUint16(buf[19:21], f.Seq)
+	binary.BigEndian.PutUint16(buf[21:23], f.Status)
+	off := frameHeaderLen
+	for _, ie := range f.IEs {
+		buf[off] = ie.ID
+		buf[off+1] = byte(len(ie.Data))
+		copy(buf[off+2:], ie.Data)
+		off += 2 + len(ie.Data)
+	}
+	return buf
+}
+
+// Parse decodes a frame; IE data aliases the input.
+func Parse(data []byte) (Frame, error) {
+	if len(data) < frameHeaderLen {
+		return Frame{}, ErrFrameShort
+	}
+	var f Frame
+	f.Type = FrameType(data[0])
+	copy(f.SA[:], data[1:7])
+	copy(f.DA[:], data[7:13])
+	copy(f.BSSID[:], data[13:19])
+	f.Seq = binary.BigEndian.Uint16(data[19:21])
+	f.Status = binary.BigEndian.Uint16(data[21:23])
+	off := frameHeaderLen
+	for off < len(data) {
+		if off+2 > len(data) {
+			return Frame{}, ErrBadIE
+		}
+		l := int(data[off+1])
+		if off+2+l > len(data) {
+			return Frame{}, ErrBadIE
+		}
+		f.IEs = append(f.IEs, IE{ID: data[off], Data: data[off+2 : off+2+l]})
+		off += 2 + l
+	}
+	return f, nil
+}
+
+// FindIE returns the first IE with the given ID.
+func (f *Frame) FindIE(id byte) ([]byte, bool) {
+	for _, ie := range f.IEs {
+		if ie.ID == id {
+			return ie.Data, true
+		}
+	}
+	return nil, false
+}
+
+// QueueConfig is the payload of DiversiFi's vendor IE.
+type QueueConfig struct {
+	HeadDrop bool
+	MaxQueue uint16
+}
+
+// MarshalQueueCfgIE builds the vendor IE carrying cfg.
+func MarshalQueueCfgIE(cfg QueueConfig) IE {
+	data := make([]byte, 6)
+	copy(data[:3], QueueCfgOUI[:])
+	if cfg.HeadDrop {
+		data[3] = 1
+	}
+	binary.BigEndian.PutUint16(data[4:6], cfg.MaxQueue)
+	return IE{ID: IEVendor, Data: data}
+}
+
+// ParseQueueCfgIE extracts a QueueConfig from the frame's vendor IEs.
+func (f *Frame) ParseQueueCfgIE() (QueueConfig, bool) {
+	for _, ie := range f.IEs {
+		if ie.ID != IEVendor || len(ie.Data) != 6 {
+			continue
+		}
+		if [3]byte(ie.Data[:3]) != QueueCfgOUI {
+			continue
+		}
+		return QueueConfig{
+			HeadDrop: ie.Data[3] == 1,
+			MaxQueue: binary.BigEndian.Uint16(ie.Data[4:6]),
+		}, true
+	}
+	return QueueConfig{}, false
+}
+
+// SSIDIE builds an SSID element.
+func SSIDIE(ssid string) IE { return IE{ID: IESSID, Data: []byte(ssid)} }
+
+// ChannelIE builds a DS-parameter (current channel) element.
+func ChannelIE(channel int) IE { return IE{ID: IEDSParam, Data: []byte{byte(channel)}} }
+
+// SSID returns the frame's SSID element, if present.
+func (f *Frame) SSID() (string, bool) {
+	d, ok := f.FindIE(IESSID)
+	return string(d), ok
+}
+
+// Channel returns the frame's DS-parameter channel, if present.
+func (f *Frame) Channel() (int, bool) {
+	d, ok := f.FindIE(IEDSParam)
+	if !ok || len(d) != 1 {
+		return 0, false
+	}
+	return int(d[0]), true
+}

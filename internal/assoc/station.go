@@ -1,0 +1,194 @@
+package assoc
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Air carries management frames between stations and responders that share
+// a channel. Loss follows each pair's radio link, so a marginal AP can
+// drop probe and association frames — which is why the state machine
+// retries.
+type Air struct {
+	sim        *sim.Simulator
+	responders []*Responder
+}
+
+// NewAir creates the management medium.
+func NewAir(s *sim.Simulator) *Air { return &Air{sim: s} }
+
+// mgmtAirtime is the per-management-frame transaction time (frame + SIFS +
+// response overheads), a few hundred microseconds at basic rate.
+const mgmtAirtime = 400 * sim.Microsecond
+
+// Responder is the AP side of the management plane: it answers probes on
+// its channel and accepts associations, handing any DiversiFi queue-config
+// IE to the AP implementation.
+type Responder struct {
+	SSID    string
+	BSSID   MAC
+	Channel phy.Channel
+
+	air  *Air
+	link *phy.Link // radio path to the (single modelled) client
+	// OnAssociate is invoked when an association completes; the bool
+	// reports whether a queue-config IE was present.
+	OnAssociate func(QueueConfig, bool)
+
+	associated bool
+	assocSeq   uint16
+}
+
+// AddResponder registers an AP with the medium.
+func (a *Air) AddResponder(r *Responder) {
+	r.air = a
+	a.responders = append(a.responders, r)
+}
+
+// NewResponder builds an AP-side responder reachable over link.
+func NewResponder(ssid string, bssid MAC, ch phy.Channel, link *phy.Link) *Responder {
+	return &Responder{SSID: ssid, BSSID: bssid, Channel: ch, link: link}
+}
+
+// Associated reports whether the client completed an association.
+func (r *Responder) Associated() bool { return r.associated }
+
+// ScanResult is one discovered BSS.
+type ScanResult struct {
+	SSID    string
+	BSSID   MAC
+	Channel phy.Channel
+	RSSIdBm float64
+}
+
+// Station is the client side: it owns one radio and any number of virtual
+// adapters, scanning and associating on their behalf.
+type Station struct {
+	sim *sim.Simulator
+	air *Air
+}
+
+// NewStation creates the client's management entity.
+func NewStation(s *sim.Simulator, air *Air) *Station {
+	return &Station{sim: s, air: air}
+}
+
+// Scan probes every channel in order, dwelling dwell per channel, and
+// delivers the discovered BSSes (strongest first) to done. Each probe
+// transaction succeeds per the underlying radio link, so weak APs can be
+// missed — like a real scan.
+func (st *Station) Scan(channels []phy.Channel, dwell sim.Duration, done func([]ScanResult)) {
+	var results []ScanResult
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(channels) {
+			// Sort strongest-first (n is tiny).
+			for a := 1; a < len(results); a++ {
+				for b := a; b > 0 && results[b].RSSIdBm > results[b-1].RSSIdBm; b-- {
+					results[b], results[b-1] = results[b-1], results[b]
+				}
+			}
+			done(results)
+			return
+		}
+		ch := channels[i]
+		// All responders on this channel answer the probe within the dwell.
+		for _, r := range st.air.responders {
+			if !r.Channel.Overlaps(ch) && r.Channel != ch {
+				continue
+			}
+			// Probe request + response each survive per the radio link.
+			now := st.sim.Now()
+			if !r.link.Attempt(now, phy.RateTable[0]) {
+				continue
+			}
+			if !r.link.Attempt(now.Add(mgmtAirtime), phy.RateTable[0]) {
+				continue
+			}
+			results = append(results, ScanResult{
+				SSID:    r.SSID,
+				BSSID:   r.BSSID,
+				Channel: r.Channel,
+				RSSIdBm: r.link.RSSIdBm(now),
+			})
+		}
+		st.sim.After(dwell, func() { next(i + 1) })
+	}
+	next(0)
+}
+
+// AssocOptions parameterise an association attempt.
+type AssocOptions struct {
+	// QueueCfg, when non-nil, is signalled via the vendor IE (§5.3.1).
+	QueueCfg *QueueConfig
+	// Retries is the number of association attempts (default 3).
+	Retries int
+	// Timeout per attempt (default 20 ms).
+	Timeout sim.Duration
+}
+
+// Associate runs the association handshake with the responder owning
+// bssid; done receives success. The handshake frames traverse the radio
+// link and may be lost, triggering retries.
+func (st *Station) Associate(adapter MAC, bssid MAC, opts AssocOptions, done func(bool)) {
+	if opts.Retries <= 0 {
+		opts.Retries = 3
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 20 * sim.Millisecond
+	}
+	var target *Responder
+	for _, r := range st.air.responders {
+		if r.BSSID == bssid {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		done(false)
+		return
+	}
+
+	req := Frame{Type: FrameAssocReq, SA: adapter, DA: bssid, BSSID: bssid}
+	req.IEs = append(req.IEs, SSIDIE(target.SSID), ChannelIE(target.Channel.Number))
+	if opts.QueueCfg != nil {
+		req.IEs = append(req.IEs, MarshalQueueCfgIE(*opts.QueueCfg))
+	}
+	wire := req.Marshal()
+
+	var attempt func(n int)
+	attempt = func(n int) {
+		if n >= opts.Retries {
+			done(false)
+			return
+		}
+		now := st.sim.Now()
+		// Request over the air.
+		if !target.link.Attempt(now, phy.RateTable[0]) {
+			st.sim.After(opts.Timeout, func() { attempt(n + 1) })
+			return
+		}
+		// The responder parses the request — a real codec round trip.
+		parsed, err := Parse(wire)
+		if err != nil {
+			done(false)
+			return
+		}
+		cfg, hasCfg := parsed.ParseQueueCfgIE()
+		// Response over the air.
+		respAt := now.Add(2 * mgmtAirtime)
+		if !target.link.Attempt(respAt, phy.RateTable[0]) {
+			st.sim.After(opts.Timeout, func() { attempt(n + 1) })
+			return
+		}
+		st.sim.Schedule(respAt, func() {
+			target.associated = true
+			target.assocSeq++
+			if target.OnAssociate != nil {
+				target.OnAssociate(cfg, hasCfg)
+			}
+			done(true)
+		})
+	}
+	attempt(0)
+}

@@ -1,0 +1,449 @@
+// Package client implements DiversiFi's single-NIC client: Algorithm 1 of
+// the paper. The client keeps two associations alive with one radio —
+// normally tuned to the primary AP, asleep (PSM) toward the secondary —
+// and reactively visits the secondary to retrieve packets the primary
+// lost, timing each visit so the missing packet sits at the head of the
+// secondary AP's shallow head-drop queue.
+package client
+
+import (
+	"repro/internal/ap"
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// state is the client's NIC state machine.
+type state int
+
+const (
+	onPrimary state = iota
+	switchingToSecondary
+	onSecondary
+	switchingToPrimary
+)
+
+// Config parameterises Algorithm 1. Zero values select the paper's
+// constants for the profile.
+type Config struct {
+	Profile traffic.Profile
+	// PLTMultiple sets PacketLossTimeout = PLTMultiple × InterPktSpacing
+	// (Algorithm 1 uses 2 → 40 ms for G.711).
+	PLTMultiple int
+	// SRT is the SecondaryResidencyTime for keepalive visits (40 ms).
+	SRT sim.Duration
+	// AKT is the AssociationKeepaliveTimeout (30 s).
+	AKT sim.Duration
+	// NominalTransit is the expected source→client delay on a healthy
+	// path, used to predict per-packet arrival deadlines.
+	NominalTransit sim.Duration
+	// HeadMargin is how many packet slots before eviction the client aims
+	// to arrive at the secondary (1 = when the packet just reaches the
+	// queue head; larger = earlier arrival, more duplication).
+	HeadMargin int
+	// DisableRecovery turns off loss-triggered switching (keepalives
+	// only) — used by ablations.
+	DisableRecovery bool
+	// DisableKeepalive turns off periodic keepalive visits.
+	DisableKeepalive bool
+	// Secondary optionally routes recovery through a middlebox (§5.3.2)
+	// instead of the secondary AP's PSM buffer: on arrival at the
+	// secondary the client requests delivery, on departure it releases.
+	Secondary SecondaryBuffer
+	// BackoffAfter suspends loss-triggered switching for BackoffPeriod
+	// once this many consecutive recovery visits return empty-handed —
+	// when the secondary is no better than the primary, hopping between
+	// them only delays primary traffic. 0 selects the default (3);
+	// negative disables backoff.
+	BackoffAfter  int
+	BackoffPeriod sim.Duration
+}
+
+// SecondaryBuffer abstracts the network-side buffer behind the secondary
+// link. The AP's PSM buffer needs no requests (waking the AP flushes it);
+// a middlebox speaks the start/stop protocol through this interface.
+type SecondaryBuffer interface {
+	// RequestFrom asks for delivery of buffered packets with sequence
+	// numbers >= firstSeq (< 0 means everything buffered).
+	RequestFrom(firstSeq int)
+	// Release stops delivery.
+	Release()
+}
+
+func (c *Config) fillDefaults() {
+	if c.PLTMultiple <= 0 {
+		c.PLTMultiple = 2
+	}
+	if c.SRT <= 0 {
+		c.SRT = 40 * sim.Millisecond
+	}
+	if c.AKT <= 0 {
+		c.AKT = 30 * sim.Second
+	}
+	if c.NominalTransit <= 0 {
+		c.NominalTransit = 3 * sim.Millisecond
+	}
+	if c.HeadMargin <= 0 {
+		c.HeadMargin = 1
+	}
+	if c.BackoffAfter == 0 {
+		c.BackoffAfter = 3
+	}
+	if c.BackoffPeriod <= 0 {
+		c.BackoffPeriod = 5 * sim.Second
+	}
+}
+
+// Stats counts client-side events.
+type Stats struct {
+	LossesDetected     int // primary losses that triggered recovery interest
+	RecoverySwitches   int // loss-triggered visits to the secondary
+	KeepaliveSwitches  int // periodic keepalive visits
+	Recovered          int // missing packets retrieved from the secondary
+	DuplicatesReceived int // secondary deliveries the client already had
+	GaveUp             int // recovery visits that returned empty-handed
+	Backoffs           int // times recovery was suspended after futile visits
+}
+
+// Interval is a [From, To) span of virtual time.
+type Interval struct {
+	From, To sim.Time
+}
+
+// Client is the single-NIC DiversiFi receiver.
+type Client struct {
+	sim  *sim.Simulator
+	cfg  Config
+	prim *ap.AP
+	sec  *ap.AP
+
+	tr        *trace.Trace
+	callStart sim.Time
+	count     int
+
+	st            state
+	missing       map[int]sim.Time // seq -> recovery deadline (SentAt+Deadline)
+	pendingSwitch *sim.Timer
+	failsafe      *sim.Timer
+	lastSecVisit  sim.Time
+
+	// absence tracking for the TCP-coexistence experiment: periods when
+	// the NIC was not serving the primary/DEF channel.
+	absences    []Interval
+	absentSince sim.Time
+
+	// recovery-delay instrumentation for Table 3: time from initiating a
+	// loss-triggered switch to the first packet received on the secondary.
+	visitStart     sim.Time
+	visitDelivered bool
+	recoveryDelays []sim.Duration
+
+	// futile-visit backoff: when the secondary keeps yielding nothing,
+	// stop chasing it for a while.
+	futileVisits   int
+	backoffUntil   sim.Time
+	visitRecovered bool
+
+	stats Stats
+}
+
+// RecoveryDelays returns, for each loss-triggered secondary visit that
+// yielded at least one packet, the delay from switch initiation to the
+// first secondary delivery (Table 3's "total" column).
+func (c *Client) RecoveryDelays() []sim.Duration {
+	return append([]sim.Duration(nil), c.recoveryDelays...)
+}
+
+// New creates the client. Call BindAPs before starting a call.
+func New(s *sim.Simulator, cfg Config) *Client {
+	cfg.fillDefaults()
+	return &Client{
+		sim:     s,
+		cfg:     cfg,
+		missing: make(map[int]sim.Time),
+	}
+}
+
+// spacing returns the stream's inter-packet gap.
+func (c *Client) spacing() sim.Duration { return c.cfg.Profile.Spacing }
+
+// plt returns the PacketLossTimeout.
+func (c *Client) plt() sim.Duration {
+	return sim.Duration(c.cfg.PLTMultiple) * c.cfg.Profile.Spacing
+}
+
+// switchCost returns the one-way cost of moving between links: the PSM
+// sleep signal plus the channel retune.
+func switchCost() sim.Duration { return mac.PSMSignalLatency + mac.ChannelSwitchLatency }
+
+// BindAPs attaches the client to its primary and secondary APs. The caller
+// constructs the APs with this client as their ClientPresence and with
+// OnDelivery as their delivery callback.
+func (c *Client) BindAPs(primary, secondary *ap.AP) {
+	c.prim = primary
+	c.sec = secondary
+}
+
+// Trace returns the call trace (valid after StartCall).
+func (c *Client) Trace() *trace.Trace { return c.tr }
+
+// Stats returns the client's counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Absences returns the NIC's away-from-primary intervals, closed as of the
+// current virtual time.
+func (c *Client) Absences() []Interval {
+	out := append([]Interval(nil), c.absences...)
+	if c.st != onPrimary {
+		out = append(out, Interval{From: c.absentSince, To: c.sim.Now()})
+	}
+	return out
+}
+
+// AbsentDuring returns the total time within [from, to) that the NIC was
+// away from the primary channel.
+func (c *Client) AbsentDuring(from, to sim.Time) sim.Duration {
+	var total sim.Duration
+	for _, iv := range c.Absences() {
+		lo, hi := iv.From, iv.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi.Sub(lo)
+		}
+	}
+	return total
+}
+
+// Listening implements ap.ClientPresence.
+func (c *Client) Listening(a *ap.AP, _ sim.Time) bool {
+	switch a {
+	case c.prim:
+		return c.st == onPrimary
+	case c.sec:
+		return c.st == onSecondary
+	default:
+		return false
+	}
+}
+
+// StartCall begins receiving a call of count packets whose first packet is
+// emitted at the current virtual time. The secondary association starts
+// asleep so the secondary AP buffers from the first packet.
+func (c *Client) StartCall(count int) {
+	c.callStart = c.sim.Now()
+	c.count = count
+	c.tr = trace.New(count, c.spacing())
+	c.st = onPrimary
+	c.lastSecVisit = c.sim.Now()
+	c.sec.Sleep()
+	for seq := 0; seq < count; seq++ {
+		seq := seq
+		c.tr.RecordSent(seq, c.expectedSend(seq))
+		c.sim.Schedule(c.expectedArrival(seq).Add(c.plt()), func() { c.lossCheck(seq) })
+	}
+	if !c.cfg.DisableKeepalive {
+		c.scheduleKeepalive()
+	}
+}
+
+// expectedSend returns when the source emits seq.
+func (c *Client) expectedSend(seq int) sim.Time {
+	return c.callStart.Add(sim.Duration(seq) * c.spacing())
+}
+
+// expectedArrival returns when seq should reach the client on a healthy path.
+func (c *Client) expectedArrival(seq int) sim.Time {
+	return c.expectedSend(seq).Add(c.cfg.NominalTransit)
+}
+
+// recoveryDeadline returns the last useful delivery time for seq.
+func (c *Client) recoveryDeadline(seq int) sim.Time {
+	return c.expectedSend(seq).Add(c.cfg.Profile.Deadline)
+}
+
+// OnDelivery is the delivery callback both APs invoke.
+func (c *Client) OnDelivery(from *ap.AP, p pkt.Packet, at sim.Time) {
+	already := c.tr.Arrived(p.Seq)
+	c.tr.RecordArrival(p.Seq, at)
+	if from == c.sec {
+		if already {
+			c.stats.DuplicatesReceived++
+		} else if _, wasMissing := c.missing[p.Seq]; wasMissing {
+			c.stats.Recovered++
+			c.visitRecovered = true
+			c.futileVisits = 0
+			// Table 3 metric: switch initiation to the first *useful*
+			// packet retrieved over the secondary. Stale flushes of
+			// already-received packets do not count.
+			if !c.visitDelivered {
+				c.visitDelivered = true
+				c.recoveryDelays = append(c.recoveryDelays, at.Sub(c.visitStart))
+			}
+		}
+	}
+	delete(c.missing, p.Seq)
+	if c.st == onSecondary && !c.anyRecoverable() {
+		// Got what we came for (or nothing left worth waiting for).
+		c.returnToPrimary()
+	}
+}
+
+// minMissing returns the lowest still-missing sequence number, or -1.
+func (c *Client) minMissing() int {
+	min := -1
+	for seq := range c.missing {
+		if min < 0 || seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// anyRecoverable reports whether a known-missing packet can still make its
+// deadline, pruning stale entries.
+func (c *Client) anyRecoverable() bool {
+	now := c.sim.Now()
+	any := false
+	for seq, dl := range c.missing {
+		if dl <= now {
+			delete(c.missing, seq)
+			continue
+		}
+		any = true
+	}
+	return any
+}
+
+// lossCheck fires PLT after seq's expected arrival (Algorithm 1 lines 9–12).
+func (c *Client) lossCheck(seq int) {
+	if c.tr.Arrived(seq) {
+		return
+	}
+	dl := c.recoveryDeadline(seq)
+	if dl <= c.sim.Now() {
+		return // already unrecoverable
+	}
+	c.stats.LossesDetected++
+	c.missing[seq] = dl
+	if c.cfg.DisableRecovery || c.sim.Now() < c.backoffUntil {
+		return
+	}
+	c.planRecovery(seq)
+}
+
+// planRecovery schedules the switch to the secondary so the client arrives
+// when seq is HeadMargin slots from eviction out of the secondary's
+// head-drop queue — the implicit packet selection of §5.2.5.
+func (c *Client) planRecovery(seq int) {
+	if c.st != onPrimary || (c.pendingSwitch != nil && c.pendingSwitch.Pending()) {
+		return // a visit is already in progress or planned; it will serve seq too
+	}
+	apql := c.cfg.Profile.APQueueLen()
+	headAt := c.expectedArrival(seq).Add(sim.Duration(apql-c.cfg.HeadMargin) * c.spacing())
+	switchAt := headAt.Add(-switchCost())
+	now := c.sim.Now()
+	if switchAt < now {
+		switchAt = now
+	}
+	c.pendingSwitch = c.sim.Schedule(switchAt, func() {
+		if c.st == onPrimary && c.anyRecoverable() {
+			c.stats.RecoverySwitches++
+			c.goToSecondary(false)
+		}
+	})
+}
+
+// goToSecondary executes the link switch: PSM-sleep the primary, retune,
+// wake the secondary. keepalive marks a periodic visit (bounded residency).
+func (c *Client) goToSecondary(keepalive bool) {
+	c.st = switchingToSecondary
+	c.absentSince = c.sim.Now()
+	c.visitStart = c.sim.Now()
+	// Only loss-triggered visits measure a recovery delay; keepalive
+	// deliveries are marked already-delivered so they record nothing.
+	c.visitDelivered = keepalive
+	c.visitRecovered = keepalive // keepalives never count as futile
+	c.prim.Sleep()
+	c.sim.After(switchCost(), func() {
+		c.st = onSecondary
+		c.lastSecVisit = c.sim.Now()
+		c.sec.Wake()
+		if c.cfg.Secondary != nil && !keepalive {
+			c.cfg.Secondary.RequestFrom(c.minMissing())
+		}
+		if keepalive {
+			c.failsafe = c.sim.After(c.cfg.SRT, func() {
+				if c.st == onSecondary {
+					c.returnToPrimary()
+				}
+			})
+			return
+		}
+		// Failsafe: if the missing packets do not show up within PLT,
+		// give up and return (Algorithm 1 line 12).
+		c.failsafe = c.sim.After(c.plt(), func() {
+			if c.st == onSecondary {
+				c.stats.GaveUp++
+				c.returnToPrimary()
+			}
+		})
+	})
+}
+
+// returnToPrimary switches the NIC back: PSM-sleep the secondary, retune,
+// wake the primary (which flushes anything buffered while away).
+func (c *Client) returnToPrimary() {
+	if c.st != onSecondary {
+		return
+	}
+	if c.failsafe != nil {
+		c.failsafe.Stop()
+	}
+	c.st = switchingToPrimary
+	if !c.visitRecovered && c.cfg.BackoffAfter > 0 {
+		c.futileVisits++
+		if c.futileVisits >= c.cfg.BackoffAfter {
+			c.futileVisits = 0
+			c.backoffUntil = c.sim.Now().Add(c.cfg.BackoffPeriod)
+			c.stats.Backoffs++
+		}
+	}
+	if c.cfg.Secondary != nil {
+		c.cfg.Secondary.Release()
+	}
+	c.sec.Sleep()
+	c.sim.After(switchCost(), func() {
+		c.st = onPrimary
+		c.absences = append(c.absences, Interval{From: c.absentSince, To: c.sim.Now()})
+		c.prim.Wake()
+		// Losses detected while we were away may still need a visit.
+		if !c.cfg.DisableRecovery && c.sim.Now() >= c.backoffUntil && c.anyRecoverable() {
+			for seq := range c.missing {
+				c.planRecovery(seq)
+				break
+			}
+		}
+	})
+}
+
+// scheduleKeepalive arms the periodic secondary keepalive (Algorithm 1
+// lines 15–17): if the secondary has not been visited for AKT, pay it a
+// short visit to keep the association alive.
+func (c *Client) scheduleKeepalive() {
+	c.sim.Every(c.cfg.AKT/4, func() {
+		if c.st != onPrimary {
+			return
+		}
+		if c.sim.Now().Sub(c.lastSecVisit) >= c.cfg.AKT {
+			c.stats.KeepaliveSwitches++
+			c.goToSecondary(true)
+		}
+	})
+}

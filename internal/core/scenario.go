@@ -1,0 +1,332 @@
+// Package core is the DiversiFi library proper: it wires the substrates
+// (PHY, MAC, AP, client, wired network, middlebox) into runnable calls and
+// implements every link-usage strategy the paper evaluates — stronger/
+// better selection, Divert-style fine-grained selection, temporal
+// replication, 2-NIC cross-link replication, and the single-NIC DiversiFi
+// client with either a customized AP or a middlebox.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Impairment labels the challenging situations of the paper's measurement
+// corpus (§4, Figure 6).
+type Impairment int
+
+const (
+	ImpNone Impairment = iota
+	ImpWeakLink
+	ImpMobility
+	ImpMicrowave
+	ImpCongestion
+)
+
+func (i Impairment) String() string {
+	switch i {
+	case ImpNone:
+		return "none"
+	case ImpWeakLink:
+		return "weak-link"
+	case ImpMobility:
+		return "mobility"
+	case ImpMicrowave:
+		return "microwave"
+	case ImpCongestion:
+		return "congestion"
+	default:
+		return fmt.Sprintf("Impairment(%d)", int(i))
+	}
+}
+
+// AllImpairments lists the corpus categories in presentation order.
+var AllImpairments = []Impairment{ImpNone, ImpWeakLink, ImpMobility, ImpMicrowave, ImpCongestion}
+
+// linkSpec holds the randomized stochastic parameters of one AP↔client link.
+type linkSpec struct {
+	extraLoss float64
+	shadowDB  float64
+	shadowT   sim.Duration
+	fadeGood  sim.Duration
+	fadeBad   sim.Duration
+	fadeDepth float64
+}
+
+// Scenario describes one simulated call's environment: the office geometry
+// of §6.1 (two APs at diagonal corners of a 30 m × 15 m space), the client
+// placement or trajectory, per-link stochastic parameters, and at most one
+// named impairment.
+type Scenario struct {
+	Impairment Impairment
+	Profile    traffic.Profile
+	Duration   sim.Duration
+	MIMOOrder  int
+	Seed       int64
+
+	apA, apB   phy.Position
+	chA, chB   phy.Channel
+	clientPos  phy.Position // static placement (ignored if mobile)
+	mobile     bool
+	specA      linkSpec
+	specB      linkSpec
+	congestA   bool // congestion on channel A
+	congestB   bool
+	congestHit float64 // collision probability during saturated periods
+	congestBzy float64 // busy fraction during saturated periods
+	ovenPos    phy.Position
+	hasOven    bool
+
+	// Mid-call collapse (non-stationarity): lateShift dB lands at lateAt
+	// on the weaker link (or the stronger one when lateOnStronger).
+	lateShift      float64
+	lateAt         sim.Duration
+	lateOnStronger bool
+}
+
+// Office dimensions from §6.1.
+const (
+	officeW = 30.0
+	officeH = 15.0
+)
+
+// RandomScenario draws a scenario of the given impairment class. rng is
+// corpus-level randomness (placement, parameters); the per-call fading and
+// interference draws come from the simulator seeded with Seed.
+func RandomScenario(rng *rand.Rand, imp Impairment, profile traffic.Profile, seed int64) Scenario {
+	return RandomScenarioSeverity(rng, imp, profile, seed, 1.0)
+}
+
+// RandomScenarioSeverity is RandomScenario with an impairment severity
+// scale: 1.0 reproduces the §4 "wild" conditions, smaller values the
+// milder §6 office deployment.
+func RandomScenarioSeverity(rng *rand.Rand, imp Impairment, profile traffic.Profile, seed int64, severity float64) Scenario {
+	sc := Scenario{
+		Impairment: imp,
+		Profile:    profile,
+		Duration:   2 * sim.Minute,
+		MIMOOrder:  1,
+		Seed:       seed,
+		apA:        phy.Position{X: 2, Y: 2},
+		apB:        phy.Position{X: officeW - 2, Y: officeH - 2},
+		chA:        phy.Chan1,
+		chB:        phy.Chan11,
+	}
+	uni := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	dur := func(lo, hi float64) sim.Duration { return sim.FromSeconds(uni(lo, hi)) }
+
+	sc.clientPos = phy.Position{X: uni(2, officeW-2), Y: uni(1, officeH-1)}
+	baseSpec := func() linkSpec {
+		return linkSpec{
+			shadowDB:  uni(4, 6),
+			shadowT:   dur(3, 10),
+			fadeGood:  dur(15, 60),
+			fadeBad:   dur(0.15, 0.6),
+			fadeDepth: uni(15, 40),
+		}
+	}
+	sc.specA = baseSpec()
+	sc.specB = baseSpec()
+	// Independent wall/obstruction attenuation per link.
+	sc.specA.extraLoss = uni(0, 6)
+	sc.specB.extraLoss = uni(0, 12)
+	// Environments are non-stationary: with some probability a link
+	// collapses partway through the call (door, crowd, re-parked cart).
+	// The collapse usually hits the link that started out weaker:
+	// marginal links live near fragile geometry. The occasionally-
+	// collapsing strong link feeds `stronger`'s tail; the often-
+	// collapsing weak link is the trap `better` walks into when the
+	// strong link had an unlucky trial period. Target selection happens
+	// in Build, where the realized call-start RSSI is known.
+	if rng.Float64() < 0.3*severity {
+		sc.lateShift = uni(12, 28) * severity
+		sc.lateAt = dur(10, 90)
+		sc.lateOnStronger = rng.Float64() < 0.1
+	}
+
+	switch imp {
+	case ImpWeakLink:
+		// Deep in the building: both links attenuated, fades become
+		// fatal, and slow shadowing drifts shift link quality mid-call
+		// (which is what defeats trial-period selection — §4.1).
+		// Attenuation deep in a building is partly shared (same walls
+		// around the client), so a weak spot degrades BOTH links — which
+		// is why even cross-link replication cannot rescue every
+		// weak-link call.
+		shared := uni(4, 12) * severity
+		sc.specA.extraLoss += shared + uni(4, 12)*severity
+		sc.specB.extraLoss += shared + uni(6, 14)*severity
+		sc.specA.fadeBad = dur(0.3, 1.2)
+		sc.specB.fadeBad = dur(0.3, 1.2)
+		sc.specA.shadowDB = uni(6, 9)
+		sc.specB.shadowDB = uni(6, 9)
+		sc.specA.shadowT = dur(10, 40)
+		sc.specB.shadowT = dur(10, 40)
+	case ImpMobility:
+		sc.mobile = true
+		sc.specA.shadowT = dur(0.5, 2)
+		sc.specB.shadowT = dur(0.5, 2)
+		sc.specA.shadowDB = uni(6, 9)
+		sc.specB.shadowDB = uni(6, 9)
+		sc.specA.extraLoss += uni(4, 12) * severity
+		sc.specB.extraLoss += uni(4, 14) * severity
+	case ImpMicrowave:
+		sc.hasOven = true
+		// The oven sits somewhere in the office (a kitchenette); clients
+		// that happen to be nearby are wrecked on BOTH links, since both
+		// are 2.4 GHz (the paper notes no 5 GHz links were available —
+		// §4.4). Clients further away are unaffected.
+		sc.ovenPos = phy.Position{X: uni(2, officeW-2), Y: uni(1, officeH-1)}
+	case ImpCongestion:
+		sc.congestA = true
+		sc.congestB = rng.Float64() < 0.6 // sometimes both channels busy
+		sc.congestHit = uni(0.52, 0.8) * severity
+		sc.congestBzy = uni(0.52, 0.82) * severity
+	}
+	return sc
+}
+
+// ControlledScenario builds a deterministic lab scenario: fixed geometry,
+// no shadowing, negligible fading, and explicit per-link attenuation. Used
+// by the Table 3 delay measurements, the middlebox scaling experiment, and
+// tests that need a link of known quality.
+func ControlledScenario(seed int64, profile traffic.Profile, duration sim.Duration, extraA, extraB float64) Scenario {
+	return Scenario{
+		Impairment: ImpNone,
+		Profile:    profile,
+		Duration:   duration,
+		MIMOOrder:  1,
+		Seed:       seed,
+		apA:        phy.Position{X: 2, Y: 2},
+		apB:        phy.Position{X: officeW - 2, Y: officeH - 2},
+		chA:        phy.Chan1,
+		chB:        phy.Chan11,
+		clientPos:  phy.Position{X: officeW / 2, Y: officeH / 2},
+		specA: linkSpec{
+			extraLoss: extraA,
+			fadeGood:  1000 * sim.Minute, fadeBad: sim.Millisecond,
+		},
+		specB: linkSpec{
+			extraLoss: extraB,
+			fadeGood:  1000 * sim.Minute, fadeBad: sim.Millisecond,
+		},
+	}
+}
+
+// WithFading returns a copy of the scenario with explicit Gilbert–Elliott
+// fading on link A (onA) or link B. Used to make a *strong* link lossy —
+// attenuation cannot do that, because a low-RSSI link would never be
+// chosen as the primary.
+func (sc Scenario) WithFading(onA bool, good, bad sim.Duration, depthDB float64) Scenario {
+	spec := &sc.specB
+	if onA {
+		spec = &sc.specA
+	}
+	spec.fadeGood = good
+	spec.fadeBad = bad
+	spec.fadeDepth = depthDB
+	return sc
+}
+
+// WithMIMO returns a copy of the scenario with the given spatial diversity
+// order on both links (Figure 2d).
+func (sc Scenario) WithMIMO(order int) Scenario {
+	sc.MIMOOrder = order
+	return sc
+}
+
+// WithProfile returns a copy of the scenario carrying a different stream
+// profile (Figure 2e's 5 Mbps workload).
+func (sc Scenario) WithProfile(p traffic.Profile) Scenario {
+	sc.Profile = p
+	return sc
+}
+
+// WithDuration returns a copy with a different call length.
+func (sc Scenario) WithDuration(d sim.Duration) Scenario {
+	sc.Duration = d
+	return sc
+}
+
+// Links is the built radio environment for one call.
+type Links struct {
+	A, B *phy.Link
+	Env  *phy.Environment
+	// Mob is the client's mobility model, shared by any additional links
+	// built on top of this environment (RunMultiCall).
+	Mob phy.MobilityModel
+}
+
+// Build instantiates the scenario's links and interference sources on the
+// simulator. Each link draws from its own named RNG stream so the loss
+// processes are independent except through shared interference.
+func (sc Scenario) Build(s *sim.Simulator) Links {
+	env := phy.NewEnvironment()
+	if sc.hasOven {
+		// The oven runs for a 30–80 s stretch of the call.
+		rng := s.RNG("scenario/oven")
+		start := sim.Time(sim.FromSeconds(5 + rng.Float64()*30))
+		dur := sim.FromSeconds(30 + rng.Float64()*50)
+		env.AddInterferer(phy.NewMicrowave(sc.ovenPos, start, dur))
+	}
+	if sc.congestA {
+		env.AddInterferer(phy.NewCongestion(s.RNG("scenario/congA"), sc.chA, sc.congestBzy, sc.congestHit, 0, 0))
+	}
+	if sc.congestB {
+		env.AddInterferer(phy.NewCongestion(s.RNG("scenario/congB"), sc.chB, sc.congestBzy, sc.congestHit, 0, 0))
+	}
+
+	var mob phy.MobilityModel
+	if sc.mobile {
+		mob = phy.NewRandomWaypoint(s.RNG("scenario/walk"), 1, 1, officeW-1, officeH-1,
+			1.2, 2*sim.Second, sc.Duration+10*sim.Second)
+	} else {
+		mob = phy.Static{Pos: sc.clientPos}
+	}
+
+	mk := func(name string, apPos phy.Position, ch phy.Channel, spec linkSpec) *phy.Link {
+		l := phy.NewLink(s.RNG("link/"+name), env, phy.LinkParams{
+			APPos:     apPos,
+			Chan:      ch,
+			Client:    mob,
+			ShadowDB:  spec.shadowDB,
+			ShadowT:   spec.shadowT,
+			FadeGood:  spec.fadeGood,
+			FadeBad:   spec.fadeBad,
+			MIMOOrder: sc.MIMOOrder,
+			ExtraLoss: spec.extraLoss,
+		})
+		l.SetFadeDepth(spec.fadeDepth)
+		return l
+	}
+	links := Links{
+		A:   mk("A", sc.apA, sc.chA, sc.specA),
+		B:   mk("B", sc.apB, sc.chB, sc.specB),
+		Env: env,
+		Mob: mob,
+	}
+	if sc.lateShift > 0 {
+		weaker, stronger := links.A, links.B
+		if links.A.RSSIdBm(0) >= links.B.RSSIdBm(0) {
+			weaker, stronger = links.B, links.A
+		}
+		target := weaker
+		if sc.lateOnStronger {
+			target = stronger
+		}
+		target.SetLateShift(sc.lateShift, sim.Time(sc.lateAt))
+	}
+	return links
+}
+
+// PacketCount returns the number of packets in the scenario's call.
+func (sc Scenario) PacketCount() int {
+	if sc.Profile.Spacing <= 0 {
+		return 0
+	}
+	return int(sc.Duration / sc.Profile.Spacing)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// scenarioJSON is the exported mirror of Scenario for serialization: a
+// scenario file pins down one call's environment exactly, so a run can be
+// shared and re-executed bit-for-bit (together with the seed it embeds).
+type scenarioJSON struct {
+	Impairment string  `json:"impairment"`
+	Profile    string  `json:"profile"`
+	DurationS  float64 `json:"duration_s"`
+	MIMOOrder  int     `json:"mimo_order"`
+	Seed       int64   `json:"seed"`
+
+	APA       [2]float64   `json:"ap_a"`
+	APB       [2]float64   `json:"ap_b"`
+	ChanA     [2]int       `json:"chan_a"` // band, number
+	ChanB     [2]int       `json:"chan_b"`
+	ClientPos [2]float64   `json:"client_pos"`
+	Mobile    bool         `json:"mobile"`
+	SpecA     linkSpecJSON `json:"link_a"`
+	SpecB     linkSpecJSON `json:"link_b"`
+
+	CongestA   bool       `json:"congest_a"`
+	CongestB   bool       `json:"congest_b"`
+	CongestHit float64    `json:"congest_hit"`
+	CongestBzy float64    `json:"congest_busy"`
+	HasOven    bool       `json:"has_oven"`
+	OvenPos    [2]float64 `json:"oven_pos"`
+
+	LateShift      float64 `json:"late_shift_db"`
+	LateAtS        float64 `json:"late_at_s"`
+	LateOnStronger bool    `json:"late_on_stronger"`
+}
+
+type linkSpecJSON struct {
+	ExtraLossDB float64 `json:"extra_loss_db"`
+	ShadowDB    float64 `json:"shadow_db"`
+	ShadowTS    float64 `json:"shadow_decorr_s"`
+	FadeGoodS   float64 `json:"fade_good_s"`
+	FadeBadS    float64 `json:"fade_bad_s"`
+	FadeDepthDB float64 `json:"fade_depth_db"`
+}
+
+func specToJSON(s linkSpec) linkSpecJSON {
+	return linkSpecJSON{
+		ExtraLossDB: s.extraLoss,
+		ShadowDB:    s.shadowDB,
+		ShadowTS:    s.shadowT.Seconds(),
+		FadeGoodS:   s.fadeGood.Seconds(),
+		FadeBadS:    s.fadeBad.Seconds(),
+		FadeDepthDB: s.fadeDepth,
+	}
+}
+
+func specFromJSON(j linkSpecJSON) linkSpec {
+	return linkSpec{
+		extraLoss: j.ExtraLossDB,
+		shadowDB:  j.ShadowDB,
+		shadowT:   sim.FromSeconds(j.ShadowTS),
+		fadeGood:  sim.FromSeconds(j.FadeGoodS),
+		fadeBad:   sim.FromSeconds(j.FadeBadS),
+		fadeDepth: j.FadeDepthDB,
+	}
+}
+
+var impairmentNames = map[string]Impairment{
+	"none": ImpNone, "weak-link": ImpWeakLink, "mobility": ImpMobility,
+	"microwave": ImpMicrowave, "congestion": ImpCongestion,
+}
+
+// MarshalJSON implements json.Marshaler.
+func (sc Scenario) MarshalJSON() ([]byte, error) {
+	j := scenarioJSON{
+		Impairment:     sc.Impairment.String(),
+		Profile:        sc.Profile.Name,
+		DurationS:      sc.Duration.Seconds(),
+		MIMOOrder:      sc.MIMOOrder,
+		Seed:           sc.Seed,
+		APA:            [2]float64{sc.apA.X, sc.apA.Y},
+		APB:            [2]float64{sc.apB.X, sc.apB.Y},
+		ChanA:          [2]int{int(sc.chA.Band), sc.chA.Number},
+		ChanB:          [2]int{int(sc.chB.Band), sc.chB.Number},
+		ClientPos:      [2]float64{sc.clientPos.X, sc.clientPos.Y},
+		Mobile:         sc.mobile,
+		SpecA:          specToJSON(sc.specA),
+		SpecB:          specToJSON(sc.specB),
+		CongestA:       sc.congestA,
+		CongestB:       sc.congestB,
+		CongestHit:     sc.congestHit,
+		CongestBzy:     sc.congestBzy,
+		HasOven:        sc.hasOven,
+		OvenPos:        [2]float64{sc.ovenPos.X, sc.ovenPos.Y},
+		LateShift:      sc.lateShift,
+		LateAtS:        sc.lateAt.Seconds(),
+		LateOnStronger: sc.lateOnStronger,
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (sc *Scenario) UnmarshalJSON(data []byte) error {
+	var j scenarioJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	imp, ok := impairmentNames[j.Impairment]
+	if !ok {
+		return fmt.Errorf("core: unknown impairment %q", j.Impairment)
+	}
+	var prof traffic.Profile
+	switch j.Profile {
+	case traffic.G711.Name:
+		prof = traffic.G711
+	case traffic.HighRate.Name:
+		prof = traffic.HighRate
+	default:
+		return fmt.Errorf("core: unknown profile %q", j.Profile)
+	}
+	*sc = Scenario{
+		Impairment:     imp,
+		Profile:        prof,
+		Duration:       sim.FromSeconds(j.DurationS),
+		MIMOOrder:      j.MIMOOrder,
+		Seed:           j.Seed,
+		apA:            phy.Position{X: j.APA[0], Y: j.APA[1]},
+		apB:            phy.Position{X: j.APB[0], Y: j.APB[1]},
+		chA:            phy.Channel{Band: phy.Band(j.ChanA[0]), Number: j.ChanA[1]},
+		chB:            phy.Channel{Band: phy.Band(j.ChanB[0]), Number: j.ChanB[1]},
+		clientPos:      phy.Position{X: j.ClientPos[0], Y: j.ClientPos[1]},
+		mobile:         j.Mobile,
+		specA:          specFromJSON(j.SpecA),
+		specB:          specFromJSON(j.SpecB),
+		congestA:       j.CongestA,
+		congestB:       j.CongestB,
+		congestHit:     j.CongestHit,
+		congestBzy:     j.CongestBzy,
+		hasOven:        j.HasOven,
+		ovenPos:        phy.Position{X: j.OvenPos[0], Y: j.OvenPos[1]},
+		lateShift:      j.LateShift,
+		lateAt:         sim.FromSeconds(j.LateAtS),
+		lateOnStronger: j.LateOnStronger,
+	}
+	if !sc.chA.Valid() || !sc.chB.Valid() {
+		return fmt.Errorf("core: invalid channel in scenario")
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package emu
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// APEmu is the live counterpart of the paper's "Customized AP" (§5.3.1): a
+// forwarder that, while the client is asleep toward it, holds the freshest
+// BufferDepth packets in a head-drop buffer, and on wake flushes the
+// buffer and streams live until the next sleep.
+//
+// It speaks the same textual control protocol as the Middlebox — REGISTER/
+// START/STOP — with START acting as the PSM wake (any fromSeq argument is
+// ignored: an AP can only do implicit selection) and STOP as the sleep.
+// The live Client therefore works against either backend; set
+// ClientConfig.ImplicitSelection when pairing with an APEmu to model the
+// AP's behaviour faithfully.
+type APEmu struct {
+	data *net.UDPConn
+	ctrl *net.UDPConn
+
+	mu      sync.Mutex
+	depth   int
+	client  *net.UDPAddr
+	buf     [][]byte
+	awake   bool
+	dropped int
+	sent    int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewAPEmu starts a customized-AP emulator with the given head-drop buffer
+// depth (0 = 5, the G.711 Deadline/Spacing).
+func NewAPEmu(dataAddr, ctrlAddr string, depth int) (*APEmu, error) {
+	if depth <= 0 {
+		depth = 5
+	}
+	da, err := net.ResolveUDPAddr("udp", dataAddr)
+	if err != nil {
+		return nil, err
+	}
+	ca, err := net.ResolveUDPAddr("udp", ctrlAddr)
+	if err != nil {
+		return nil, err
+	}
+	data, err := net.ListenUDP("udp", da)
+	if err != nil {
+		return nil, err
+	}
+	_ = data.SetReadBuffer(1 << 21)
+	ctrl, err := net.ListenUDP("udp", ca)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	a := &APEmu{data: data, ctrl: ctrl, depth: depth, closed: make(chan struct{})}
+	a.wg.Add(2)
+	go a.runData()
+	go a.runCtrl()
+	return a, nil
+}
+
+// DataAddr returns the address the replicated stream should be sent to.
+func (a *APEmu) DataAddr() string { return a.data.LocalAddr().String() }
+
+// CtrlAddr returns the control-protocol address.
+func (a *APEmu) CtrlAddr() string { return a.ctrl.LocalAddr().String() }
+
+// Counts returns (packets sent to the client, packets head-dropped).
+func (a *APEmu) Counts() (sent, dropped int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent, a.dropped
+}
+
+// Close shuts the emulator down.
+func (a *APEmu) Close() error {
+	select {
+	case <-a.closed:
+		return nil
+	default:
+	}
+	close(a.closed)
+	err1 := a.data.Close()
+	err2 := a.ctrl.Close()
+	a.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (a *APEmu) runData() {
+	defer a.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := a.data.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+				continue
+			}
+		}
+		a.mu.Lock()
+		if a.client == nil {
+			a.mu.Unlock()
+			continue
+		}
+		if a.awake {
+			cp := append([]byte(nil), buf[:n]...)
+			a.sent++
+			dst := a.client
+			a.mu.Unlock()
+			_, _ = a.data.WriteToUDP(cp, dst)
+			continue
+		}
+		if len(a.buf) >= a.depth {
+			a.buf = a.buf[1:]
+			a.dropped++
+		}
+		a.buf = append(a.buf, append([]byte(nil), buf[:n]...))
+		a.mu.Unlock()
+	}
+}
+
+func (a *APEmu) runCtrl() {
+	defer a.wg.Done()
+	buf := make([]byte, 1024)
+	for {
+		n, from, err := a.ctrl.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+				continue
+			}
+		}
+		reply := a.handle(strings.TrimSpace(string(buf[:n])), from)
+		if reply != "" {
+			_, _ = a.ctrl.WriteToUDP([]byte(reply), from)
+		}
+	}
+}
+
+func (a *APEmu) handle(cmd string, from *net.UDPAddr) string {
+	fields := strings.Fields(cmd)
+	if len(fields) < 2 {
+		return "ERR syntax"
+	}
+	if _, err := strconv.ParseUint(fields[1], 10, 32); err != nil {
+		return "ERR stream"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch fields[0] {
+	case CmdRegister:
+		client := from
+		if len(fields) >= 3 {
+			var err error
+			client, err = net.ResolveUDPAddr("udp", fields[2])
+			if err != nil {
+				return "ERR addr"
+			}
+		}
+		a.client = client
+		a.buf = nil
+		a.awake = false
+		return "OK"
+	case CmdStart: // PSM wake: flush then stream live
+		if a.client == nil {
+			return "ERR unknown stream"
+		}
+		a.awake = true
+		bufs := a.buf
+		a.buf = nil
+		for _, b := range bufs {
+			a.sent++
+			_, _ = a.data.WriteToUDP(b, a.client)
+		}
+		return "OK"
+	case CmdStop: // PSM sleep
+		a.awake = false
+		return "OK"
+	case CmdStats:
+		return "OK sent=" + strconv.Itoa(a.sent) + " dropped=" + strconv.Itoa(a.dropped) +
+			" buffered=" + strconv.Itoa(len(a.buf))
+	default:
+		return "ERR command"
+	}
+}

@@ -1,0 +1,663 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rtp"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{Stream: 7, Seq: 42, Flags: 3, SentAt: time.Unix(0, 1234567890), Payload: []byte("hello")}
+	wire := p.Marshal(nil)
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != 7 || got.Seq != 42 || got.Flags != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.SentAt.Equal(p.SentAt) {
+		t.Fatalf("timestamp mismatch: %v vs %v", got.SentAt, p.SentAt)
+	}
+	if string(got.Payload) != "hello" {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestPacketMarshalReuse(t *testing.T) {
+	p := Packet{Stream: 1, Seq: 2, Payload: make([]byte, 160)}
+	buf := p.Marshal(nil)
+	buf2 := p.Marshal(buf)
+	if &buf[0] != &buf2[0] {
+		t.Error("Marshal reallocated despite sufficient capacity")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {1, 2, 3}, make([]byte, 19), append([]byte("XX"), make([]byte, 18)...)}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("garbage %v accepted", c)
+		}
+	}
+}
+
+// udpSink collects datagrams on an ephemeral port.
+type udpSink struct {
+	conn *net.UDPConn
+	ch   chan []byte
+}
+
+func newSink(t *testing.T) *udpSink {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &udpSink{conn: conn, ch: make(chan []byte, 4096)}
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				close(s.ch)
+				return
+			}
+			cp := make([]byte, n)
+			copy(cp, buf[:n])
+			select {
+			case s.ch <- cp:
+			default:
+			}
+		}
+	}()
+	t.Cleanup(func() { conn.Close() })
+	return s
+}
+
+func (s *udpSink) addr() string { return s.conn.LocalAddr().String() }
+
+func (s *udpSink) drain(d time.Duration) [][]byte {
+	var out [][]byte
+	deadline := time.After(d)
+	for {
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, b)
+		case <-deadline:
+			return out
+		}
+	}
+}
+
+func TestLinkForwards(t *testing.T) {
+	sink := newSink(t)
+	link, err := NewLink("127.0.0.1:0", sink.addr(), LinkConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	conn, err := net.Dial("udp", link.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(conn, "pkt-%d", i)
+	}
+	got := sink.drain(300 * time.Millisecond)
+	if len(got) != 50 {
+		t.Fatalf("lossless link delivered %d/50", len(got))
+	}
+	st := link.Stats()
+	if st.Received != 50 || st.Forwarded != 50 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	sink := newSink(t)
+	link, err := NewLink("127.0.0.1:0", sink.addr(), LinkConfig{Loss: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	conn, _ := net.Dial("udp", link.Addr())
+	defer conn.Close()
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(conn, "p%d", i)
+		if i%50 == 49 {
+			time.Sleep(5 * time.Millisecond) // let the forwarder drain
+		}
+	}
+	got := sink.drain(400 * time.Millisecond)
+	if len(got) < 120 || len(got) > 280 {
+		t.Fatalf("50%% loss link delivered %d/400 (stats %+v)", len(got), link.Stats())
+	}
+}
+
+func TestLinkReconfigure(t *testing.T) {
+	sink := newSink(t)
+	link, err := NewLink("127.0.0.1:0", sink.addr(), LinkConfig{Loss: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	conn, _ := net.Dial("udp", link.Addr())
+	defer conn.Close()
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(conn, "x%d", i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	link.SetConfig(LinkConfig{Loss: 0, Seed: 3})
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(conn, "y%d", i)
+	}
+	got := sink.drain(300 * time.Millisecond)
+	if len(got) != 20 {
+		t.Fatalf("after reconfigure delivered %d, want exactly the 20 post-change packets", len(got))
+	}
+}
+
+func TestReplicatorFansOut(t *testing.T) {
+	a, b := newSink(t), newSink(t)
+	rep, err := NewReplicator("127.0.0.1:0", a.addr(), b.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	conn, _ := net.Dial("udp", rep.Addr())
+	defer conn.Close()
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(conn, "r%d", i)
+	}
+	ga := a.drain(300 * time.Millisecond)
+	gb := b.drain(300 * time.Millisecond)
+	if len(ga) != 30 || len(gb) != 30 {
+		t.Fatalf("fan-out %d/%d, want 30/30", len(ga), len(gb))
+	}
+	recv, fanned := rep.Counts()
+	if recv != 30 || fanned != 60 {
+		t.Fatalf("counts %d/%d", recv, fanned)
+	}
+}
+
+func TestMiddleboxProtocol(t *testing.T) {
+	mb, err := NewMiddlebox("127.0.0.1:0", "127.0.0.1:0", MiddleboxConfig{BufferDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+
+	sink := newSink(t)
+	ctrl, err := net.Dial("udp", mb.CtrlAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	cmd := func(s string) string {
+		fmt.Fprint(ctrl, s)
+		ctrl.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 256)
+		n, err := ctrl.Read(buf)
+		if err != nil {
+			t.Fatalf("control %q: %v", s, err)
+		}
+		return string(buf[:n])
+	}
+
+	if got := cmd("REGISTER 9 " + sink.addr()); got != "OK" {
+		t.Fatalf("register: %s", got)
+	}
+
+	// Feed 6 packets into a depth-3 buffer: only seqs 3,4,5 survive.
+	data, _ := net.Dial("udp", mb.DataAddr())
+	defer data.Close()
+	var buf []byte
+	for seq := uint32(0); seq < 6; seq++ {
+		p := Packet{Stream: 9, Seq: seq, SentAt: time.Now(), Payload: []byte("v")}
+		buf = p.Marshal(buf)
+		data.Write(buf)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	if got := cmd("START 9 4"); got != "OK" {
+		t.Fatalf("start: %s", got)
+	}
+	pkts := sink.drain(300 * time.Millisecond)
+	var seqs []uint32
+	for _, raw := range pkts {
+		p, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, p.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("explicit selection delivered %v, want [4 5]", seqs)
+	}
+
+	// While active, fresh packets stream through.
+	p := Packet{Stream: 9, Seq: 10, SentAt: time.Now()}
+	data.Write(p.Marshal(nil))
+	live := sink.drain(200 * time.Millisecond)
+	if len(live) != 1 {
+		t.Fatalf("active stream delivered %d packets, want 1", len(live))
+	}
+
+	if got := cmd("STOP 9"); got != "OK" {
+		t.Fatalf("stop: %s", got)
+	}
+	p = Packet{Stream: 9, Seq: 11, SentAt: time.Now()}
+	data.Write(p.Marshal(nil))
+	if got := sink.drain(200 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("stopped stream leaked %d packets", len(got))
+	}
+
+	stats := cmd("STATS 9")
+	if stats[:2] != "OK" {
+		t.Fatalf("stats: %s", stats)
+	}
+}
+
+func TestMiddleboxRejectsUnknown(t *testing.T) {
+	mb, err := NewMiddlebox("127.0.0.1:0", "127.0.0.1:0", MiddleboxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	ctrl, _ := net.Dial("udp", mb.CtrlAddr())
+	defer ctrl.Close()
+	for _, bad := range []string{"START 99", "NONSENSE 1", "START", "START abc"} {
+		fmt.Fprint(ctrl, bad)
+		ctrl.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 128)
+		n, err := ctrl.Read(buf)
+		if err != nil {
+			t.Fatalf("%q: %v", bad, err)
+		}
+		if string(buf[:3]) != "ERR" {
+			t.Errorf("%q accepted: %s", bad, buf[:n])
+		}
+	}
+}
+
+func TestSenderCBR(t *testing.T) {
+	sink := newSink(t)
+	s, err := NewSender(sink.addr(), SenderConfig{
+		Stream: 1, PayloadSize: 160, Interval: 5 * time.Millisecond, Count: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	select {
+	case <-s.Done():
+	case <-time.After(3 * time.Second):
+		t.Fatal("sender did not finish")
+	}
+	got := sink.drain(200 * time.Millisecond)
+	if len(got) != 40 {
+		t.Fatalf("received %d/40", len(got))
+	}
+	p, err := Unmarshal(got[0])
+	if err != nil || p.Stream != 1 || len(p.Payload) != 160 {
+		t.Fatalf("first packet %+v err %v", p, err)
+	}
+}
+
+// TestEndToEndRecovery is the live "aha": a lossy primary path plus a
+// middlebox recovery path brings unique-packet loss to ~zero.
+func TestEndToEndRecovery(t *testing.T) {
+	const stream = 77
+	const count = 150
+	interval := 5 * time.Millisecond
+
+	mb, err := NewMiddlebox("127.0.0.1:0", "127.0.0.1:0", MiddleboxConfig{BufferDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+
+	client, err := NewClient("127.0.0.1:0", ClientConfig{
+		Stream:        stream,
+		Interval:      interval,
+		PLT:           2 * interval,
+		Deadline:      20 * interval,
+		MiddleboxCtrl: mb.CtrlAddr(),
+		Expected:      count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Primary path: a 10%-loss link into the client.
+	primary, err := NewLink("127.0.0.1:0", client.Addr(), LinkConfig{Loss: 0.10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	// Replicator fans the stream to the lossy primary and the middlebox.
+	rep, err := NewReplicator("127.0.0.1:0", primary.Addr(), mb.DataAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	sender, err := NewSender(rep.Addr(), SenderConfig{
+		Stream: stream, PayloadSize: 160, Interval: interval, Count: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	select {
+	case <-sender.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stuck")
+	}
+	// Allow stragglers and final recoveries to land.
+	time.Sleep(300 * time.Millisecond)
+
+	st := client.Stats()
+	if primary.Stats().Dropped == 0 {
+		t.Fatal("primary link dropped nothing; test is vacuous")
+	}
+	if st.Recovered == 0 {
+		t.Fatal("no packets recovered via middlebox")
+	}
+	if lr := client.LossRate(); lr > 0.03 {
+		t.Errorf("unique loss after recovery = %.1f%%, want ~0 (stats %+v)", 100*lr, st)
+	}
+}
+
+// TestEndToEndWithoutRecovery confirms the baseline actually loses packets.
+func TestEndToEndWithoutRecovery(t *testing.T) {
+	const count = 120
+	interval := 5 * time.Millisecond
+	client, err := NewClient("127.0.0.1:0", ClientConfig{
+		Stream: 1, Interval: interval, Expected: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	link, err := NewLink("127.0.0.1:0", client.Addr(), LinkConfig{Loss: 0.15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	sender, err := NewSender(link.Addr(), SenderConfig{Stream: 1, Interval: interval, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	select {
+	case <-sender.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stuck")
+	}
+	time.Sleep(200 * time.Millisecond)
+	if lr := client.LossRate(); lr < 0.05 {
+		t.Errorf("baseline loss = %.1f%%, expected ~15%%", 100*lr)
+	}
+}
+
+// TestExplicitSelectionCostsFewerDuplicates compares the middlebox's
+// explicit fromSeq fetch with the AP-style implicit flush: both recover the
+// losses, but implicit selection re-delivers packets the client already
+// has (§5.2.5).
+func TestExplicitSelectionCostsFewerDuplicates(t *testing.T) {
+	run := func(implicit bool) (ClientStats, float64) {
+		const stream = 5
+		const count = 200
+		interval := 5 * time.Millisecond
+		mb, err := NewMiddlebox("127.0.0.1:0", "127.0.0.1:0", MiddleboxConfig{BufferDepth: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mb.Close()
+		client, err := NewClient("127.0.0.1:0", ClientConfig{
+			Stream: stream, Interval: interval, PLT: 2 * interval,
+			Deadline: 20 * interval, MiddleboxCtrl: mb.CtrlAddr(),
+			Expected: count, ImplicitSelection: implicit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		primary, err := NewLink("127.0.0.1:0", client.Addr(), LinkConfig{Loss: 0.08, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer primary.Close()
+		rep, err := NewReplicator("127.0.0.1:0", primary.Addr(), mb.DataAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rep.Close()
+		sender, err := NewSender(rep.Addr(), SenderConfig{
+			Stream: stream, PayloadSize: 160, Interval: interval, Count: count,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sender.Close()
+		select {
+		case <-sender.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatal("sender stuck")
+		}
+		time.Sleep(300 * time.Millisecond)
+		return client.Stats(), client.LossRate()
+	}
+	explicit, lossE := run(false)
+	implicit, lossI := run(true)
+	if lossE > 0.05 || lossI > 0.05 {
+		t.Fatalf("recovery failed: explicit %.2f implicit %.2f", lossE, lossI)
+	}
+	if explicit.Recovered == 0 || implicit.Recovered == 0 {
+		t.Fatalf("no recoveries: %+v / %+v", explicit, implicit)
+	}
+	if implicit.Duplicates <= explicit.Duplicates {
+		t.Errorf("implicit flush duplicates (%d) not above explicit (%d)",
+			implicit.Duplicates, explicit.Duplicates)
+	}
+}
+
+// TestAPEmuEndToEnd runs the live "Customized AP" deployment: the client
+// pairs with an APEmu using implicit selection (an AP cannot fetch by
+// sequence number) and still recovers the primary path's losses.
+func TestAPEmuEndToEnd(t *testing.T) {
+	const stream = 9
+	const count = 150
+	interval := 5 * time.Millisecond
+
+	apEmu, err := NewAPEmu("127.0.0.1:0", "127.0.0.1:0", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer apEmu.Close()
+
+	client, err := NewClient("127.0.0.1:0", ClientConfig{
+		Stream: stream, Interval: interval, PLT: 2 * interval,
+		Deadline: 20 * interval, MiddleboxCtrl: apEmu.CtrlAddr(),
+		Expected: count, ImplicitSelection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	primary, err := NewLink("127.0.0.1:0", client.Addr(), LinkConfig{Loss: 0.10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	rep, err := NewReplicator("127.0.0.1:0", primary.Addr(), apEmu.DataAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	sender, err := NewSender(rep.Addr(), SenderConfig{
+		Stream: stream, PayloadSize: 160, Interval: interval, Count: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	select {
+	case <-sender.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stuck")
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	st := client.Stats()
+	if st.Recovered == 0 {
+		t.Fatalf("nothing recovered via the AP emulator (stats %+v)", st)
+	}
+	if lr := client.LossRate(); lr > 0.03 {
+		t.Errorf("residual loss with AP emulator = %.1f%%", 100*lr)
+	}
+	sent, _ := apEmu.Counts()
+	if sent == 0 {
+		t.Error("AP emulator sent nothing")
+	}
+}
+
+func TestAPEmuProtocol(t *testing.T) {
+	apEmu, err := NewAPEmu("127.0.0.1:0", "127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer apEmu.Close()
+	sink := newSink(t)
+	ctrl, _ := net.Dial("udp", apEmu.CtrlAddr())
+	defer ctrl.Close()
+	cmd := func(s string) string {
+		fmt.Fprint(ctrl, s)
+		ctrl.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 128)
+		n, err := ctrl.Read(buf)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		return string(buf[:n])
+	}
+	if got := cmd("START 1"); got[:3] != "ERR" {
+		t.Errorf("START before REGISTER: %s", got)
+	}
+	if got := cmd("REGISTER 1 " + sink.addr()); got != "OK" {
+		t.Fatalf("register: %s", got)
+	}
+	data, _ := net.Dial("udp", apEmu.DataAddr())
+	defer data.Close()
+	for seq := uint32(0); seq < 6; seq++ {
+		p := Packet{Stream: 1, Seq: seq, SentAt: time.Now()}
+		data.Write(p.Marshal(nil))
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := cmd("START 1 4"); got != "OK" { // fromSeq ignored: implicit
+		t.Fatalf("start: %s", got)
+	}
+	pkts := sink.drain(300 * time.Millisecond)
+	// Depth 3: seqs 3,4,5 survive and ALL are flushed (no selection).
+	if len(pkts) != 3 {
+		t.Fatalf("AP flushed %d packets, want 3 (implicit selection)", len(pkts))
+	}
+	if got := cmd("STOP 1"); got != "OK" {
+		t.Fatalf("stop: %s", got)
+	}
+	if got := cmd("STATS 1"); got[:2] != "OK" {
+		t.Fatalf("stats: %s", got)
+	}
+}
+
+// TestRTPModeEndToEnd carries standard RTP through the whole live
+// pipeline: replicator, lossy link, middlebox recovery — no DF framing.
+func TestRTPModeEndToEnd(t *testing.T) {
+	const stream = 0xabcd
+	const count = 150
+	interval := 5 * time.Millisecond
+	mb, err := NewMiddlebox("127.0.0.1:0", "127.0.0.1:0", MiddleboxConfig{BufferDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	client, err := NewClient("127.0.0.1:0", ClientConfig{
+		Stream: stream, Interval: interval, PLT: 2 * interval,
+		Deadline: 20 * interval, MiddleboxCtrl: mb.CtrlAddr(), Expected: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	primary, err := NewLink("127.0.0.1:0", client.Addr(), LinkConfig{Loss: 0.10, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	rep, err := NewReplicator("127.0.0.1:0", primary.Addr(), mb.DataAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	sender, err := NewSender(rep.Addr(), SenderConfig{
+		Stream: stream, PayloadSize: 160, Interval: interval, Count: count, UseRTP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	select {
+	case <-sender.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stuck")
+	}
+	time.Sleep(300 * time.Millisecond)
+	st := client.Stats()
+	if st.Recovered == 0 {
+		t.Fatalf("RTP mode recovered nothing (stats %+v)", st)
+	}
+	if lr := client.LossRate(); lr > 0.03 {
+		t.Errorf("RTP-mode residual loss = %.1f%%", 100*lr)
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	df := Packet{Stream: 7, Seq: 9, SentAt: time.Now()}
+	if s, q, ok := DecodeStream(df.Marshal(nil)); !ok || s != 7 || q != 9 {
+		t.Errorf("DF decode = %d/%d/%v", s, q, ok)
+	}
+	rp := rtpPacketBytes(t, 0x55, 1234)
+	if s, q, ok := DecodeStream(rp); !ok || s != 0x55 || q != 1234 {
+		t.Errorf("RTP decode = %d/%d/%v", s, q, ok)
+	}
+	if _, _, ok := DecodeStream([]byte("junk")); ok {
+		t.Error("junk decoded")
+	}
+}
+
+func rtpPacketBytes(t *testing.T, ssrc uint32, seq uint16) []byte {
+	t.Helper()
+	p := rtp.Packet{Header: rtp.Header{PayloadType: 0, Sequence: seq, SSRC: ssrc}}
+	wire, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}

@@ -1,0 +1,32 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzUnmarshal must never panic and must round-trip accepted packets.
+func FuzzUnmarshal(f *testing.F) {
+	p := Packet{Stream: 1, Seq: 2, SentAt: time.Unix(0, 3), Payload: []byte("y")}
+	f.Add(p.Marshal(nil))
+	f.Add([]byte{})
+	f.Add([]byte("DF"))
+	f.Add(bytes.Repeat([]byte{0}, headerLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out := pkt.Marshal(nil)
+		q, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-encoded packet rejected: %v", err)
+		}
+		if q.Stream != pkt.Stream || q.Seq != pkt.Seq || q.Flags != pkt.Flags ||
+			!bytes.Equal(q.Payload, pkt.Payload) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MiddleboxConfig sizes the live middlebox.
+type MiddleboxConfig struct {
+	// BufferDepth is the per-stream head-drop buffer (default 5, the
+	// Deadline/Spacing of G.711).
+	BufferDepth int
+}
+
+// Middlebox is the live counterpart of the paper's Click middlebox: it
+// receives replicated stream packets on a data socket, keeps the freshest
+// BufferDepth packets per stream, and serves the textual start/stop
+// protocol on a control socket. While a stream is started, buffered and
+// fresh packets flow to the registered client address.
+type Middlebox struct {
+	data *net.UDPConn
+	ctrl *net.UDPConn
+	cfg  MiddleboxConfig
+
+	mu      sync.Mutex
+	streams map[uint32]*mbStream
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type mbStream struct {
+	client  *net.UDPAddr
+	buf     [][]byte // marshalled packets, oldest first
+	seqs    []uint32
+	active  bool
+	fromSeq int64
+	sent    int
+	dropped int
+}
+
+// NewMiddlebox starts a middlebox with data and control sockets on the
+// given addresses (use "127.0.0.1:0" for ephemeral ports).
+func NewMiddlebox(dataAddr, ctrlAddr string, cfg MiddleboxConfig) (*Middlebox, error) {
+	if cfg.BufferDepth <= 0 {
+		cfg.BufferDepth = 5
+	}
+	da, err := net.ResolveUDPAddr("udp", dataAddr)
+	if err != nil {
+		return nil, err
+	}
+	ca, err := net.ResolveUDPAddr("udp", ctrlAddr)
+	if err != nil {
+		return nil, err
+	}
+	data, err := net.ListenUDP("udp", da)
+	if err != nil {
+		return nil, err
+	}
+	_ = data.SetReadBuffer(1 << 21)
+	ctrl, err := net.ListenUDP("udp", ca)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	m := &Middlebox{
+		data:    data,
+		ctrl:    ctrl,
+		cfg:     cfg,
+		streams: make(map[uint32]*mbStream),
+		closed:  make(chan struct{}),
+	}
+	m.wg.Add(2)
+	go m.runData()
+	go m.runCtrl()
+	return m, nil
+}
+
+// DataAddr returns the address replicated stream copies should be sent to.
+func (m *Middlebox) DataAddr() string { return m.data.LocalAddr().String() }
+
+// CtrlAddr returns the control-protocol address.
+func (m *Middlebox) CtrlAddr() string { return m.ctrl.LocalAddr().String() }
+
+// Close shuts the middlebox down.
+func (m *Middlebox) Close() error {
+	select {
+	case <-m.closed:
+		return nil
+	default:
+	}
+	close(m.closed)
+	err1 := m.data.Close()
+	err2 := m.ctrl.Close()
+	m.wg.Wait()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (m *Middlebox) runData() {
+	defer m.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := m.data.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-m.closed:
+				return
+			default:
+				continue
+			}
+		}
+		stream, seq, ok := DecodeStream(buf[:n])
+		if !ok {
+			continue
+		}
+		m.mu.Lock()
+		st := m.streams[stream]
+		if st == nil {
+			m.mu.Unlock()
+			continue // not registered: drop, as the paper's switch rule scopes replication
+		}
+		if st.active && st.client != nil {
+			if st.fromSeq < 0 || int64(seq) >= st.fromSeq {
+				cp := append([]byte(nil), buf[:n]...)
+				st.sent++
+				m.mu.Unlock()
+				_, _ = m.data.WriteToUDP(cp, st.client)
+				continue
+			}
+			m.mu.Unlock()
+			continue
+		}
+		// Buffer with head-drop.
+		if len(st.buf) >= m.cfg.BufferDepth {
+			st.buf = st.buf[1:]
+			st.seqs = st.seqs[1:]
+			st.dropped++
+		}
+		st.buf = append(st.buf, append([]byte(nil), buf[:n]...))
+		st.seqs = append(st.seqs, seq)
+		m.mu.Unlock()
+	}
+}
+
+func (m *Middlebox) runCtrl() {
+	defer m.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := m.ctrl.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-m.closed:
+				return
+			default:
+				continue
+			}
+		}
+		reply := m.handleCommand(strings.TrimSpace(string(buf[:n])), from)
+		if reply != "" {
+			_, _ = m.ctrl.WriteToUDP([]byte(reply), from)
+		}
+	}
+}
+
+// handleCommand executes one control command and returns the reply.
+func (m *Middlebox) handleCommand(cmd string, from *net.UDPAddr) string {
+	fields := strings.Fields(cmd)
+	if len(fields) < 2 {
+		return "ERR syntax"
+	}
+	stream64, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return "ERR stream"
+	}
+	stream := uint32(stream64)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch fields[0] {
+	case CmdRegister:
+		// REGISTER <stream> [client-addr]; default to the caller.
+		client := from
+		if len(fields) >= 3 {
+			client, err = net.ResolveUDPAddr("udp", fields[2])
+			if err != nil {
+				return "ERR addr"
+			}
+		}
+		m.streams[stream] = &mbStream{client: client, fromSeq: -1}
+		return "OK"
+	case CmdStart:
+		st := m.streams[stream]
+		if st == nil {
+			return "ERR unknown stream"
+		}
+		st.fromSeq = -1
+		if len(fields) >= 3 {
+			if v, err := strconv.ParseInt(fields[2], 10, 64); err == nil {
+				st.fromSeq = v
+			}
+		}
+		st.active = true
+		// Flush the buffer (explicit packet selection via fromSeq).
+		bufs, seqs := st.buf, st.seqs
+		st.buf, st.seqs = nil, nil
+		for i, b := range bufs {
+			if st.fromSeq >= 0 && int64(seqs[i]) < st.fromSeq {
+				continue
+			}
+			st.sent++
+			_, _ = m.data.WriteToUDP(b, st.client)
+		}
+		return "OK"
+	case CmdStop:
+		if st := m.streams[stream]; st != nil {
+			st.active = false
+		}
+		return "OK"
+	case CmdStats:
+		st := m.streams[stream]
+		if st == nil {
+			return "ERR unknown stream"
+		}
+		return fmt.Sprintf("OK sent=%d dropped=%d buffered=%d", st.sent, st.dropped, len(st.buf))
+	default:
+		return "ERR command"
+	}
+}

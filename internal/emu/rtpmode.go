@@ -1,0 +1,23 @@
+package emu
+
+import "repro/internal/rtp"
+
+// The live components speak the compact DF framing by default, but every
+// role also understands standard RTP (RFC 3550): the stream key is the
+// SSRC and the sequence number is RTP's 16-bit one. That lets the
+// replicator/middlebox/client pipeline carry a real VoIP application's
+// packets unchanged — the application-transparency goal of §5.2.1.
+//
+// RTP's sequence space is 16-bit; the live client does not unwrap it, so
+// RTP-mode calls are limited to 65 535 packets (≈ 21 minutes of G.711).
+
+// DecodeStream extracts (stream, seq) from a datagram in either framing.
+func DecodeStream(data []byte) (stream, seq uint32, ok bool) {
+	if p, err := Unmarshal(data); err == nil {
+		return p.Stream, p.Seq, true
+	}
+	if p, err := rtp.Parse(data); err == nil {
+		return p.SSRC, uint32(p.Sequence), true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,134 @@
+package emu
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rtp"
+)
+
+// SenderConfig shapes the CBR stream (defaults follow the paper's G.711
+// workload: 160-byte payloads every 20 ms).
+type SenderConfig struct {
+	Stream      uint32
+	PayloadSize int
+	Interval    time.Duration
+	Count       int // total packets; 0 = until Close
+	// UseRTP emits standard RFC 3550 RTP packets (payload type 0, SSRC =
+	// Stream) instead of the compact DF framing.
+	UseRTP bool
+}
+
+// Sender emits a G.711-like CBR stream toward one destination.
+type Sender struct {
+	conn *net.UDPConn
+	cfg  SenderConfig
+
+	mu   sync.Mutex
+	sent int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	done   chan struct{}
+}
+
+// NewSender starts the stream immediately.
+func NewSender(dst string, cfg SenderConfig) (*Sender, error) {
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 160
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 20 * time.Millisecond
+	}
+	daddr, err := net.ResolveUDPAddr("udp", dst)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, daddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		conn:   conn,
+		cfg:    cfg,
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Sent returns the number of packets emitted so far.
+func (s *Sender) Sent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// Done is closed when the configured Count has been sent.
+func (s *Sender) Done() <-chan struct{} { return s.done }
+
+// Close stops the stream.
+func (s *Sender) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Sender) run() {
+	defer s.wg.Done()
+	payload := make([]byte, s.cfg.PayloadSize)
+	var buf []byte
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	seq := uint32(0)
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+		if s.cfg.UseRTP {
+			rp := rtp.Packet{
+				Header: rtp.Header{
+					PayloadType: 0, // PCMU / G.711
+					Sequence:    uint16(seq),
+					Timestamp:   seq * 160,
+					SSRC:        s.cfg.Stream,
+				},
+				Payload: payload,
+			}
+			var err error
+			buf, err = rp.Marshal(buf)
+			if err != nil {
+				return
+			}
+		} else {
+			p := Packet{Stream: s.cfg.Stream, Seq: seq, SentAt: time.Now(), Payload: payload}
+			buf = p.Marshal(buf)
+		}
+		if _, err := s.conn.Write(buf); err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+		}
+		seq++
+		s.mu.Lock()
+		s.sent = int(seq)
+		s.mu.Unlock()
+		if s.cfg.Count > 0 && int(seq) >= s.cfg.Count {
+			close(s.done)
+			return
+		}
+	}
+}

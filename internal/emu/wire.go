@@ -1,0 +1,88 @@
+// Package emu is the live-network counterpart of the simulation: the same
+// DiversiFi roles — replicating switch, lossy WiFi links, buffering
+// middlebox with the start/stop protocol, and a loss-recovering client —
+// implemented over real UDP sockets. Everything runs on loopback with
+// ephemeral ports, so the whole data path can be exercised end-to-end in
+// tests and examples without hardware.
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// Header layout (network byte order):
+//
+//	0:2   magic "DF"
+//	2:3   version (1)
+//	3:4   flags
+//	4:8   stream ID
+//	8:12  sequence number
+//	12:20 sender timestamp, unix nanoseconds
+//
+// followed by the payload.
+const (
+	headerLen = 20
+	magic0    = 'D'
+	magic1    = 'F'
+	version   = 1
+)
+
+// Packet is one datagram of a real-time stream.
+type Packet struct {
+	Stream  uint32
+	Seq     uint32
+	Flags   byte
+	SentAt  time.Time
+	Payload []byte
+}
+
+// ErrBadPacket reports a datagram that is not a DiversiFi stream packet.
+var ErrBadPacket = errors.New("emu: bad packet")
+
+// Marshal encodes p into buf (allocating if needed) and returns the wire
+// bytes.
+func (p *Packet) Marshal(buf []byte) []byte {
+	need := headerLen + len(p.Payload)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, version, p.Flags
+	binary.BigEndian.PutUint32(buf[4:8], p.Stream)
+	binary.BigEndian.PutUint32(buf[8:12], p.Seq)
+	binary.BigEndian.PutUint64(buf[12:20], uint64(p.SentAt.UnixNano()))
+	copy(buf[headerLen:], p.Payload)
+	return buf
+}
+
+// Unmarshal decodes a datagram. The payload aliases data; copy it if the
+// buffer will be reused.
+func Unmarshal(data []byte) (Packet, error) {
+	if len(data) < headerLen || data[0] != magic0 || data[1] != magic1 || data[2] != version {
+		return Packet{}, ErrBadPacket
+	}
+	return Packet{
+		Flags:   data[3],
+		Stream:  binary.BigEndian.Uint32(data[4:8]),
+		Seq:     binary.BigEndian.Uint32(data[8:12]),
+		SentAt:  time.Unix(0, int64(binary.BigEndian.Uint64(data[12:20]))),
+		Payload: data[headerLen:],
+	}, nil
+}
+
+// Control protocol: single-datagram text commands on the middlebox control
+// socket. Keeping it textual makes the protocol debuggable with netcat,
+// matching the spirit of the paper's simple start/stop design (§5.3.2).
+//
+//	REGISTER <stream> <client-addr>
+//	START <stream> <fromSeq|-1>
+//	STOP <stream>
+//	STATS <stream>
+const (
+	CmdRegister = "REGISTER"
+	CmdStart    = "START"
+	CmdStop     = "STOP"
+	CmdStats    = "STATS"
+)

@@ -1,0 +1,136 @@
+// Package exp implements every experiment in the paper's evaluation: one
+// function per table and figure, each returning both rendered tables and
+// raw series. The benchmark harness (bench_test.go) and the experiments
+// CLI (cmd/experiments) are thin wrappers over this package.
+package exp
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// CorpusKind selects which of the paper's two measurement corpora to
+// emulate.
+type CorpusKind int
+
+const (
+	// CorpusWild is the §4 corpus: 458 two-NIC calls gathered "in the
+	// wild" (offices, serviced apartments, downtown, a conference),
+	// including deliberately challenging situations.
+	CorpusWild CorpusKind = iota
+	// CorpusOffice is the §6 corpus: 61 runs in one office building with
+	// generally decent links.
+	CorpusOffice
+)
+
+// wildMix is the impairment mix of the wild corpus. The paper does not
+// give exact proportions; these reflect its description ("a variety of
+// locations … various challenging situations").
+var wildMix = []struct {
+	imp  core.Impairment
+	frac float64
+}{
+	{core.ImpNone, 0.30},
+	{core.ImpWeakLink, 0.20},
+	{core.ImpMobility, 0.15},
+	{core.ImpMicrowave, 0.15},
+	{core.ImpCongestion, 0.20},
+}
+
+// officeMix reflects the §6 office deployment: mostly healthy links with
+// occasional trouble.
+var officeMix = []struct {
+	imp  core.Impairment
+	frac float64
+}{
+	{core.ImpNone, 0.65},
+	{core.ImpWeakLink, 0.10},
+	{core.ImpMobility, 0.05},
+	{core.ImpCongestion, 0.20},
+}
+
+// BuildCorpus draws n scenarios of the given kind. seed fixes both the
+// scenario draws and each call's per-run randomness.
+func BuildCorpus(kind CorpusKind, n int, seed int64, profile traffic.Profile) []core.Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	mix := wildMix
+	if kind == CorpusOffice {
+		mix = officeMix
+	}
+	severity := 1.0
+	if kind == CorpusOffice {
+		severity = 0.5
+	}
+	out := make([]core.Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		imp := mix[len(mix)-1].imp
+		acc := 0.0
+		for _, m := range mix {
+			acc += m.frac
+			if r < acc {
+				imp = m.imp
+				break
+			}
+		}
+		out = append(out, core.RandomScenarioSeverity(rng, imp, profile, seed*1_000_003+int64(i), severity))
+	}
+	return out
+}
+
+// ImpairmentCorpus draws n scenarios all of one impairment class (for the
+// per-impairment breakdown of Figure 6).
+func ImpairmentCorpus(imp core.Impairment, n int, seed int64, profile traffic.Profile) []core.Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, core.RandomScenario(rng, imp, profile, seed*2_000_003+int64(i)))
+	}
+	return out
+}
+
+// parallelMap runs f over every scenario using all CPUs; results keep
+// input order. Each call owns its own simulator, so this is safe.
+func parallelMap[T any](scenarios []core.Scenario, f func(core.Scenario) T) []T {
+	out := make([]T, len(scenarios))
+	workers := runtime.NumCPU()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = f(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// RunDualCorpus executes two-NIC calls for every scenario in parallel.
+func RunDualCorpus(scenarios []core.Scenario) []core.DualCall {
+	return parallelMap(scenarios, core.RunDualCall)
+}
+
+// RunDiversiFiCorpus executes single-NIC DiversiFi calls in parallel.
+func RunDiversiFiCorpus(scenarios []core.Scenario, opts core.DiversiFiOptions) []core.DiversiFiResult {
+	return parallelMap(scenarios, func(sc core.Scenario) core.DiversiFiResult {
+		return core.RunDiversiFi(sc, opts)
+	})
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string // e.g. "fig2a", "table1"
+	Title  string
+	Tables []*stats.Table
+	// Plots are ASCII renderings of the figure's series (CDFs etc.).
+	Plots []string
+	Notes []string
+}
+
+// Render returns the human-readable text form.
+func (r *Result) Render() string {
+	var b strings.Builder
+	b.WriteString("== " + r.ID + ": " + r.Title + " ==\n")
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, p := range r.Plots {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// CSV returns all tables concatenated as CSV blocks.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString("# " + t.Title + "\n")
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}

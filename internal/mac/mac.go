@@ -1,0 +1,212 @@
+// Package mac models the parts of the 802.11 MAC that shape packet delivery
+// for DiversiFi: DCF medium access with binary exponential backoff, the
+// retransmission chain with rate fallback, rate adaptation driven by slow
+// RSSI, power-save (PSM) signalling, and channel-switch timing.
+//
+// The key property this layer must reproduce is *temporal diversity at the
+// micro scale*: the MAC retries a lost frame within a few milliseconds, so
+// only fades that outlive the whole retry chain become packet losses. That
+// is why same-link retransmission cannot match cross-link replication — the
+// retry chain and the original transmission see the same fade (§4.2).
+package mac
+
+import (
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// 802.11 DCF timing constants (802.11n, 2.4 GHz OFDM).
+const (
+	SlotTime    = 9 * sim.Microsecond
+	DIFS        = 34 * sim.Microsecond
+	CWMin       = 16  // initial contention window, slots
+	CWMax       = 512 // contention window cap
+	RetryLimit  = 7   // attempts per frame, including the first
+	RateFallbk1 = 3   // attempt index at which rate drops one step
+	RateFallbk2 = 5   // attempt index at which rate drops to the floor
+)
+
+// ChannelSwitchLatency is the time for a NIC to retune to another channel.
+// The paper measures 2.3 ms on ath9k (§6.4, Table 3).
+const ChannelSwitchLatency = 2300 * sim.Microsecond
+
+// PSMSignalLatency is the time to deliver a power-save Null frame to the AP
+// (the remaining 0.5 ms of the paper's 2.8 ms total switch cost).
+const PSMSignalLatency = 500 * sim.Microsecond
+
+// AccessCategory selects 802.11e/EDCA medium-access parameters. The paper
+// notes (§2) that such prioritization targets congestion and "is of little
+// use in the face of wireless packet loss" — the EDCA experiment
+// (`experiments edca`) demonstrates exactly that.
+type AccessCategory int
+
+const (
+	// ACBestEffort is legacy DCF access (the default).
+	ACBestEffort AccessCategory = iota
+	// ACVoice is the highest-priority EDCA class: shorter AIFS, smaller
+	// contention window, and it wins contention against best-effort
+	// traffic.
+	ACVoice
+)
+
+// edcaParams returns (AIFS, CWmin, busy-stretch factor) for a category.
+func edcaParams(ac AccessCategory) (aifs sim.Duration, cwMin int, busyFactor float64) {
+	switch ac {
+	case ACVoice:
+		// AIFSN=2, CW 4..8 slots; a busy medium stalls voice much less
+		// because the voice queue preempts lower classes at each EDCA
+		// contention round.
+		return DIFS - 9*sim.Microsecond, 4, 0.4
+	default:
+		return DIFS, CWMin, 1.0
+	}
+}
+
+// TxOutcome describes the fate of one MAC-layer frame transmission,
+// including the full retry chain.
+type TxOutcome struct {
+	Delivered bool
+	At        sim.Time // completion time (delivery or final failure)
+	Attempts  int      // transmission attempts consumed (>= 1)
+	Airtime   sim.Duration
+	Rate      phy.Rate // rate of the final attempt
+}
+
+// Transmitter sends frames over one phy.Link, applying DCF access, retries,
+// rate adaptation, and rate fallback within the retry chain. A Transmitter
+// is owned by whichever node transmits on the link (the AP, for downlink).
+type Transmitter struct {
+	Link *phy.Link
+	rng  *rand.Rand
+
+	// AC selects the EDCA access category (default best-effort/DCF).
+	AC AccessCategory
+
+	// rateIdx is the current adapted rate index into phy.RateTable.
+	rateIdx int
+	// ewmaOK tracks recent frame success for rate adaptation.
+	ewmaOK  float64
+	started bool
+}
+
+// NewTransmitter creates a transmitter over link. rng drives backoff draws.
+func NewTransmitter(link *phy.Link, rng *rand.Rand) *Transmitter {
+	return &Transmitter{Link: link, rng: rng, rateIdx: 3, ewmaOK: 1}
+}
+
+// CurrentRate returns the rate adaptation's current choice.
+func (t *Transmitter) CurrentRate() phy.Rate { return phy.RateTable[t.rateIdx] }
+
+// adaptRate updates the rate choice from the link's slow RSSI (shadowing
+// included, fast fading excluded — real rate controllers average over
+// fades) and the recent delivery record.
+func (t *Transmitter) adaptRate(now sim.Time) {
+	snr := t.Link.RSSIdBm(now) - phy.NoiseFloorDBm
+	target := 0
+	for i, r := range phy.RateTable {
+		if snr >= r.MinSNRdB+3 {
+			target = i
+		}
+	}
+	// Blend toward the SNR-derived target one step at a time, and step
+	// down aggressively when recent frames are failing.
+	switch {
+	case t.ewmaOK < 0.5 && t.rateIdx > 0:
+		t.rateIdx--
+	case target > t.rateIdx && t.ewmaOK > 0.9:
+		t.rateIdx++
+	case target < t.rateIdx:
+		t.rateIdx--
+	}
+}
+
+// accessDelay returns one medium-access wait: AIFS plus a uniform backoff,
+// stretched by medium occupancy (a busy medium freezes the backoff counter,
+// which to the transmitter looks like time dilation). EDCA voice frames
+// use a shorter AIFS/CW and are stalled far less by lower-priority load.
+func (t *Transmitter) accessDelay(now sim.Time, cw int) sim.Duration {
+	aifs, _, busyFactor := edcaParams(t.AC)
+	slots := t.rng.Intn(cw)
+	raw := aifs + sim.Duration(slots)*SlotTime
+	busy := t.Link.BusyFraction(now) * busyFactor
+	if busy >= 0.95 {
+		busy = 0.95
+	}
+	return sim.Duration(float64(raw) / (1 - busy))
+}
+
+// Transmit sends one frame of payloadBytes starting at now and returns the
+// outcome. The virtual time consumed (access + airtime across the retry
+// chain) is reflected in the outcome's At field; callers schedule follow-up
+// work at that time.
+func (t *Transmitter) Transmit(now sim.Time, payloadBytes int) TxOutcome {
+	if !t.started {
+		t.started = true
+		t.adaptRate(now)
+	}
+	_, cwStart, _ := edcaParams(t.AC)
+	cw := cwStart
+	cur := now
+	var totalAir sim.Duration
+	var rate phy.Rate
+	for attempt := 1; attempt <= RetryLimit; attempt++ {
+		idx := t.rateIdx
+		if attempt >= RateFallbk2 {
+			idx = 0
+		} else if attempt >= RateFallbk1 && idx > 0 {
+			idx--
+		}
+		rate = phy.RateTable[idx]
+		cur = cur.Add(t.accessDelay(cur, cw))
+		air := sim.Duration(phy.AirtimeUS(payloadBytes, rate))
+		ok := t.Link.AttemptPriority(cur, rate, t.AC == ACVoice)
+		cur = cur.Add(air)
+		totalAir += air
+		if ok {
+			t.ewmaOK = 0.9*t.ewmaOK + 0.1
+			t.adaptRate(cur)
+			return TxOutcome{Delivered: true, At: cur, Attempts: attempt, Airtime: totalAir, Rate: rate}
+		}
+		t.ewmaOK = 0.9 * t.ewmaOK
+		if cw < CWMax {
+			cw *= 2
+		}
+	}
+	t.adaptRate(cur)
+	return TxOutcome{Delivered: false, At: cur, Attempts: RetryLimit, Airtime: totalAir, Rate: rate}
+}
+
+// PSMResult is the outcome of delivering a power-save Null frame.
+type PSMResult struct {
+	Delivered bool
+	At        sim.Time
+	Attempts  int
+}
+
+// SendPSM delivers a Null frame with the Power Management bit to the AP.
+// Null frames are tiny and sent at a robust rate, but they can still be
+// lost; the paper's implementation adds 5 driver-level retries to make the
+// sleep transition reliable (§5.4), which we reproduce: up to 5 chains of
+// MAC retries before giving up.
+func (t *Transmitter) SendPSM(now sim.Time) PSMResult {
+	cur := now
+	attempts := 0
+	for driverTry := 0; driverTry < 5; driverTry++ {
+		cw := CWMin
+		for attempt := 0; attempt < 4; attempt++ {
+			attempts++
+			cur = cur.Add(t.accessDelay(cur, cw))
+			ok := t.Link.Attempt(cur, phy.RateTable[0])
+			cur = cur.Add(sim.Duration(phy.AirtimeUS(0, phy.RateTable[0])))
+			if ok {
+				return PSMResult{Delivered: true, At: cur, Attempts: attempts}
+			}
+			if cw < CWMax {
+				cw *= 2
+			}
+		}
+	}
+	return PSMResult{Delivered: false, At: cur, Attempts: attempts}
+}

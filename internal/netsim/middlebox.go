@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// MiddleboxConfig parameterises the buffering middlebox of §5.3.2. The
+// default delay components reproduce Table 3: retrieving a packet through
+// the middlebox costs ~2 ms of network traversal plus ~0.9 ms of queuing
+// on top of the client's 2.3 ms channel switch.
+type MiddleboxConfig struct {
+	BufferDepth int          // per-stream head-drop buffer (packets)
+	BaseQueuing sim.Duration // request-processing delay at zero load
+	NetDelay    sim.Duration // network path: client request + packet out
+	// LoadFactor is the extra queuing delay added per 1000 concurrently
+	// served streams; §6.4 measures ≈1.1 ms at 1000 streams.
+	LoadFactor sim.Duration
+}
+
+// DefaultMiddleboxConfig returns the Table 3 calibration.
+func DefaultMiddleboxConfig() MiddleboxConfig {
+	return MiddleboxConfig{
+		BufferDepth: 5,
+		BaseQueuing: 900 * sim.Microsecond,
+		NetDelay:    2 * sim.Millisecond,
+		LoadFactor:  1100 * sim.Microsecond,
+	}
+}
+
+// mbStream is the middlebox's per-stream state.
+type mbStream struct {
+	buf     []pkt.Packet
+	active  bool
+	out     Port
+	dropped int
+	sentOut int
+}
+
+// Middlebox holds replicated real-time packets in shallow per-stream
+// head-drop buffers and releases them toward the client's secondary AP on
+// request. It implements the simple start/stop protocol of the paper's
+// implementation; Start may optionally carry a from-sequence for explicit
+// packet selection.
+type Middlebox struct {
+	sim     *sim.Simulator
+	cfg     MiddleboxConfig
+	streams map[int]*mbStream
+
+	// backgroundLoad emulates additional concurrent streams served by the
+	// same box, for the §6.4 scalability experiment.
+	backgroundLoad int
+
+	requests int
+}
+
+// NewMiddlebox creates a middlebox on the simulator.
+func NewMiddlebox(s *sim.Simulator, cfg MiddleboxConfig) *Middlebox {
+	if cfg.BufferDepth <= 0 {
+		cfg.BufferDepth = 5
+	}
+	return &Middlebox{sim: s, cfg: cfg, streams: make(map[int]*mbStream)}
+}
+
+// Register prepares per-stream state: replicated copies of streamID will be
+// buffered, and released toward out when the client asks.
+func (m *Middlebox) Register(streamID int, out Port) error {
+	if out == nil {
+		return fmt.Errorf("netsim: middlebox stream %d registered with nil output", streamID)
+	}
+	m.streams[streamID] = &mbStream{out: out}
+	return nil
+}
+
+// Unregister discards the stream's state.
+func (m *Middlebox) Unregister(streamID int) { delete(m.streams, streamID) }
+
+// SetBackgroundLoad declares n additional concurrent streams for the
+// scalability experiment; it only affects the service delay.
+func (m *Middlebox) SetBackgroundLoad(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.backgroundLoad = n
+}
+
+// ServiceDelay returns the current request-processing delay: base queuing
+// plus the load-proportional term.
+func (m *Middlebox) ServiceDelay() sim.Duration {
+	load := m.backgroundLoad + len(m.streams)
+	return m.cfg.BaseQueuing + sim.Duration(int64(m.cfg.LoadFactor)*int64(load)/1000)
+}
+
+// RequestCount returns the number of start requests served.
+func (m *Middlebox) RequestCount() int { return m.requests }
+
+// BufferedCount returns the stream's current buffer occupancy.
+func (m *Middlebox) BufferedCount(streamID int) int {
+	if st, ok := m.streams[streamID]; ok {
+		return len(st.buf)
+	}
+	return 0
+}
+
+// Receive implements Port: the SDN switch feeds replicated copies here.
+// While the stream is inactive, packets join the head-drop buffer; while
+// active, they flow straight out (plus whatever was buffered).
+func (m *Middlebox) Receive(p pkt.Packet) {
+	st, ok := m.streams[p.StreamID]
+	if !ok {
+		return // not a registered real-time stream; drop silently
+	}
+	if st.active {
+		st.sentOut++
+		st.out.Receive(p)
+		return
+	}
+	if len(st.buf) >= m.cfg.BufferDepth {
+		st.buf = st.buf[1:]
+		st.dropped++
+	}
+	st.buf = append(st.buf, p)
+}
+
+// Start is the client's request to begin delivery for streamID. Packets
+// with Seq < fromSeq are skipped (explicit selection); pass fromSeq < 0
+// for the paper's plain start/stop behaviour (deliver everything buffered).
+// Delivery begins after the network + service delay and continues until
+// Stop. It returns the delay until the first buffered packet leaves, which
+// Table 3 reports as network + queuing.
+func (m *Middlebox) Start(streamID, fromSeq int) sim.Duration {
+	st, ok := m.streams[streamID]
+	if !ok {
+		return 0
+	}
+	m.requests++
+	delay := m.cfg.NetDelay + m.ServiceDelay()
+	m.sim.After(delay, func() {
+		if st.active {
+			return
+		}
+		st.active = true
+		buf := st.buf
+		st.buf = nil
+		for _, p := range buf {
+			if fromSeq >= 0 && p.Seq < fromSeq {
+				continue
+			}
+			st.sentOut++
+			st.out.Receive(p)
+		}
+	})
+	return delay
+}
+
+// Stop ends delivery for streamID after the control-message network delay;
+// subsequent packets buffer again.
+func (m *Middlebox) Stop(streamID int) {
+	st, ok := m.streams[streamID]
+	if !ok {
+		return
+	}
+	m.sim.After(m.cfg.NetDelay/2, func() {
+		st.active = false
+	})
+}
+
+// SentCount returns packets the middlebox has released for the stream.
+func (m *Middlebox) SentCount(streamID int) int {
+	if st, ok := m.streams[streamID]; ok {
+		return st.sentOut
+	}
+	return 0
+}
+
+// DroppedCount returns packets evicted from the stream's head-drop buffer.
+func (m *Middlebox) DroppedCount(streamID int) int {
+	if st, ok := m.streams[streamID]; ok {
+		return st.dropped
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Relay is a cloud relay node that forwards call traffic between peers that
+// cannot connect directly. NetTest (§3.2) found relayed calls suffered
+// drastically higher PCR because the relays were overloaded; Relay models
+// that: as utilisation approaches capacity, forwarding delay balloons and
+// packets are shed.
+type Relay struct {
+	Name      string
+	Capacity  int          // concurrent streams the relay handles cleanly
+	BaseDelay sim.Duration // forwarding delay at low load
+
+	sim     *sim.Simulator
+	active  int
+	dropped int
+}
+
+// NewRelay creates a relay with the given clean capacity.
+func NewRelay(s *sim.Simulator, name string, capacity int, baseDelay sim.Duration) *Relay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Relay{Name: name, Capacity: capacity, BaseDelay: baseDelay, sim: s}
+}
+
+// Attach registers a stream with the relay for the duration of a call;
+// call the returned release function when the call ends.
+func (r *Relay) Attach() (release func()) {
+	r.active++
+	released := false
+	return func() {
+		if !released {
+			released = true
+			r.active--
+		}
+	}
+}
+
+// Utilization returns active streams over capacity.
+func (r *Relay) Utilization() float64 {
+	return float64(r.active) / float64(r.Capacity)
+}
+
+// LossProb returns the relay's current shedding probability: zero below
+// 80% utilisation, rising steeply past saturation.
+func (r *Relay) LossProb() float64 {
+	u := r.Utilization()
+	if u <= 0.8 {
+		return 0
+	}
+	p := (u - 0.8) * 0.5
+	if p > 0.6 {
+		p = 0.6
+	}
+	return p
+}
+
+// Delay returns the current forwarding delay, inflated by an M/M/1-style
+// factor as the relay saturates.
+func (r *Relay) Delay() sim.Duration {
+	u := r.Utilization()
+	if u >= 0.98 {
+		u = 0.98
+	}
+	return sim.Duration(float64(r.BaseDelay) / (1 - u))
+}
+
+// Forward relays p, applying current load-dependent delay and loss.
+func (r *Relay) Forward(p pkt.Packet, deliver func(pkt.Packet)) {
+	if r.sim.RNG("relay/"+r.Name).Float64() < r.LossProb() {
+		r.dropped++
+		return
+	}
+	at := r.sim.Now().Add(r.Delay())
+	r.sim.Schedule(at, func() {
+		p.Arrived = at
+		deliver(p)
+	})
+}
+
+// DroppedCount returns packets shed by the relay.
+func (r *Relay) DroppedCount() int { return r.dropped }

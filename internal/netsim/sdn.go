@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// Port is anywhere an SDN switch can forward a packet: an AP's wired
+// ingress, a middlebox, another wire.
+type Port interface {
+	Receive(p pkt.Packet)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(pkt.Packet)
+
+// Receive implements Port.
+func (f PortFunc) Receive(p pkt.Packet) { f(p) }
+
+// Rule is a match-action entry: packets of StreamID are forwarded to every
+// port in Outputs. This is the UDP-replication primitive the paper installs
+// via OpenFlow (§5.2.3, [12]): one copy to the client's primary AP, one to
+// the middlebox.
+type Rule struct {
+	StreamID int
+	Outputs  []Port
+}
+
+// SDNSwitch is a minimal match-action switch. Packets matching no rule go
+// to the default port (the normal L2 path).
+type SDNSwitch struct {
+	rules       map[int]*Rule
+	defaultPort Port
+
+	matched, unmatched int
+}
+
+// NewSDNSwitch creates a switch whose unmatched traffic goes to def.
+func NewSDNSwitch(def Port) *SDNSwitch {
+	return &SDNSwitch{rules: make(map[int]*Rule), defaultPort: def}
+}
+
+// InstallRule adds or replaces the replication rule for a stream. It
+// returns an error if the rule has no outputs — a rule that blackholes a
+// real-time stream is always a configuration bug.
+func (s *SDNSwitch) InstallRule(streamID int, outputs ...Port) error {
+	if len(outputs) == 0 {
+		return fmt.Errorf("netsim: rule for stream %d has no outputs", streamID)
+	}
+	s.rules[streamID] = &Rule{StreamID: streamID, Outputs: outputs}
+	return nil
+}
+
+// RemoveRule deletes the rule for a stream, reverting it to the default
+// path. Removing a non-existent rule is a no-op.
+func (s *SDNSwitch) RemoveRule(streamID int) { delete(s.rules, streamID) }
+
+// HasRule reports whether a replication rule exists for the stream.
+func (s *SDNSwitch) HasRule(streamID int) bool { _, ok := s.rules[streamID]; return ok }
+
+// Receive implements Port: the switch classifies and forwards.
+func (s *SDNSwitch) Receive(p pkt.Packet) {
+	if r, ok := s.rules[p.StreamID]; ok {
+		s.matched++
+		for _, out := range r.Outputs {
+			out.Receive(p)
+		}
+		return
+	}
+	s.unmatched++
+	if s.defaultPort != nil {
+		s.defaultPort.Receive(p)
+	}
+}
+
+// MatchedCount returns packets that hit an installed rule.
+func (s *SDNSwitch) MatchedCount() int { return s.matched }
+
+// UnmatchedCount returns packets that took the default path.
+func (s *SDNSwitch) UnmatchedCount() int { return s.unmatched }

@@ -1,0 +1,65 @@
+// Package netsim models the wired side of DiversiFi's deployments: LAN and
+// WAN paths, the SDN-capable switch that replicates real-time flows, the
+// buffering middlebox of §5.3.2, and the relay nodes of the NetTest study.
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Wire is a one-way wired path with fixed propagation delay, random jitter,
+// and independent random loss. LAN paths have sub-millisecond delay and
+// essentially no loss; WAN paths are configured per scenario.
+type Wire struct {
+	Name    string
+	Latency sim.Duration // base one-way delay
+	Jitter  sim.Duration // mean of an exponential jitter term
+	Loss    float64      // independent per-packet loss probability
+
+	sim  *sim.Simulator
+	rng  *rand.Rand
+	last sim.Time // latest scheduled arrival, to keep the wire FIFO
+
+	sent, dropped int
+}
+
+// NewWire creates a wire driven by the simulator's named RNG stream.
+func NewWire(s *sim.Simulator, name string, latency, jitter sim.Duration, loss float64) *Wire {
+	return &Wire{
+		Name: name, Latency: latency, Jitter: jitter, Loss: loss,
+		sim: s, rng: s.RNG("wire/" + name),
+	}
+}
+
+// Send puts p on the wire at the current virtual time; deliver fires at the
+// arrival time unless the packet is lost. The wire is FIFO: a packet never
+// overtakes one sent before it, even when jitter draws would reorder them.
+func (w *Wire) Send(p pkt.Packet, deliver func(pkt.Packet)) {
+	w.sent++
+	if w.Loss > 0 && w.rng.Float64() < w.Loss {
+		w.dropped++
+		return
+	}
+	delay := w.Latency
+	if w.Jitter > 0 {
+		delay += sim.Duration(w.rng.ExpFloat64() * float64(w.Jitter))
+	}
+	at := w.sim.Now().Add(delay)
+	if at < w.last {
+		at = w.last
+	}
+	w.last = at
+	w.sim.Schedule(at, func() {
+		p.Arrived = at
+		deliver(p)
+	})
+}
+
+// SentCount returns packets offered to the wire.
+func (w *Wire) SentCount() int { return w.sent }
+
+// DroppedCount returns packets lost on the wire.
+func (w *Wire) DroppedCount() int { return w.dropped }

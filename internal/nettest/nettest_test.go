@@ -1,0 +1,112 @@
+package nettest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Counts = map[CallType]int{EW: 600, WW: 120, EWRelayed: 80, WWRelayed: 25}
+	return cfg
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(rand.New(rand.NewSource(1)), smallConfig())
+	b := Run(rand.New(rand.NewSource(1)), smallConfig())
+	_, _, oa := a.PCRByType()
+	_, _, ob := b.PCRByType()
+	if oa != ob {
+		t.Fatal("same seed produced different PCR")
+	}
+}
+
+func TestCategoryOrdering(t *testing.T) {
+	st := Run(rand.New(rand.NewSource(2)), smallConfig())
+	byType, counts, overall := st.PCRByType()
+	for ct, want := range smallConfig().Counts {
+		if counts[ct] != want {
+			t.Errorf("%v count = %d, want %d", ct, counts[ct], want)
+		}
+	}
+	// Table 2 orderings: WW > EW, relayed ≫ direct, WWR >= EWR.
+	if byType[WW] <= byType[EW] {
+		t.Errorf("WW %.3f not above EW %.3f", byType[WW], byType[EW])
+	}
+	if byType[EWRelayed] <= 3*byType[EW] {
+		t.Errorf("relayed EW %.3f not ≫ direct %.3f", byType[EWRelayed], byType[EW])
+	}
+	// WWR should be at least comparable to EWR (with only ~25 relayed WW
+	// calls in the small config, allow sampling noise).
+	if byType[WWRelayed] < 0.7*byType[EWRelayed] {
+		t.Errorf("WWR %.3f ≪ EWR %.3f", byType[WWRelayed], byType[EWRelayed])
+	}
+	if overall <= 0 || overall >= 0.5 {
+		t.Errorf("overall PCR %.3f implausible", overall)
+	}
+}
+
+func TestUserStats(t *testing.T) {
+	st := Run(rand.New(rand.NewSource(3)), smallConfig())
+	anyPoor, over20 := st.UserStats()
+	if anyPoor <= 0 || anyPoor > 1 {
+		t.Errorf("anyPoor = %v", anyPoor)
+	}
+	if over20 < 0 || over20 > anyPoor {
+		t.Errorf("over20 = %v vs anyPoor %v", over20, anyPoor)
+	}
+}
+
+func TestRelayConcentration(t *testing.T) {
+	st := Run(rand.New(rand.NewSource(4)), smallConfig())
+	// Relayed calls must land only on NAT-restricted clients.
+	for _, r := range st.Results {
+		if r.Type == EWRelayed || r.Type == WWRelayed {
+			if !st.Clients[r.Client].NATRestricted {
+				t.Fatal("relayed call on unrestricted client")
+			}
+		}
+	}
+}
+
+func TestClientClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	good, bad := 0, 0
+	for i := 0; i < 5000; i++ {
+		c := NewClient(rng, 22)
+		if c.Country < 0 || c.Country >= 22 {
+			t.Fatal("country out of range")
+		}
+		if c.pGoodLoss < 0.001 {
+			good++
+		}
+		if c.pGoodLoss >= 0.003 {
+			bad++
+		}
+	}
+	if good < 3000 {
+		t.Errorf("good-class share %d/5000, want majority", good)
+	}
+	if bad < 300 || bad > 1500 {
+		t.Errorf("bad-class share %d/5000, want ~15%%", bad)
+	}
+}
+
+func TestCallTypeStrings(t *testing.T) {
+	want := map[CallType]string{EW: "EW", WW: "WW", EWRelayed: "EW-Relayed", WWRelayed: "WW-Relayed"}
+	for ct, s := range want {
+		if ct.String() != s {
+			t.Errorf("%d.String() = %q", ct, ct.String())
+		}
+	}
+}
+
+func TestPaperCallCountsTotal(t *testing.T) {
+	total := 0
+	for _, n := range PaperCallCounts {
+		total += n
+	}
+	if total != 9224 {
+		t.Errorf("paper call counts sum to %d, want 9224", total)
+	}
+}

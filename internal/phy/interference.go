@@ -1,0 +1,144 @@
+package phy
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Interferer is an external source of interference that can degrade a link
+// at a given instant. Implementations return an SNR penalty in dB and a
+// per-attempt collision probability; either may be zero.
+type Interferer interface {
+	// Impact returns the SNR penalty (dB) and collision probability the
+	// source imposes on a link using channel ch at position pos at time now.
+	Impact(now sim.Time, ch Channel, pos Position) (penaltyDB, collisionProb float64)
+}
+
+// Microwave models a microwave oven: a strong wideband 2.4 GHz interferer
+// that is active for roughly half of each AC mains cycle while the oven
+// runs. All 2.4 GHz links near the oven suffer together — which is why the
+// paper finds cross-link replication least effective under microwave
+// interference when no 5 GHz links are available (§4.4).
+type Microwave struct {
+	Pos      Position
+	RadiusM  float64      // effective interference radius
+	CycleUS  sim.Duration // magnetron cycle (AC mains half-wave), ~16.6 ms for 60 Hz
+	OnUS     sim.Duration // active part of each cycle
+	StartAt  sim.Time     // when the oven turns on
+	StopAt   sim.Time     // when it turns off (0 = never)
+	Penalty  float64      // SNR penalty within radius while active
+	Collides float64      // additional per-attempt collision probability
+	BusyFrac float64      // airtime the oven appears to occupy while ON
+}
+
+// NewMicrowave returns a typical oven at pos running from start for dur.
+func NewMicrowave(pos Position, start sim.Time, dur sim.Duration) *Microwave {
+	return &Microwave{
+		Pos:      pos,
+		RadiusM:  6,
+		CycleUS:  sim.FromMillis(16.6),
+		OnUS:     sim.FromMillis(14.5),
+		StartAt:  start,
+		StopAt:   start.Add(dur),
+		Penalty:  45,
+		Collides: 0.9,
+		BusyFrac: 0.9,
+	}
+}
+
+// Impact implements Interferer.
+func (m *Microwave) Impact(now sim.Time, ch Channel, pos Position) (float64, float64) {
+	if ch.Band != Band2G4 {
+		return 0, 0
+	}
+	if now < m.StartAt || (m.StopAt > 0 && now >= m.StopAt) {
+		return 0, 0
+	}
+	if m.Pos.DistanceTo(pos) > m.RadiusM {
+		return 0, 0
+	}
+	phase := sim.Duration(now-m.StartAt) % m.CycleUS
+	if phase >= m.OnUS {
+		return 0, 0 // off half of the cycle
+	}
+	return m.Penalty, m.Collides
+}
+
+// Occupancy implements BusySource: during the ON phase, carrier sense at
+// any position within the oven's radius sees the medium occupied, freezing
+// backoff and stretching access delays — the second mechanism (besides
+// frame corruption) by which ovens wreck VoIP.
+func (m *Microwave) Occupancy(now sim.Time, ch Channel, pos Position) float64 {
+	if p, _ := m.Impact(now, ch, pos); p > 0 {
+		return m.BusyFrac
+	}
+	return 0
+}
+
+// Congestion models contention from other traffic on a channel: a busy
+// fraction that inflates medium-access delay and a collision probability
+// per transmission attempt. Congestion is per-channel, so two links on
+// different channels do not share it — another source of cross-link
+// diversity.
+type Congestion struct {
+	Chan      Channel
+	Busy      float64 // fraction of airtime occupied by others (0..1)
+	Collision float64 // per-attempt collision probability
+	StartAt   sim.Time
+	StopAt    sim.Time // 0 = forever
+
+	// Burst stochasticity: congestion intensity flickers between calm and
+	// saturated on ~100 ms timescales, driven by its own chain.
+	chain *GilbertElliott
+}
+
+// NewCongestion creates a congestion source on ch with mean intensity
+// busy/collision that flickers between on/off periods.
+func NewCongestion(rng *rand.Rand, ch Channel, busy, collision float64, start sim.Time, dur sim.Duration) *Congestion {
+	c := &Congestion{
+		Chan:      ch,
+		Busy:      busy,
+		Collision: collision,
+		StartAt:   start,
+		chain:     NewGilbertElliott(rng, sim.FromMillis(400), sim.FromMillis(600)),
+	}
+	if dur > 0 {
+		c.StopAt = start.Add(dur)
+	}
+	return c
+}
+
+// Impact implements Interferer. Congestion does not reduce SNR; it collides.
+func (c *Congestion) Impact(now sim.Time, ch Channel, _ Position) (float64, float64) {
+	if !c.active(now) || !c.Chan.Overlaps(ch) {
+		return 0, 0
+	}
+	if c.chain != nil && !c.chain.Bad(now) {
+		// Calm period: light background contention.
+		return 0, c.Collision * 0.15
+	}
+	return 0, c.Collision
+}
+
+// Occupancy implements BusySource; congestion occupies its channel
+// everywhere.
+func (c *Congestion) Occupancy(now sim.Time, ch Channel, _ Position) float64 {
+	return c.BusyFraction(now, ch)
+}
+
+// BusyFraction returns the medium-busy fraction the source imposes on ch at
+// now, used by the MAC to inflate access delay.
+func (c *Congestion) BusyFraction(now sim.Time, ch Channel) float64 {
+	if !c.active(now) || !c.Chan.Overlaps(ch) {
+		return 0
+	}
+	if c.chain != nil && !c.chain.Bad(now) {
+		return c.Busy * 0.2
+	}
+	return c.Busy
+}
+
+func (c *Congestion) active(now sim.Time) bool {
+	return now >= c.StartAt && (c.StopAt == 0 || now < c.StopAt)
+}

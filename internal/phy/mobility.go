@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// MobilityModel yields a client's position as a function of virtual time.
+type MobilityModel interface {
+	PositionAt(now sim.Time) Position
+}
+
+// Static is a MobilityModel that never moves.
+type Static struct {
+	Pos Position
+}
+
+// PositionAt implements MobilityModel.
+func (s Static) PositionAt(sim.Time) Position { return s.Pos }
+
+// RandomWaypoint walks between uniformly chosen waypoints inside a
+// rectangular area at pedestrian speed, with pauses — the standard model
+// for the paper's "client mobility" impairment. The trajectory is fully
+// determined by the RNG handed to New, so runs are reproducible.
+type RandomWaypoint struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+	SpeedMPS   float64      // walking speed
+	Pause      sim.Duration // pause at each waypoint
+
+	segments []waypointSegment
+}
+
+type waypointSegment struct {
+	start    sim.Time
+	from, to Position
+	arrive   sim.Time // when the walker reaches `to`
+	departAt sim.Time // when it leaves `to` (after pause)
+}
+
+// NewRandomWaypoint precomputes a trajectory covering horizon within the
+// rectangle [minX,maxX]×[minY,maxY].
+func NewRandomWaypoint(rng *rand.Rand, minX, minY, maxX, maxY, speed float64, pause, horizon sim.Duration) *RandomWaypoint {
+	w := &RandomWaypoint{
+		MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY,
+		SpeedMPS: speed, Pause: pause,
+	}
+	pick := func() Position {
+		return Position{
+			X: minX + rng.Float64()*(maxX-minX),
+			Y: minY + rng.Float64()*(maxY-minY),
+		}
+	}
+	cur := pick()
+	t := sim.Time(0)
+	for t < sim.Time(horizon) {
+		next := pick()
+		dist := cur.DistanceTo(next)
+		travel := sim.FromSeconds(dist / speed)
+		seg := waypointSegment{
+			start:    t,
+			from:     cur,
+			to:       next,
+			arrive:   t.Add(travel),
+			departAt: t.Add(travel).Add(pause),
+		}
+		w.segments = append(w.segments, seg)
+		cur = next
+		t = seg.departAt
+	}
+	return w
+}
+
+// PositionAt implements MobilityModel by interpolating along the trajectory.
+func (w *RandomWaypoint) PositionAt(now sim.Time) Position {
+	if len(w.segments) == 0 {
+		return Position{}
+	}
+	// Binary search for the active segment.
+	lo, hi := 0, len(w.segments)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if w.segments[mid].start <= now {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	seg := w.segments[lo]
+	if now >= seg.arrive {
+		return seg.to
+	}
+	total := float64(seg.arrive - seg.start)
+	if total <= 0 {
+		return seg.to
+	}
+	frac := float64(now-seg.start) / total
+	return Position{
+		X: seg.from.X + frac*(seg.to.X-seg.from.X),
+		Y: seg.from.Y + frac*(seg.to.Y-seg.from.Y),
+	}
+}
+
+// Orbit moves in a circle of the given radius around a center — useful in
+// tests because distance to points on the plane varies smoothly and
+// predictably.
+type Orbit struct {
+	Center   Position
+	RadiusM  float64
+	PeriodUS sim.Duration
+}
+
+// PositionAt implements MobilityModel.
+func (o Orbit) PositionAt(now sim.Time) Position {
+	if o.PeriodUS <= 0 {
+		return Position{X: o.Center.X + o.RadiusM, Y: o.Center.Y}
+	}
+	theta := 2 * math.Pi * float64(now%sim.Time(o.PeriodUS)) / float64(o.PeriodUS)
+	return Position{
+		X: o.Center.X + o.RadiusM*math.Cos(theta),
+		Y: o.Center.Y + o.RadiusM*math.Sin(theta),
+	}
+}

@@ -1,0 +1,17 @@
+// Package pkt defines the packet record shared by the wired network, AP,
+// client, and traffic models. A Packet is metadata only — simulated packets
+// carry no payload bytes, just the identifiers and timestamps every layer
+// needs for accounting.
+package pkt
+
+import "repro/internal/sim"
+
+// Packet identifies one packet of one stream as it moves through the
+// simulated network.
+type Packet struct {
+	StreamID int      // flow identifier (RTP SSRC analogue)
+	Seq      int      // sequence number within the stream
+	Size     int      // payload size in bytes
+	SentAt   sim.Time // when the source emitted it
+	Arrived  sim.Time // set by each hop on reception; informational
+}

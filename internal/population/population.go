@@ -1,0 +1,372 @@
+// Package population reproduces the §3.1 analysis of a year of calls from
+// a large VoIP service (Table 1). The proprietary dataset is observational
+// — user ratings of calls between endpoints whose last hop is Ethernet or
+// WiFi — so the substitute is a statistical call-population model: subnets
+// with heterogeneous backhaul, devices of different classes, an intrinsic
+// WiFi last-hop penalty, and a rating model with response bias. The
+// experiment then applies exactly the paper's methodology: relative PCR
+// differences for EE/EW/WW under the paper's four subset filters.
+package population
+
+import (
+	"math/rand"
+)
+
+// LastHop is an endpoint's access-link type.
+type LastHop int
+
+const (
+	Ethernet LastHop = iota
+	WiFi
+)
+
+// DeviceClass separates PC-class devices from low-end mobile hardware.
+type DeviceClass int
+
+const (
+	PC DeviceClass = iota
+	Mobile
+)
+
+// SubnetType drives backhaul quality and endpoint composition.
+type SubnetType int
+
+const (
+	EnterpriseSubnet SubnetType = iota
+	HomeSubnet
+	PublicSubnet
+)
+
+// Config tunes the population model. Defaults reproduce Table 1's
+// qualitative structure.
+type Config struct {
+	Subnets int // number of /24 subnets
+	Calls   int // total calls to simulate
+
+	// Mean per-call MOS penalties by cause. Backhaul penalties are
+	// per-subnet means (exponentially distributed across subnets).
+	EnterpriseBackhaul float64
+	HomeBackhaul       float64
+	PublicBackhaul     float64
+	// WiFiPenalty is the mean of the intrinsic WiFi last-hop penalty —
+	// the effect the paper is isolating.
+	WiFiPenalty float64
+	// MobilePenalty is the mean hardware penalty of low-end devices.
+	MobilePenalty float64
+
+	// CommonNoise is the mean of the per-call penalty every call risks
+	// regardless of access type (WAN congestion, codec glitches, peer
+	// CPU) — the common-cause floor the WiFi effect is measured against.
+	CommonNoise float64
+
+	// RatingBias makes users more likely to rate bad calls.
+	RatingBaseProb float64
+	RatingBias     float64
+}
+
+// DefaultConfig returns the calibrated model.
+func DefaultConfig() Config {
+	return Config{
+		Subnets:            400,
+		Calls:              200_000,
+		EnterpriseBackhaul: 0.06,
+		HomeBackhaul:       0.16,
+		PublicBackhaul:     0.55,
+		WiFiPenalty:        0.12,
+		MobilePenalty:      0.12,
+		CommonNoise:        0.85,
+		RatingBaseProb:     0.05,
+		RatingBias:         0.06,
+	}
+}
+
+// subnet is a /24 with a backhaul-quality mean and an endpoint mix.
+type subnet struct {
+	typ      SubnetType
+	backhaul float64 // mean MOS penalty of this subnet's backhaul
+}
+
+// endpoint is one call participant.
+type endpoint struct {
+	sub    int
+	hop    LastHop
+	device DeviceClass
+}
+
+// ratedCall is one user-rated call observation.
+type ratedCall struct {
+	a, b  endpoint
+	poor  bool
+	subLo int // ordered subnet pair key
+	subHi int
+}
+
+// Category classifies a call by its endpoints' last hops.
+type Category int
+
+const (
+	EE Category = iota
+	EW
+	WW
+)
+
+func (c Category) String() string {
+	switch c {
+	case EE:
+		return "EE"
+	case EW:
+		return "EW"
+	default:
+		return "WW"
+	}
+}
+
+func categorize(a, b endpoint) Category {
+	e := 0
+	if a.hop == Ethernet {
+		e++
+	}
+	if b.hop == Ethernet {
+		e++
+	}
+	switch e {
+	case 2:
+		return EE
+	case 1:
+		return EW
+	default:
+		return WW
+	}
+}
+
+// Model is a generated call population.
+type Model struct {
+	cfg     Config
+	subnets []subnet
+	calls   []ratedCall
+}
+
+// Generate builds the population and simulates the year of rated calls.
+func Generate(rng *rand.Rand, cfg Config) *Model {
+	m := &Model{cfg: cfg}
+	for i := 0; i < cfg.Subnets; i++ {
+		r := rng.Float64()
+		var s subnet
+		switch {
+		case r < 0.35:
+			s = subnet{EnterpriseSubnet, rng.ExpFloat64() * cfg.EnterpriseBackhaul}
+		case r < 0.80:
+			s = subnet{HomeSubnet, rng.ExpFloat64() * cfg.HomeBackhaul}
+		default:
+			s = subnet{PublicSubnet, rng.ExpFloat64() * cfg.PublicBackhaul}
+		}
+		m.subnets = append(m.subnets, s)
+	}
+	for i := 0; i < cfg.Calls; i++ {
+		a := m.drawEndpoint(rng)
+		b := m.drawEndpoint(rng)
+		mos := m.callMOS(rng, a, b)
+		// Users rate a random subset of calls, preferring to vent about
+		// bad ones (§3.1's noted response bias).
+		pRate := cfg.RatingBaseProb
+		if mos < 3.0 {
+			pRate += cfg.RatingBias
+		}
+		if rng.Float64() >= pRate {
+			continue
+		}
+		lo, hi := a.sub, b.sub
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		m.calls = append(m.calls, ratedCall{
+			a: a, b: b,
+			poor:  mos < 2.9, // the two lowest points of the 5-point scale
+			subLo: lo, subHi: hi,
+		})
+	}
+	return m
+}
+
+// drawEndpoint picks a subnet and an endpoint consistent with its type.
+func (m *Model) drawEndpoint(rng *rand.Rand) endpoint {
+	i := rng.Intn(len(m.subnets))
+	s := m.subnets[i]
+	var hop LastHop
+	var dev DeviceClass
+	switch s.typ {
+	case EnterpriseSubnet:
+		// Mostly PCs; half wired.
+		dev = PC
+		if rng.Float64() < 0.25 {
+			dev = Mobile
+		}
+		hop = Ethernet
+		if dev == Mobile || rng.Float64() < 0.45 {
+			hop = WiFi
+		}
+	case HomeSubnet:
+		dev = PC
+		if rng.Float64() < 0.45 {
+			dev = Mobile
+		}
+		hop = Ethernet
+		if dev == Mobile || rng.Float64() < 0.70 {
+			hop = WiFi
+		}
+	default: // public
+		dev = Mobile
+		if rng.Float64() < 0.25 {
+			dev = PC
+		}
+		hop = WiFi
+	}
+	return endpoint{sub: i, hop: hop, device: dev}
+}
+
+// callMOS draws the call's quality.
+func (m *Model) callMOS(rng *rand.Rand, a, b endpoint) float64 {
+	mos := 4.4
+	for _, e := range []endpoint{a, b} {
+		mos -= rng.ExpFloat64() * m.subnets[e.sub].backhaul
+		if e.hop == WiFi {
+			mos -= rng.ExpFloat64() * m.cfg.WiFiPenalty
+		}
+		if e.device == Mobile {
+			mos -= rng.ExpFloat64() * m.cfg.MobilePenalty
+		}
+	}
+	mos -= rng.ExpFloat64() * m.cfg.CommonNoise // WAN path, codec, peer CPU
+	if mos < 1 {
+		mos = 1
+	}
+	return mos
+}
+
+// Filter selects a subset of the rated calls, mirroring Table 1's rows.
+type Filter struct {
+	// PCOnly keeps calls where both devices are PC-class (rows 3–4).
+	PCOnly bool
+	// BalancedSubnets keeps calls within /24 pairs that have at least as
+	// many EE data points as WW (rows 2 and 4).
+	BalancedSubnets bool
+}
+
+type pairKey struct{ lo, hi int }
+
+// pcrByCategory computes the PCR of each category over the filtered calls,
+// plus the overall baseline PCR of that filtered set.
+func (m *Model) pcrByCategory(f Filter) (all float64, byCat map[Category]float64) {
+	calls := m.calls
+	if f.PCOnly {
+		kept := calls[:0:0]
+		for _, c := range calls {
+			if c.a.device == PC && c.b.device == PC {
+				kept = append(kept, c)
+			}
+		}
+		calls = kept
+	}
+	if f.BalancedSubnets {
+		type counts struct{ ee, ww int }
+		tally := map[pairKey]*counts{}
+		for _, c := range calls {
+			k := pairKey{c.subLo, c.subHi}
+			t := tally[k]
+			if t == nil {
+				t = &counts{}
+				tally[k] = t
+			}
+			switch categorize(c.a, c.b) {
+			case EE:
+				t.ee++
+			case WW:
+				t.ww++
+			}
+		}
+		kept := calls[:0:0]
+		for _, c := range calls {
+			t := tally[pairKey{c.subLo, c.subHi}]
+			if t != nil && t.ee >= t.ww {
+				kept = append(kept, c)
+			}
+		}
+		calls = kept
+	}
+
+	poorTotal, total := 0, 0
+	poorCat := map[Category]int{}
+	catTotal := map[Category]int{}
+	for _, c := range calls {
+		cat := categorize(c.a, c.b)
+		total++
+		catTotal[cat]++
+		if c.poor {
+			poorTotal++
+			poorCat[cat]++
+		}
+	}
+	byCat = map[Category]float64{}
+	for cat, n := range catTotal {
+		if n > 0 {
+			byCat[cat] = float64(poorCat[cat]) / float64(n)
+		}
+	}
+	if total > 0 {
+		all = float64(poorTotal) / float64(total)
+	}
+	return all, byCat
+}
+
+// RelativeDelta is the paper's PCRΔ metric: (PCRall − PCRx)/PCRall × 100%,
+// positive meaning better (lower) than baseline.
+func RelativeDelta(all, x float64) float64 {
+	if all == 0 {
+		return 0
+	}
+	return (all - x) / all * 100
+}
+
+// Row is one row of Table 1.
+type Row struct {
+	Label      string
+	EE, EW, WW float64 // relative PCR deltas, percent
+}
+
+// Table1 applies the paper's four filters and returns the four rows.
+// The baseline PCRall of each row is computed over that row's subset, as
+// the paper does (each row reports deltas "relative to the baseline").
+func (m *Model) Table1() []Row {
+	rows := []struct {
+		label string
+		f     Filter
+	}{
+		{"All", Filter{}},
+		{"/24s with #E>=#W", Filter{BalancedSubnets: true}},
+		{"PC", Filter{PCOnly: true}},
+		{"PC, /24s with #E>=#W", Filter{PCOnly: true, BalancedSubnets: true}},
+	}
+	// Per the paper, rows 2–4 compare against the all-calls baseline so
+	// that "the PCR improves across the board" is visible.
+	allBase, _ := m.pcrByCategory(Filter{})
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		_, byCat := m.pcrByCategory(r.f)
+		out = append(out, Row{
+			Label: r.label,
+			EE:    RelativeDelta(allBase, byCat[EE]),
+			EW:    RelativeDelta(allBase, byCat[EW]),
+			WW:    RelativeDelta(allBase, byCat[WW]),
+		})
+	}
+	return out
+}
+
+// RatedCalls returns the number of rated calls in the model.
+func (m *Model) RatedCalls() int { return len(m.calls) }
+
+// OverallPCR returns the PCR over all rated calls.
+func (m *Model) OverallPCR() float64 {
+	all, _ := m.pcrByCategory(Filter{})
+	return all
+}

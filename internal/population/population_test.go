@@ -1,0 +1,106 @@
+package population
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Calls = 200_000
+	cfg.Subnets = 200
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(1)), smallConfig())
+	b := Generate(rand.New(rand.NewSource(1)), smallConfig())
+	if a.RatedCalls() != b.RatedCalls() {
+		t.Fatal("same seed produced different populations")
+	}
+	if a.OverallPCR() != b.OverallPCR() {
+		t.Fatal("same seed produced different PCR")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	m := Generate(rand.New(rand.NewSource(2)), smallConfig())
+	rows := m.Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r1 := rows[0]
+	// Row 1 orderings from the paper: EE best, WW worst, EW between.
+	if !(r1.EE > r1.EW && r1.EW > r1.WW) {
+		t.Errorf("row 1 ordering violated: EE %+.1f EW %+.1f WW %+.1f", r1.EE, r1.EW, r1.WW)
+	}
+	if r1.EE <= 0 {
+		t.Errorf("EE delta %+.1f should be positive (better than baseline)", r1.EE)
+	}
+	if r1.WW >= 0 {
+		t.Errorf("WW delta %+.1f should be negative (worse than baseline)", r1.WW)
+	}
+	// The first three rows keep a WiFi gap: EE strictly better than WW.
+	// (Row 4's doubly-filtered WW subset is small enough to be noisy at
+	// test-sized populations, so it is only checked for existence.)
+	for i, r := range rows[:3] {
+		if r.EE <= r.WW {
+			t.Errorf("row %d lost the WiFi gap: EE %+.1f vs WW %+.1f", i+1, r.EE, r.WW)
+		}
+	}
+	// The filters improve the WW category monotonically-ish: row 3 (PC)
+	// must beat row 1.
+	if rows[2].WW <= rows[0].WW {
+		t.Errorf("PC filter did not improve WW: %+.1f vs %+.1f", rows[2].WW, rows[0].WW)
+	}
+}
+
+func TestRelativeDelta(t *testing.T) {
+	if d := RelativeDelta(0.10, 0.08); d < 19.999 || d > 20.001 {
+		t.Errorf("delta = %v, want +20", d)
+	}
+	if d := RelativeDelta(0.10, 0.15); d < -50.001 || d > -49.999 {
+		t.Errorf("delta = %v, want -50", d)
+	}
+	if RelativeDelta(0, 0.5) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestRatingBiasOversamplesPoorCalls(t *testing.T) {
+	// With the response bias on, the rated-call PCR exceeds the PCR of a
+	// population rated uniformly at random.
+	biased := Generate(rand.New(rand.NewSource(3)), smallConfig())
+	flat := smallConfig()
+	flat.RatingBias = 0
+	unbiased := Generate(rand.New(rand.NewSource(3)), flat)
+	if biased.OverallPCR() <= unbiased.OverallPCR() {
+		t.Errorf("bias did not raise rated PCR: %v vs %v",
+			biased.OverallPCR(), unbiased.OverallPCR())
+	}
+}
+
+func TestWiFiPenaltyDrivesGap(t *testing.T) {
+	// Removing the intrinsic WiFi penalty must shrink the EE↔WW gap.
+	withCfg := smallConfig()
+	withoutCfg := smallConfig()
+	withoutCfg.WiFiPenalty = 0
+	with := Generate(rand.New(rand.NewSource(4)), withCfg).Table1()[0]
+	without := Generate(rand.New(rand.NewSource(4)), withoutCfg).Table1()[0]
+	gapWith := with.EE - with.WW
+	gapWithout := without.EE - without.WW
+	if gapWithout >= gapWith {
+		t.Errorf("WiFi penalty removal did not shrink gap: %v vs %v", gapWithout, gapWith)
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	e := endpoint{hop: Ethernet}
+	w := endpoint{hop: WiFi}
+	if categorize(e, e) != EE || categorize(e, w) != EW || categorize(w, e) != EW || categorize(w, w) != WW {
+		t.Error("categorize broken")
+	}
+	if EE.String() != "EE" || EW.String() != "EW" || WW.String() != "WW" {
+		t.Error("category strings broken")
+	}
+}

@@ -1,0 +1,42 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse exercises the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to a packet that parses to
+// the same header.
+func FuzzParse(f *testing.F) {
+	seed := Packet{Header: Header{PayloadType: 0, Sequence: 7, Timestamp: 1, SSRC: 2}, Payload: []byte("x")}
+	wire, _ := seed.Marshal(nil)
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add(make([]byte, 11))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Round-trip (modulo extension and padding, which Marshal drops).
+		if p.Extension || p.Padding {
+			return
+		}
+		out, err := p.Marshal(nil)
+		if err != nil {
+			t.Fatalf("accepted packet failed to marshal: %v", err)
+		}
+		q, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to parse: %v", err)
+		}
+		if q.PayloadType != p.PayloadType || q.Sequence != p.Sequence ||
+			q.Timestamp != p.Timestamp || q.SSRC != p.SSRC ||
+			!bytes.Equal(q.Payload, p.Payload) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the DiversiFi substrates (PHY, MAC, AP, client, middlebox) are
+// driven by a single Simulator: components schedule callbacks at virtual
+// times and the engine executes them in strict timestamp order. Ties are
+// broken by scheduling order, which together with seeded RNG streams makes
+// every run exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in microseconds since the start of the
+// simulation. Using integer microseconds (rather than float seconds) keeps
+// event ordering exact and comparisons cheap.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)/1e3) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fms", float64(d)/1e3) }
+
+// FromMillis converts floating-point milliseconds to a Duration.
+func FromMillis(ms float64) Duration { return Duration(ms * 1e3) }
+
+// FromSeconds converts floating-point seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * 1e6) }
+
+// event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    func()
+	index int // heap index; -1 once removed
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event. The zero value is not usable;
+// timers are obtained from Simulator.Schedule and friends.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer if it has not yet fired. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+// Simulator is a discrete-event scheduler with a virtual clock and named,
+// independently seeded random streams. It is not safe for concurrent use;
+// a simulation runs on a single goroutine by design.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	seed    int64
+	streams map[string]*rand.Rand
+	stopped bool
+
+	executed uint64 // total events run, for diagnostics
+}
+
+// New returns a Simulator whose random streams derive from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Seed returns the root seed the simulator was created with.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// RNG returns the named random stream, creating it on first use. Each name
+// gets an independent deterministic stream derived from the root seed, so
+// adding a new consumer of randomness does not perturb existing ones.
+func (s *Simulator) RNG(name string) *rand.Rand {
+	if r, ok := s.streams[name]; ok {
+		return r
+	}
+	// Derive a per-stream seed from the root seed and the name using a
+	// simple 64-bit FNV-1a so streams are decorrelated but reproducible.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= uint64(s.seed)
+	h *= prime64
+	r := rand.New(rand.NewSource(int64(h)))
+	s.streams[name] = r
+	return r
+}
+
+// Schedule runs fn at virtual time at. Scheduling in the past (before Now)
+// panics: that is always a logic error in a discrete-event model.
+func (s *Simulator) Schedule(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After runs fn d after the current time.
+func (s *Simulator) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass until. Events scheduled exactly at until are executed. It
+// returns the final clock value.
+func (s *Simulator) Run(until Time) Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.dead = true
+		s.executed++
+		fn()
+	}
+	if s.now < until && !s.stopped {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		ev.dead = true
+		s.executed++
+		fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of live events still queued.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Ticker is stopped. Periods must be positive.
+func (s *Simulator) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a callback at a fixed period.
+type Ticker struct {
+	sim     *Simulator
+	period  Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.sim.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

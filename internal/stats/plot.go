@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more (x, y) series as a terminal line chart —
+// the closest a text harness gets to the paper's CDF figures. Each series
+// is drawn with its own glyph; axes are annotated with the data ranges.
+func AsciiPlot(title string, series map[string][]Point, order []string, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, name := range order {
+		for _, p := range series[name] {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, name := range order {
+		g := glyphs[si%len(glyphs)]
+		pts := series[name]
+		for i, p := range pts {
+			grid[rowOf(p.Y)][col(p.X)] = g
+			// Connect to the next point with the same glyph, stepping in x.
+			if i+1 < len(pts) {
+				q := pts[i+1]
+				c0, c1 := col(p.X), col(q.X)
+				for c := c0 + 1; c < c1; c++ {
+					frac := float64(c-c0) / float64(c1-c0)
+					y := p.Y + frac*(q.Y-p.Y)
+					if grid[rowOf(y)][c] == ' ' {
+						grid[rowOf(y)][c] = g
+					}
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		case height / 2:
+			label = fmt.Sprintf("%7.2f ", (maxY+minY)/2)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	xl := fmt.Sprintf("%.1f", minX)
+	xr := fmt.Sprintf("%.1f", maxX)
+	pad := width - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString("         " + xl + strings.Repeat(" ", pad) + xr + "\n")
+	for si, name := range order {
+		fmt.Fprintf(&b, "         %c %s\n", glyphs[si%len(glyphs)], name)
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders experiment results as an aligned text table and as CSV, the
+// two output formats every `cmd/experiments` subcommand emits.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row formatting each cell with fmt.Sprint for non-strings.
+func (t *Table) AddRowf(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			strs[i] = v
+		case float64:
+			strs[i] = fmt.Sprintf("%.2f", v)
+		default:
+			strs[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(strs...)
+}
+
+// String renders the aligned text form.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells that need it).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders one or more named (x, y) series side by side, keyed by
+// X — the format used for the paper's CDF figures.
+func SeriesTable(title, xLabel string, series map[string][]Point, order []string) *Table {
+	headers := append([]string{xLabel}, order...)
+	t := NewTable(title, headers...)
+	// Collect the union of X values in ascending order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, name := range order {
+		for _, p := range series[name] {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortFloats(xs)
+	lookup := make(map[string]map[float64]float64, len(series))
+	for name, pts := range series {
+		m := make(map[float64]float64, len(pts))
+		for _, p := range pts {
+			m[p.X] = p.Y
+		}
+		lookup[name] = m
+	}
+	for _, x := range xs {
+		row := make([]string, 0, len(headers))
+		row = append(row, fmt.Sprintf("%.3f", x))
+		for _, name := range order {
+			if y, ok := lookup[name][x]; ok {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

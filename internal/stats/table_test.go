@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("My Title", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-long-name", "22")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "My Title\n") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: the value column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "value")
+	for _, row := range lines[3:] {
+		if len(row) < hdrIdx {
+			t.Fatalf("row shorter than header: %q", row)
+		}
+	}
+	if !strings.Contains(out, "beta-long-name") {
+		t.Error("row content missing")
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("only-one")             // missing cell renders empty
+	tbl.AddRow("x", "y", "extra-gone") // extra cell dropped
+	if len(tbl.Rows[0]) != 2 || tbl.Rows[0][1] != "" {
+		t.Errorf("short row = %v", tbl.Rows[0])
+	}
+	if len(tbl.Rows[1]) != 2 {
+		t.Errorf("long row = %v", tbl.Rows[1])
+	}
+	if strings.Contains(tbl.String(), "extra-gone") {
+		t.Error("extra cell rendered")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tbl := NewTable("", "s", "f", "i")
+	tbl.AddRowf("str", 3.14159, 42)
+	row := tbl.Rows[0]
+	if row[0] != "str" || row[1] != "3.14" || row[2] != "42" {
+		t.Errorf("AddRowf row = %v", row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "name", "note")
+	tbl.AddRow("plain", "ok")
+	tbl.AddRow("with,comma", `say "hi"`)
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "name,note" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,ok" {
+		t.Errorf("plain row = %q", lines[1])
+	}
+	if lines[2] != `"with,comma","say ""hi"""` {
+		t.Errorf("quoted row = %q", lines[2])
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	series := map[string][]Point{
+		"a": {{X: 1, Y: 0.5}, {X: 2, Y: 1.0}},
+		"b": {{X: 2, Y: 0.3}},
+	}
+	tbl := SeriesTable("cdf", "x", series, []string{"a", "b"})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// X values sorted ascending; b has no value at x=1.
+	if tbl.Rows[0][0] != "1.000" || tbl.Rows[1][0] != "2.000" {
+		t.Errorf("x column = %v / %v", tbl.Rows[0][0], tbl.Rows[1][0])
+	}
+	if tbl.Rows[0][2] != "" {
+		t.Errorf("missing point rendered as %q", tbl.Rows[0][2])
+	}
+	if tbl.Rows[1][2] != "0.3000" {
+		t.Errorf("b@2 = %q", tbl.Rows[1][2])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	series := map[string][]Point{
+		"a": {{X: 0, Y: 0}, {X: 50, Y: 0.5}, {X: 100, Y: 1}},
+		"b": {{X: 0, Y: 0.2}, {X: 100, Y: 0.9}},
+	}
+	out := AsciiPlot("test plot", series, []string{"a", "b"}, 40, 10)
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series glyphs missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "100.0") || !strings.Contains(out, "0.0") {
+		t.Error("x-axis labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	if out := AsciiPlot("empty", map[string][]Point{}, nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	// Single point must not divide by zero.
+	out := AsciiPlot("one", map[string][]Point{"a": {{X: 5, Y: 5}}}, []string{"a"}, 40, 10)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}

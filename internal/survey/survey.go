@@ -1,0 +1,161 @@
+// Package survey models the WiFi availability study of §3.3 (Figure 1):
+// how many BSSIDs — and how many distinct channels — a client could connect
+// to at various enterprise and public locations. The paper's walk covered
+// offices, campuses, serviced apartments, hotels, malls, an airport, a
+// conference venue, and even an in-flight network, across Bengaluru,
+// Seattle, and Singapore.
+package survey
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// LocationType categorises a surveyed venue.
+type LocationType int
+
+const (
+	Office LocationType = iota
+	Campus
+	ServicedApartment
+	Hotel
+	Mall
+	Airport
+	Conference
+	InFlight
+	Residence
+)
+
+func (l LocationType) String() string {
+	switch l {
+	case Office:
+		return "office"
+	case Campus:
+		return "campus"
+	case ServicedApartment:
+		return "serviced-apartment"
+	case Hotel:
+		return "hotel"
+	case Mall:
+		return "mall"
+	case Airport:
+		return "airport"
+	case Conference:
+		return "conference"
+	case InFlight:
+		return "in-flight"
+	case Residence:
+		return "residence"
+	default:
+		return "unknown"
+	}
+}
+
+// profile describes the AP deployment density of a venue class: how many
+// physical APs are within range on the network the client has credentials
+// for, and how many virtual BSSIDs each radio advertises.
+type profile struct {
+	minAPs, maxAPs   int
+	minVirt, maxVirt int // virtual BSSIDs per physical radio
+}
+
+var profiles = map[LocationType]profile{
+	Office:            {2, 7, 1, 2},
+	Campus:            {3, 8, 1, 2},
+	ServicedApartment: {2, 5, 1, 1},
+	Hotel:             {2, 6, 1, 2},
+	Mall:              {2, 7, 1, 2},
+	Airport:           {3, 9, 1, 2},
+	Conference:        {3, 8, 1, 2},
+	InFlight:          {3, 6, 1, 1},
+	Residence:         {1, 2, 1, 1},
+}
+
+// channelPlan is the pool radios draw channels from: the 2.4 GHz 1/6/11
+// plan plus common 5 GHz channels.
+var channelPlan = []int{1, 6, 11, 36, 40, 44, 48, 149, 153, 157, 161}
+
+// Observation is one surveyed location.
+type Observation struct {
+	Location LocationType
+	BSSIDs   int // distinct BSSIDs the client could connect to
+	Channels int // distinct channels among those BSSIDs
+}
+
+// Observe surveys one venue of the given type.
+func Observe(rng *rand.Rand, loc LocationType) Observation {
+	p, ok := profiles[loc]
+	if !ok {
+		p = profiles[Office]
+	}
+	nAPs := p.minAPs + rng.Intn(p.maxAPs-p.minAPs+1)
+	chans := map[int]bool{}
+	bssids := 0
+	for i := 0; i < nAPs; i++ {
+		ch := channelPlan[rng.Intn(len(channelPlan))]
+		chans[ch] = true
+		virt := p.minVirt + rng.Intn(p.maxVirt-p.minVirt+1)
+		bssids += virt
+	}
+	return Observation{Location: loc, BSSIDs: bssids, Channels: len(chans)}
+}
+
+// Walk reproduces the paper's survey: n venues drawn across the non-
+// residential location types (the Figure 1 corpus), in a deterministic
+// order given rng.
+func Walk(rng *rand.Rand, n int) []Observation {
+	types := []LocationType{Office, Campus, ServicedApartment, Hotel, Mall, Airport, Conference, InFlight}
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		obs = append(obs, Observe(rng, types[i%len(types)]))
+	}
+	return obs
+}
+
+// Summary reports the distribution Figure 1's caption cites: median and
+// range of BSSIDs and of distinct channels.
+type Summary struct {
+	MedianBSSIDs, MinBSSIDs, MaxBSSIDs    int
+	MedianChannels, MinChannels, MaxChans int
+}
+
+// Summarize computes the Figure 1 summary statistics.
+func Summarize(obs []Observation) Summary {
+	if len(obs) == 0 {
+		return Summary{}
+	}
+	b := make([]int, len(obs))
+	c := make([]int, len(obs))
+	for i, o := range obs {
+		b[i] = o.BSSIDs
+		c[i] = o.Channels
+	}
+	sort.Ints(b)
+	sort.Ints(c)
+	return Summary{
+		MedianBSSIDs: b[len(b)/2], MinBSSIDs: b[0], MaxBSSIDs: b[len(b)-1],
+		MedianChannels: c[len(c)/2], MinChannels: c[0], MaxChans: c[len(c)-1],
+	}
+}
+
+// ResidentialMultiBSSIDFraction estimates the fraction of residential
+// clients with more than one connectable BSSID — the paper's NetTest data
+// put this at ~30% (§3.3).
+func ResidentialMultiBSSIDFraction(rng *rand.Rand, n int) float64 {
+	multi := 0
+	for i := 0; i < n; i++ {
+		// Most homes have a single AP; some have extenders/multi-band
+		// units, and some can also reach a neighbour's shared network.
+		bssids := 1
+		if rng.Float64() < 0.22 { // dual-band or extender
+			bssids++
+		}
+		if rng.Float64() < 0.12 { // community/shared network in range
+			bssids++
+		}
+		if bssids > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(n)
+}

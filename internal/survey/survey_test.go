@@ -1,0 +1,92 @@
+package survey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestObserveWithinProfileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for loc, p := range profiles {
+		for i := 0; i < 200; i++ {
+			o := Observe(rng, loc)
+			minB := p.minAPs * p.minVirt
+			maxB := p.maxAPs * p.maxVirt
+			if o.BSSIDs < minB || o.BSSIDs > maxB {
+				t.Fatalf("%v: BSSIDs %d outside [%d,%d]", loc, o.BSSIDs, minB, maxB)
+			}
+			if o.Channels < 1 || o.Channels > p.maxAPs {
+				t.Fatalf("%v: channels %d outside [1,%d]", loc, o.Channels, p.maxAPs)
+			}
+			if o.Channels > o.BSSIDs {
+				t.Fatalf("%v: more channels than BSSIDs", loc)
+			}
+		}
+	}
+}
+
+func TestObserveUnknownLocationFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := Observe(rng, LocationType(99))
+	if o.BSSIDs == 0 {
+		t.Error("unknown location produced no APs")
+	}
+}
+
+func TestWalkCoversTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obs := Walk(rng, 16)
+	if len(obs) != 16 {
+		t.Fatalf("walk length %d", len(obs))
+	}
+	seen := map[LocationType]bool{}
+	for _, o := range obs {
+		seen[o.Location] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("walk covered %d location types, want 8", len(seen))
+	}
+}
+
+func TestSummarizeMatchesPaperShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Summarize(Walk(rng, 500))
+	// Paper: median 6 BSSIDs (range 2–13), median 4 channels (range 2–9).
+	if s.MedianBSSIDs < 4 || s.MedianBSSIDs > 8 {
+		t.Errorf("median BSSIDs = %d, want ≈6", s.MedianBSSIDs)
+	}
+	if s.MinBSSIDs < 2 {
+		t.Errorf("min BSSIDs = %d, want >=2", s.MinBSSIDs)
+	}
+	if s.MedianChannels < 3 || s.MedianChannels > 5 {
+		t.Errorf("median channels = %d, want ≈4", s.MedianChannels)
+	}
+	if s.MedianChannels > s.MedianBSSIDs {
+		t.Error("channel median exceeds BSSID median")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.MedianBSSIDs != 0 || s.MaxBSSIDs != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestResidentialMultiBSSIDNearPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := ResidentialMultiBSSIDFraction(rng, 50000)
+	if f < 0.25 || f < 0.2 || f > 0.4 {
+		t.Errorf("residential multi-BSSID fraction = %v, want ≈0.30", f)
+	}
+}
+
+func TestLocationStrings(t *testing.T) {
+	for _, loc := range []LocationType{Office, Campus, ServicedApartment, Hotel, Mall, Airport, Conference, InFlight, Residence} {
+		if loc.String() == "unknown" {
+			t.Errorf("location %d has no name", loc)
+		}
+	}
+	if LocationType(99).String() != "unknown" {
+		t.Error("bad location should be unknown")
+	}
+}

@@ -1,0 +1,20 @@
+package traffic
+
+import "repro/internal/rtp"
+
+// ClassifyRTP implements §5.2.1's application-transparent stream
+// initialization: given a raw UDP payload, it checks whether the bytes
+// parse as an RTP packet whose payload type maps to a known real-time
+// profile. On success it returns the profile and the stream's SSRC, which
+// DiversiFi uses as the replication-rule key.
+func ClassifyRTP(data []byte) (Profile, uint32, bool) {
+	p, err := rtp.Parse(data)
+	if err != nil {
+		return Profile{}, 0, false
+	}
+	prof, err := ProfileForPayloadType(int(p.PayloadType))
+	if err != nil {
+		return Profile{}, 0, false
+	}
+	return prof, p.SSRC, true
+}

@@ -1,0 +1,42 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/rtp"
+)
+
+func TestClassifyRTP(t *testing.T) {
+	pkt := rtp.Packet{
+		Header:  rtp.Header{PayloadType: 0, Sequence: 1, SSRC: 0xabcd},
+		Payload: make([]byte, 160),
+	}
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ssrc, ok := ClassifyRTP(wire)
+	if !ok {
+		t.Fatal("valid G.711 RTP not classified")
+	}
+	if prof.Name != "G.711" || ssrc != 0xabcd {
+		t.Fatalf("classified as %v / %x", prof.Name, ssrc)
+	}
+}
+
+func TestClassifyRTPUnknownPayloadType(t *testing.T) {
+	pkt := rtp.Packet{Header: rtp.Header{PayloadType: 99}}
+	wire, _ := pkt.Marshal(nil)
+	if _, _, ok := ClassifyRTP(wire); ok {
+		t.Error("unknown payload type classified as real-time")
+	}
+}
+
+func TestClassifyRTPGarbage(t *testing.T) {
+	if _, _, ok := ClassifyRTP([]byte("not rtp")); ok {
+		t.Error("garbage classified as RTP")
+	}
+	if _, _, ok := ClassifyRTP(nil); ok {
+		t.Error("nil classified as RTP")
+	}
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// TCPConfig tunes the fluid TCP throughput model used for the coexistence
+// experiment (§6.3, Figure 10). The model estimates iperf-style bulk TCP
+// goodput over a WiFi link in fixed windows: the link's adapted PHY rate
+// times a MAC efficiency, degraded by medium occupancy, by the NIC's
+// absences from the channel (DiversiFi's switches), and by random
+// run-to-run variation.
+type TCPConfig struct {
+	WindowSize sim.Duration // accounting window (default 100 ms)
+	Efficiency float64      // MAC efficiency: goodput / PHY rate (default 0.62)
+	// AbsencePenalty multiplies the absent fraction: leaving the channel
+	// costs TCP more than the wall-clock gap (frozen cwnd, RTO risk).
+	AbsencePenalty float64
+	// NoiseSD is the per-window lognormal-ish multiplicative noise that
+	// captures run-to-run variation (default 0.08).
+	NoiseSD float64
+}
+
+// DefaultTCPConfig returns the calibration used by the experiments.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		WindowSize:     100 * sim.Millisecond,
+		Efficiency:     0.62,
+		AbsencePenalty: 2.5,
+		NoiseSD:        0.08,
+	}
+}
+
+// TCPThroughputKbps estimates bulk TCP goodput in kbit/s over link during
+// [from, to). absent reports the NIC's away-from-channel time within a
+// window (pass nil when the NIC never leaves). rng supplies the run's
+// variation; use a distinct stream per run.
+func TCPThroughputKbps(link *phy.Link, from, to sim.Time, cfg TCPConfig, absent func(a, b sim.Time) sim.Duration, rng *rand.Rand) float64 {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 100 * sim.Millisecond
+	}
+	if cfg.Efficiency <= 0 {
+		cfg.Efficiency = 0.62
+	}
+	if to <= from {
+		return 0
+	}
+	var totalKbits float64
+	var elapsed sim.Duration
+	for t := from; t < to; t = t.Add(cfg.WindowSize) {
+		end := t.Add(cfg.WindowSize)
+		if end > to {
+			end = to
+		}
+		win := end.Sub(t)
+		snr := link.RSSIdBm(t) - phy.NoiseFloorDBm
+		rate := phy.BestRateForSNR(snr)
+		goodput := rate.Mbps * cfg.Efficiency * (1 - link.BusyFraction(t))
+		if absent != nil {
+			frac := float64(absent(t, end)) / float64(win)
+			frac *= cfg.AbsencePenalty
+			if frac > 1 {
+				frac = 1
+			}
+			goodput *= 1 - frac
+		}
+		if cfg.NoiseSD > 0 && rng != nil {
+			noise := 1 + rng.NormFloat64()*cfg.NoiseSD
+			if noise < 0.3 {
+				noise = 0.3
+			}
+			goodput *= noise
+		}
+		totalKbits += goodput * 1000 * win.Seconds()
+		elapsed += win
+	}
+	return totalKbits / elapsed.Seconds()
+}

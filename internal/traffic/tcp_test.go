@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+func tcpLink(extra float64) *phy.Link {
+	rng := rand.New(rand.NewSource(1))
+	return phy.NewLink(rng, phy.NewEnvironment(), phy.LinkParams{
+		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
+		Client:   phy.Static{Pos: phy.Position{X: 8, Y: 0}},
+		ShadowDB: 0,
+		FadeGood: 100 * sim.Minute, FadeBad: sim.Millisecond,
+		ExtraLoss: extra,
+	})
+}
+
+func TestTCPThroughputPositive(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	cfg.NoiseSD = 0 // deterministic for the test
+	kbps := TCPThroughputKbps(tcpLink(0), 0, sim.Time(10*sim.Second), cfg, nil, nil)
+	if kbps <= 0 {
+		t.Fatalf("throughput = %v", kbps)
+	}
+	// A clean short link runs at the top MCS: 65 Mbps × 0.62 ≈ 40 Mbps.
+	if kbps < 30_000 || kbps > 45_000 {
+		t.Errorf("clean-link TCP = %.1f Mbps, want ≈40", kbps/1000)
+	}
+}
+
+func TestTCPThroughputDegradesWithWeakLink(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	cfg.NoiseSD = 0
+	strong := TCPThroughputKbps(tcpLink(0), 0, sim.Time(10*sim.Second), cfg, nil, nil)
+	weak := TCPThroughputKbps(tcpLink(30), 0, sim.Time(10*sim.Second), cfg, nil, nil)
+	if weak >= strong {
+		t.Errorf("weak link %.0f not below strong %.0f", weak, strong)
+	}
+}
+
+func TestTCPAbsencePenalty(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	cfg.NoiseSD = 0
+	full := TCPThroughputKbps(tcpLink(0), 0, sim.Time(10*sim.Second), cfg, nil, nil)
+	// The NIC is absent 1% of every window.
+	absent := func(a, b sim.Time) sim.Duration { return (b - a).Sub(0) / 100 }
+	reduced := TCPThroughputKbps(tcpLink(0), 0, sim.Time(10*sim.Second), cfg, absent, nil)
+	if reduced >= full {
+		t.Fatal("absence did not reduce throughput")
+	}
+	// With penalty 2.5, a 1% absence costs ~2.5%.
+	frac := reduced / full
+	if frac < 0.97 || frac > 0.98+1e-9 {
+		t.Errorf("1%% absence left %.4f of throughput, want ≈0.975", frac)
+	}
+}
+
+func TestTCPAbsenceClamped(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	cfg.NoiseSD = 0
+	// Fully absent: throughput must clamp at zero, not go negative.
+	absent := func(a, b sim.Time) sim.Duration { return b.Sub(a) }
+	kbps := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, absent, nil)
+	if kbps != 0 {
+		t.Errorf("fully-absent throughput = %v, want 0", kbps)
+	}
+}
+
+func TestTCPDegenerateInputs(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	if TCPThroughputKbps(tcpLink(0), 100, 100, cfg, nil, nil) != 0 {
+		t.Error("empty interval should yield 0")
+	}
+	if TCPThroughputKbps(tcpLink(0), 100, 50, cfg, nil, nil) != 0 {
+		t.Error("reversed interval should yield 0")
+	}
+	// Zero-value config picks sane defaults rather than dividing by zero.
+	kbps := TCPThroughputKbps(tcpLink(0), 0, sim.Time(sim.Second), TCPConfig{}, nil, nil)
+	if kbps <= 0 {
+		t.Errorf("zero-config throughput = %v", kbps)
+	}
+}
+
+func TestTCPNoiseIsSeedDeterministic(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	a := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(9)))
+	b := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Error("same seed produced different noisy throughput")
+	}
+	c := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(10)))
+	if a == c {
+		t.Error("different seeds produced identical noise")
+	}
+}

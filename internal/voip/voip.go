@@ -1,0 +1,173 @@
+// Package voip estimates perceived call quality from a packet trace, the
+// role PESQ plays in the paper (§3.2, §4): the trace is run through a
+// G.711-style playout model, losses are attributed to concealment by
+// interpolation or extrapolation, and an E-model-based MOS determines
+// whether the call was "poor". The poor call rate (PCR) over a corpus of
+// calls is the paper's headline metric.
+package voip
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Tunables of the quality model. They are package variables (not consts)
+// because EXPERIMENTS.md documents a one-time calibration of the estimator
+// against the paper's baseline PCR levels.
+var (
+	// PlayoutDelay is the receiver's fixed jitter-buffer depth.
+	PlayoutDelay = 100 * sim.Millisecond
+	// Bpl is the packet-loss robustness factor for G.711 with basic
+	// packet-loss concealment (ITU G.113 gives 25.1 with PLC, 4.3
+	// without; basic interpolation sits in between).
+	Bpl = 19.0
+	// PoorMOSThreshold is the MOS below which a call rates "poor" (the
+	// two lowest points of the paper's 5-point scale).
+	PoorMOSThreshold = 2.9
+	// WorstWindow is the short-window size whose degradation dominates
+	// perceived quality [38].
+	WorstWindow = 5 * sim.Second
+	// WorstWeight blends the worst-window R factor into the call rating.
+	WorstWeight = 0.3
+)
+
+// Quality summarises one call.
+type Quality struct {
+	LossRate        float64 // deadline-aware loss over the whole call
+	WorstWindowLoss float64 // loss over the worst 5-second window
+	MeanDelayMs     float64
+	JitterMs        float64
+	Interpolated    int // isolated losses concealed from both neighbours
+	Extrapolated    int // burst losses concealed by extrapolation only
+	RFactor         float64
+	MOS             float64
+	Poor            bool
+	Lost            []bool // per-packet deadline-aware loss sequence
+}
+
+// Assess scores the call captured in tr for the given stream profile.
+func Assess(tr *trace.Trace, profile traffic.Profile) Quality {
+	lost := tr.LostWithDeadline(profile.Deadline)
+	q := Quality{Lost: lost}
+	q.LossRate = stats.LossRate(lost)
+	q.WorstWindowLoss = stats.WorstWindowRate(lost, tr.WindowPackets(WorstWindow))
+	q.JitterMs = tr.Jitter()
+	q.MeanDelayMs = stats.Mean(tr.Delays())
+	q.Interpolated, q.Extrapolated = concealment(lost)
+
+	overallR := rFactor(q.LossRate, lost, q.MeanDelayMs)
+	worstR := rFactor(q.WorstWindowLoss, lost, q.MeanDelayMs)
+	q.RFactor = (1-WorstWeight)*overallR + WorstWeight*worstR
+	q.MOS = MOSFromR(q.RFactor)
+	q.Poor = q.MOS < PoorMOSThreshold
+	return q
+}
+
+// concealment classifies each lost packet: a loss whose previous packet was
+// received can be interpolated (the decoder still has fresh waveform
+// history); consecutive losses force extrapolation, which degrades fast —
+// this is why burst losses are "particularly problematic" (§4.2).
+func concealment(lost []bool) (interpolated, extrapolated int) {
+	for i, l := range lost {
+		if !l {
+			continue
+		}
+		if i > 0 && lost[i-1] {
+			extrapolated++
+		} else {
+			interpolated++
+		}
+	}
+	return interpolated, extrapolated
+}
+
+// burstRatio is the E-model BurstR: the mean observed loss-burst length
+// over the mean burst length random loss would produce at the same rate.
+func burstRatio(lost []bool, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 1
+	}
+	h := stats.NewBurstHistogram(lost, len(lost))
+	bursts := 0
+	lostTotal := 0
+	for i, c := range h.Counts {
+		bursts += c
+		lostTotal += (i + 1) * c
+	}
+	if bursts == 0 {
+		return 1
+	}
+	meanBurst := float64(lostTotal) / float64(bursts)
+	expected := 1 / (1 - p)
+	br := meanBurst / expected
+	if br < 1 {
+		br = 1
+	}
+	return br
+}
+
+// rFactor computes the E-model transmission rating for the given loss rate
+// with the call's burst structure and mean one-way delay.
+func rFactor(lossRate float64, lost []bool, delayMs float64) float64 {
+	ppl := lossRate * 100
+	burstR := burstRatio(lost, lossRate)
+	ieEff := (95.0) * ppl / (ppl/burstR + Bpl)
+	d := delayMs + PlayoutDelay.Milliseconds()
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+	r := 93.2 - ieEff - id
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// MOSFromR maps an E-model R factor to a mean opinion score (ITU G.107).
+func MOSFromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	}
+	return 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+}
+
+// PCR returns the poor-call rate over a corpus of assessed calls.
+func PCR(calls []Quality) float64 {
+	if len(calls) == 0 {
+		return 0
+	}
+	poor := 0
+	for _, c := range calls {
+		if c.Poor {
+			poor++
+		}
+	}
+	return float64(poor) / float64(len(calls))
+}
+
+// RatingFromMOS maps a MOS onto the 5-point user-rating scale of §3.1,
+// with deterministic thresholds; used by the population model.
+func RatingFromMOS(mos float64) int {
+	switch {
+	case mos >= 4.0:
+		return 5
+	case mos >= 3.6:
+		return 4
+	case mos >= 3.1:
+		return 3
+	case mos >= 2.6:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// MOSIsPoorRating reports whether a 5-point rating counts as poor (the two
+// lowest ratings, per §3.1).
+func MOSIsPoorRating(rating int) bool { return rating <= 2 }

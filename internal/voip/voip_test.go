@@ -1,0 +1,272 @@
+package voip
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+const spacing = 20 * sim.Millisecond
+
+// mkTrace builds an n-packet G.711 call trace with the given loss pattern
+// and constant delivery delay.
+func mkTrace(n int, lossPattern []bool, delay sim.Duration) *trace.Trace {
+	tr := trace.New(n, spacing)
+	for i := 0; i < n; i++ {
+		sent := sim.Time(i) * sim.Time(spacing)
+		tr.RecordSent(i, sent)
+		if i < len(lossPattern) && lossPattern[i] {
+			continue
+		}
+		tr.RecordArrival(i, sent.Add(delay))
+	}
+	return tr
+}
+
+func TestPerfectCall(t *testing.T) {
+	q := Assess(mkTrace(6000, nil, 10*sim.Millisecond), traffic.G711)
+	if q.LossRate != 0 {
+		t.Errorf("loss = %v", q.LossRate)
+	}
+	if q.Poor {
+		t.Error("perfect call rated poor")
+	}
+	if q.MOS < 4.0 {
+		t.Errorf("perfect-call MOS = %v, want >= 4", q.MOS)
+	}
+}
+
+func TestHeavyLossCallIsPoor(t *testing.T) {
+	loss := make([]bool, 6000)
+	for i := range loss {
+		if i%3 != 0 { // 67% loss
+			loss[i] = true
+		}
+	}
+	q := Assess(mkTrace(6000, loss, 10*sim.Millisecond), traffic.G711)
+	if !q.Poor {
+		t.Errorf("67%%-loss call not poor (MOS %v)", q.MOS)
+	}
+	if q.MOS > 2 {
+		t.Errorf("67%%-loss MOS = %v", q.MOS)
+	}
+}
+
+func TestBurstsHurtMoreThanIsolatedLoss(t *testing.T) {
+	// Same loss count: one long burst vs evenly spread isolated losses.
+	burst := make([]bool, 6000)
+	for i := 1000; i < 1120; i++ { // 120-packet burst = 2.4s outage
+		burst[i] = true
+	}
+	spread := make([]bool, 6000)
+	for i := 0; i < 120; i++ {
+		spread[i*50] = true
+	}
+	qBurst := Assess(mkTrace(6000, burst, 10*sim.Millisecond), traffic.G711)
+	qSpread := Assess(mkTrace(6000, spread, 10*sim.Millisecond), traffic.G711)
+	if qBurst.MOS >= qSpread.MOS {
+		t.Errorf("burst MOS %v not below spread MOS %v", qBurst.MOS, qSpread.MOS)
+	}
+}
+
+func TestConcealmentClassification(t *testing.T) {
+	// isolated, isolated, then a 3-burst: 2 interpolated + (1 interp + 2 extrap).
+	pattern := []bool{false, true, false, true, false, true, true, true, false, false}
+	q := Assess(mkTrace(10, pattern, 5*sim.Millisecond), traffic.G711)
+	if q.Interpolated != 3 {
+		t.Errorf("interpolated = %d, want 3", q.Interpolated)
+	}
+	if q.Extrapolated != 2 {
+		t.Errorf("extrapolated = %d, want 2", q.Extrapolated)
+	}
+}
+
+func TestLateArrivalCountsAsLoss(t *testing.T) {
+	q := Assess(mkTrace(500, nil, 300*sim.Millisecond), traffic.G711)
+	if q.LossRate != 1 {
+		t.Errorf("all-late call loss = %v, want 1", q.LossRate)
+	}
+}
+
+func TestWorstWindowDominates(t *testing.T) {
+	// A clean call except one terrible 5-second window.
+	pattern := make([]bool, 6000)
+	for i := 2000; i < 2250; i += 2 { // 50% loss for 5s
+		pattern[i] = true
+	}
+	q := Assess(mkTrace(6000, pattern, 10*sim.Millisecond), traffic.G711)
+	if q.WorstWindowLoss < 0.4 {
+		t.Errorf("worst window loss = %v, want ~0.5", q.WorstWindowLoss)
+	}
+	if q.LossRate > 0.03 {
+		t.Errorf("overall loss = %v, want ~0.02", q.LossRate)
+	}
+	// The bad window should drag the rating down relative to a call with
+	// the same overall loss spread evenly.
+	even := make([]bool, 6000)
+	for i := 0; i < 125; i++ {
+		even[i*48] = true
+	}
+	qEven := Assess(mkTrace(6000, even, 10*sim.Millisecond), traffic.G711)
+	if q.MOS >= qEven.MOS {
+		t.Errorf("concentrated-loss MOS %v not below even-loss MOS %v", q.MOS, qEven.MOS)
+	}
+}
+
+func TestMOSFromRBounds(t *testing.T) {
+	if m := MOSFromR(-5); m != 1 {
+		t.Errorf("MOS(R<0) = %v", m)
+	}
+	if m := MOSFromR(150); m != 4.5 {
+		t.Errorf("MOS(R>100) = %v", m)
+	}
+	// The ITU G.107 cubic is famously non-monotone below R≈22; check
+	// monotonicity over the range that matters for call rating.
+	prev := MOSFromR(25)
+	for r := 26.0; r <= 100; r++ {
+		cur := MOSFromR(r)
+		if cur < prev-1e-9 {
+			t.Fatalf("MOS not monotone at R=%v", r)
+		}
+		prev = cur
+	}
+	// Classic anchor: R=93.2 ≈ MOS 4.4.
+	if m := MOSFromR(93.2); m < 4.3 || m > 4.5 {
+		t.Errorf("MOS(93.2) = %v, want ≈4.4", m)
+	}
+}
+
+func TestPCR(t *testing.T) {
+	calls := []Quality{{Poor: true}, {Poor: false}, {Poor: false}, {Poor: true}}
+	if p := PCR(calls); p != 0.5 {
+		t.Errorf("PCR = %v", p)
+	}
+	if PCR(nil) != 0 {
+		t.Error("empty PCR should be 0")
+	}
+}
+
+func TestRatingFromMOS(t *testing.T) {
+	cases := []struct {
+		mos  float64
+		want int
+		poor bool
+	}{
+		{4.4, 5, false}, {3.8, 4, false}, {3.3, 3, false}, {2.7, 2, true}, {1.5, 1, true},
+	}
+	for _, c := range cases {
+		r := RatingFromMOS(c.mos)
+		if r != c.want {
+			t.Errorf("rating(%v) = %d, want %d", c.mos, r, c.want)
+		}
+		if MOSIsPoorRating(r) != c.poor {
+			t.Errorf("poor(%d) = %v", r, MOSIsPoorRating(r))
+		}
+	}
+}
+
+func TestMOSMonotoneInLoss(t *testing.T) {
+	// More loss must never raise MOS.
+	prev := 5.0
+	for _, rate := range []int{0, 50, 25, 10, 5, 3, 2} { // every rate-th packet lost
+		pattern := make([]bool, 6000)
+		lossFrac := 0.0
+		if rate > 0 {
+			for i := 0; i < 6000; i += rate {
+				pattern[i] = true
+			}
+			lossFrac = 1 / float64(rate)
+		}
+		_ = lossFrac
+		q := Assess(mkTrace(6000, pattern, 10*sim.Millisecond), traffic.G711)
+		if q.MOS > prev+1e-9 {
+			t.Fatalf("MOS rose with loss: %v after %v", q.MOS, prev)
+		}
+		prev = q.MOS
+	}
+}
+
+func TestPlayoutInOrderDelivery(t *testing.T) {
+	s := sim.New(1)
+	var frames []Frame
+	p := NewPlayout(s, traffic.G711, 100*sim.Millisecond, 10, func(f Frame) {
+		frames = append(frames, f)
+	})
+	// Deliver packets out of order and with a duplicate; all in time.
+	s.Schedule(sim.Time(5*sim.Millisecond), func() {
+		for _, seq := range []int{2, 0, 1, 3, 4, 4, 5, 6, 7, 8, 9} {
+			p.Receive(seq)
+		}
+	})
+	s.RunAll()
+	if len(frames) != 10 {
+		t.Fatalf("emitted %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != i {
+			t.Fatalf("frame order broken: %v", frames)
+		}
+		if f.Status != FramePlayed {
+			t.Fatalf("frame %d status %v", i, f.Status)
+		}
+		want := sim.Time(sim.Duration(i)*traffic.G711.Spacing + 100*sim.Millisecond)
+		if f.PlayAt != want {
+			t.Fatalf("frame %d played at %v, want %v", i, f.PlayAt, want)
+		}
+	}
+	if st := p.Stats(); st.Played != 10 || st.Interpolated != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPlayoutConcealment(t *testing.T) {
+	s := sim.New(2)
+	var frames []Frame
+	p := NewPlayout(s, traffic.G711, 50*sim.Millisecond, 6, func(f Frame) {
+		frames = append(frames, f)
+	})
+	// Packets 2 and 3 never arrive: 2 interpolated, 3 extrapolated.
+	s.Schedule(0, func() {
+		for _, seq := range []int{0, 1, 4, 5} {
+			p.Receive(seq)
+		}
+	})
+	s.RunAll()
+	want := []FrameStatus{FramePlayed, FramePlayed, FrameInterpolated, FrameExtrapolated, FramePlayed, FramePlayed}
+	for i, w := range want {
+		if frames[i].Status != w {
+			t.Fatalf("frame %d = %v, want %v (all: %v)", i, frames[i].Status, w, frames)
+		}
+	}
+	st := p.Stats()
+	if st.Played != 4 || st.Interpolated != 1 || st.Extrapolated != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPlayoutLatePacketConcealed(t *testing.T) {
+	s := sim.New(3)
+	var frames []Frame
+	p := NewPlayout(s, traffic.G711, 40*sim.Millisecond, 2, func(f Frame) {
+		frames = append(frames, f)
+	})
+	s.Schedule(0, func() { p.Receive(0) })
+	// Packet 1 arrives 30 ms after its playout slot (slot = 60 ms).
+	s.Schedule(sim.Time(90*sim.Millisecond), func() { p.Receive(1) })
+	s.RunAll()
+	if frames[0].Status != FramePlayed {
+		t.Errorf("frame 0 = %v", frames[0].Status)
+	}
+	if frames[1].Status == FramePlayed {
+		t.Error("late packet was played")
+	}
+}
+
+func TestFrameStatusStrings(t *testing.T) {
+	if FramePlayed.String() != "played" || FrameInterpolated.String() != "interpolated" ||
+		FrameExtrapolated.String() != "extrapolated" || FrameStatus(9).String() != "unknown" {
+		t.Error("status strings broken")
+	}
+}
