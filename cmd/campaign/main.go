@@ -1,0 +1,117 @@
+// Command campaign runs fleets of experiments through the sharded,
+// resumable, cached scheduler in internal/campaign.
+//
+// Usage:
+//
+//	campaign [-jobs all|kind|id,id,...] [-seed N] [-n N] [-workers N]
+//	         [-timeout D] [-cache DIR] [-no-cache] [-out DIR]
+//	         [-summary FILE] [-json] [-quiet] [-list]
+//
+// Every experiment registered in exp.Registry() is a job addressed by
+// (id, seed, n, config hash). Completed jobs persist their results under
+// the cache directory, so re-running a campaign is instant and an
+// interrupted campaign resumes from where it stopped. The process exits
+// nonzero if any job failed, but a failing job never aborts the fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/exp"
+)
+
+func main() {
+	jobsSel := flag.String("jobs", "all", "fleet selector: all, a kind (table, figure, scaling, ablation, extension, calibration), or a comma-separated id list")
+	seed := flag.Int64("seed", 42, "root random seed")
+	n := flag.Int("n", 0, "corpus size override (0 = each experiment's paper size)")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 15*time.Minute, "per-job wall-clock timeout (0 = none)")
+	cacheDir := flag.String("cache", campaign.DefaultCacheDir, "result cache directory")
+	noCache := flag.Bool("no-cache", false, "bypass the result cache entirely")
+	outDir := flag.String("out", "", "also write each successful job's CSV to <dir>/<id>.csv")
+	summaryPath := flag.String("summary", "", "write the summary JSON to this file")
+	asJSON := flag.Bool("json", false, "print the summary as JSON instead of text")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress lines")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range exp.Registry() {
+			fmt.Printf("%-24s %-12s n=%-4d %s\n", s.ID, s.Kind, s.DefaultN, s.Title)
+		}
+		return
+	}
+
+	jobs, err := campaign.JobsFor(*jobsSel, *seed, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(2)
+	}
+
+	var cache *campaign.Cache
+	if !*noCache {
+		cache, err = campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	var onResult func(campaign.Job, *exp.Result)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		onResult = func(j campaign.Job, r *exp.Result) {
+			path := filepath.Join(*outDir, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: write csv:", err)
+			}
+		}
+	}
+
+	sum := campaign.Run(campaign.Options{
+		Jobs:     jobs,
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  1,
+		Cache:    cache,
+		Progress: progress,
+		OnResult: onResult,
+	})
+
+	if *summaryPath != "" {
+		data, err := sum.JSON()
+		if err == nil {
+			err = os.WriteFile(*summaryPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: write summary:", err)
+			os.Exit(1)
+		}
+	}
+	if *asJSON {
+		data, err := sum.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(sum.Text())
+	}
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}

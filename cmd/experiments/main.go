@@ -5,10 +5,10 @@
 //
 //	experiments [-seed N] [-n N] [-csv] <experiment>|all
 //
-// Experiments: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d fig2e
-// fig3 fig4 fig5 fig6 fig8 fig9 fig10 overhead mbscale
-// ablation-queue-policy ablation-queue-size ablation-switch-timing
-// ablation-keepalive ablation-plt calibrate calibrate-imp
+// The experiment set comes from exp.Registry(), the same table the
+// campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
+// regenerates everything except the calibration sweeps, which are
+// diagnostic. Run `experiments list` for the full inventory.
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/exp"
 )
@@ -27,64 +28,8 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] <experiment>|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] <experiment>|all|list")
 		os.Exit(2)
-	}
-
-	pick := func(def int) int {
-		if *n > 0 {
-			return *n
-		}
-		return def
-	}
-	runners := map[string]func() *exp.Result{
-		"table1": func() *exp.Result { return exp.Table1(*seed) },
-		"table2": func() *exp.Result { return exp.Table2(*seed) },
-		"table3": func() *exp.Result { return exp.Table3(*seed) },
-		"fig1":   func() *exp.Result { return exp.Figure1(*seed) },
-		"fig2a":  func() *exp.Result { return exp.Figure2a(pick(458), *seed) },
-		"fig2b":  func() *exp.Result { return exp.Figure2b(pick(458), *seed) },
-		"fig2c":  func() *exp.Result { return exp.Figure2c(pick(458), *seed) },
-		"fig2d":  func() *exp.Result { return exp.Figure2d(pick(44), *seed) },
-		"fig2e":  func() *exp.Result { return exp.Figure2e(pick(80), *seed) },
-		"fig3":   func() *exp.Result { return exp.Figure3(*seed) },
-		"fig7":   func() *exp.Result { return exp.Figure7() },
-		"fig4":   func() *exp.Result { return exp.Figure4(pick(458), *seed) },
-		"fig5":   func() *exp.Result { return exp.Figure5(pick(458), *seed) },
-		"fig6":   func() *exp.Result { return exp.Figure6(pick(60), *seed) },
-		"fig8":   func() *exp.Result { return exp.Figure8(pick(61), *seed) },
-		"fig9":   func() *exp.Result { return exp.Figure9(pick(61), *seed) },
-		"fig10":  func() *exp.Result { return exp.Figure10(pick(26), *seed) },
-
-		"overhead": func() *exp.Result { return exp.Overhead(pick(61), *seed) },
-		"mbscale":  func() *exp.Result { return exp.MiddleboxScaling(*seed) },
-
-		"ablation-queue-policy":  func() *exp.Result { return exp.AblationQueuePolicy(pick(40), *seed) },
-		"ablation-queue-size":    func() *exp.Result { return exp.AblationQueueSize(pick(40), *seed) },
-		"ablation-switch-timing": func() *exp.Result { return exp.AblationSwitchTiming(pick(40), *seed) },
-		"ablation-keepalive":     func() *exp.Result { return exp.AblationKeepalive(pick(40), *seed) },
-		"ablation-plt":           func() *exp.Result { return exp.AblationPLT(pick(40), *seed) },
-
-		"ablation-playout": func() *exp.Result { return exp.AblationPlayout(pick(40), *seed) },
-		"ablation-hwbatch": func() *exp.Result { return exp.AblationHWBatch(pick(40), *seed) },
-		"ablation-backoff": func() *exp.Result { return exp.AblationBackoff(pick(40), *seed) },
-
-		// Extensions beyond the paper.
-		"validate": func() *exp.Result { return exp.Validate(pick(200), *seed) },
-		"uplink":   func() *exp.Result { return exp.Uplink(pick(40), *seed) },
-		"fec":      func() *exp.Result { return exp.FECComparison(pick(60), *seed) },
-		"links":    func() *exp.Result { return exp.DiversityVsLinks(pick(60), *seed) },
-		"edca":     func() *exp.Result { return exp.EDCA(pick(50), *seed) },
-		"handoff":  func() *exp.Result { return exp.Handoff(pick(60), *seed) },
-	}
-	order := []string{
-		"table1", "table2", "fig1",
-		"fig2a", "fig2b", "fig2c", "fig2d", "fig2e",
-		"fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "overhead", "table3", "mbscale",
-		"ablation-queue-policy", "ablation-queue-size", "ablation-switch-timing",
-		"ablation-keepalive", "ablation-plt", "ablation-playout", "ablation-hwbatch", "ablation-backoff",
-		"uplink", "fec", "links", "edca", "handoff", "validate",
 	}
 
 	emit := func(r *exp.Result) {
@@ -106,22 +51,34 @@ func main() {
 			}
 		}
 	}
+	run := func(s exp.Spec) {
+		r := s.Run(*n, *seed)
+		if s.Kind == exp.KindCalibration {
+			// Calibration sweeps are free-form diagnostic text, not tables.
+			fmt.Print(strings.Join(r.Plots, ""))
+			return
+		}
+		emit(r)
+	}
 
 	switch name := flag.Arg(0); name {
 	case "all":
-		for _, id := range order {
-			emit(runners[id]())
+		for _, s := range exp.Registry() {
+			if s.Kind == exp.KindCalibration {
+				continue
+			}
+			run(s)
 		}
-	case "calibrate":
-		fmt.Print(exp.Calibrate(pick(120), *seed))
-	case "calibrate-imp":
-		fmt.Print(exp.CalibrateImpairments(pick(40), *seed))
+	case "list":
+		for _, s := range exp.Registry() {
+			fmt.Printf("%-24s %-12s %s\n", s.ID, s.Kind, s.Title)
+		}
 	default:
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		s, err := exp.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		emit(run())
+		run(s)
 	}
 }

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+// DefaultCacheDir is where cmd/campaign persists results unless told
+// otherwise.
+const DefaultCacheDir = ".campaign-cache"
+
+// Cache is a disk-backed result store keyed by Job.Key. One JSON file per
+// job; writes go through a temp file + rename so a campaign killed
+// mid-write never leaves a truncated entry, which is what makes an
+// interrupted campaign resumable.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the file a key is stored at.
+func (c *Cache) Path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Load returns the cached result for key, or ok=false on a miss. An
+// unreadable or undecodable entry counts as a miss and is removed, so a
+// corrupted file costs one re-execution rather than a wedged campaign.
+func (c *Cache) Load(key string) (*exp.Result, bool) {
+	data, err := os.ReadFile(c.Path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res exp.Result
+	if err := json.Unmarshal(data, &res); err != nil || res.ID == "" {
+		os.Remove(c.Path(key))
+		return nil, false
+	}
+	return &res, true
+}
+
+// Store persists a result under key atomically.
+func (c *Cache) Store(key string, res *exp.Result) error {
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.Path(key))
+}
+
+// Len reports how many entries the cache currently holds.
+func (c *Cache) Len() int {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := okResult("fig9")
+	if err := c.Store("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load("k1")
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.ID != want.ID || got.Title != want.Title ||
+		len(got.Tables) != 1 || got.Tables[0].Rows[0][1] != "2" ||
+		len(got.Plots) != 1 || len(got.Notes) != 1 {
+		t.Fatalf("round-trip mangled result: %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheMissAndCorruption(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("absent"); ok {
+		t.Fatal("miss reported as hit")
+	}
+	// A truncated/corrupt entry must read as a miss and be swept away.
+	if err := os.WriteFile(c.Path("bad"), []byte("{\"ID\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("bad"); ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	if _, err := os.Stat(c.Path("bad")); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+}

@@ -1,0 +1,266 @@
+// Package campaign schedules fleets of experiments. Every experiment in
+// internal/exp is a registered job addressed by a content key over
+// (job id, seed, corpus size, config hash); the scheduler runs jobs over a
+// sharded bounded worker pool with per-job panic isolation, a wall-clock
+// timeout, and one retry on failure, and persists each job's exp.Result to
+// a disk cache so re-runs are instant and an interrupted campaign resumes
+// from where it stopped.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/par"
+)
+
+// schemaVersion is folded into every job key. Bump it whenever the cached
+// Result encoding or the meaning of (id, seed, n) changes; old cache
+// entries then miss instead of being misread.
+const schemaVersion = "campaign-v1"
+
+// Job is one schedulable unit: a registered experiment pinned to a
+// specific (seed, corpus size) point.
+type Job struct {
+	ID   string
+	Seed int64
+	N    int // requested corpus size; 0 = spec default
+
+	// effN is the corpus size the job will actually run at (spec default
+	// resolved). It participates in the key so changing a registry default
+	// invalidates stale cache entries.
+	effN int
+	run  func(n int, seed int64) *exp.Result
+}
+
+// Key returns the job's content address: a SHA-256 over the schema
+// version, job id, seed, and effective corpus size. Two jobs with equal
+// keys are interchangeable, so the key doubles as the cache filename.
+func (j Job) Key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|id=%s|seed=%d|n=%d",
+		schemaVersion, j.ID, j.Seed, j.effN)))
+	return hex.EncodeToString(h[:16])
+}
+
+// JobsFor expands a selector into schedulable jobs at the given seed. The
+// selector is "all" (every registered experiment), a kind name (table,
+// figure, scaling, ablation, extension, calibration), or a comma-separated
+// list of experiment ids; list entries may themselves be kind names.
+// nOverride > 0 replaces every job's corpus size.
+func JobsFor(selector string, seed int64, nOverride int) ([]Job, error) {
+	specs := exp.Registry()
+	byKind := func(k string) []exp.Spec {
+		var out []exp.Spec
+		for _, s := range specs {
+			if string(s.Kind) == k {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	var picked []exp.Spec
+	switch {
+	case selector == "" || selector == "all":
+		picked = specs
+	default:
+		seen := map[string]bool{}
+		for _, tok := range strings.Split(selector, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			var add []exp.Spec
+			if ks := byKind(tok); len(ks) > 0 {
+				add = ks
+			} else {
+				s, err := exp.Lookup(tok)
+				if err != nil {
+					return nil, err
+				}
+				add = []exp.Spec{s}
+			}
+			for _, s := range add {
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					picked = append(picked, s)
+				}
+			}
+		}
+	}
+	jobs := make([]Job, 0, len(picked))
+	for _, s := range picked {
+		n := nOverride
+		effN := s.DefaultN
+		if n > 0 && s.DefaultN > 0 {
+			effN = n
+		}
+		jobs = append(jobs, Job{ID: s.ID, Seed: seed, N: n, effN: effN, run: s.Run})
+	}
+	return jobs, nil
+}
+
+// Options configures one campaign run.
+type Options struct {
+	Jobs    []Job
+	Workers int           // concurrent jobs; <= 0 means runtime.NumCPU()
+	Timeout time.Duration // per-job wall clock; <= 0 disables the timeout
+	Retries int           // extra attempts after a failure (default policy: 1)
+	Cache   *Cache        // nil disables caching
+	// Progress, when non-nil, receives one telemetry line per finished job
+	// (status, elapsed, jobs/sec, ETA).
+	Progress io.Writer
+	// OnResult, when non-nil, is called for every successful job (cached or
+	// executed) in completion order, under a lock — it need not be
+	// goroutine-safe.
+	OnResult func(Job, *exp.Result)
+}
+
+// Run executes the campaign and returns its summary. It never aborts on a
+// job failure: panics are recovered, timeouts are enforced, each failed
+// job is retried per Options.Retries, and whatever still fails is reported
+// in the summary while the rest of the fleet completes.
+func Run(opts Options) *Summary {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	start := time.Now()
+	total := len(opts.Jobs)
+	var mu sync.Mutex
+	done := 0
+
+	records := par.MapN(opts.Jobs, workers, func(j Job) JobRecord {
+		rec, res := runOne(j, opts)
+		mu.Lock()
+		done++
+		if opts.Progress != nil {
+			elapsed := time.Since(start)
+			rate := float64(done) / elapsed.Seconds()
+			eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+			fmt.Fprintf(opts.Progress, "[%*d/%d] %-24s %-7s %8s  %5.2f jobs/s  eta %s\n",
+				len(fmt.Sprint(total)), done, total, j.ID, rec.Status,
+				time.Duration(rec.ElapsedMS*int64(time.Millisecond)).Round(time.Millisecond),
+				rate, eta)
+		}
+		if res != nil && opts.OnResult != nil {
+			opts.OnResult(j, res)
+		}
+		mu.Unlock()
+		return rec
+	})
+
+	s := &Summary{
+		Schema:  schemaVersion,
+		Workers: workers,
+		Jobs:    records,
+	}
+	for _, r := range records {
+		switch r.Status {
+		case StatusCached:
+			s.Cached++
+		case StatusOK:
+			s.Executed++
+		default:
+			s.Failed++
+		}
+	}
+	s.ElapsedMS = time.Since(start).Milliseconds()
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		s.JobsPerSec = float64(total) / secs
+	}
+	sortFailuresFirst(s)
+	return s
+}
+
+// sortFailuresFirst orders the summary's failure digest; job records
+// themselves stay in input order for determinism.
+func sortFailuresFirst(s *Summary) {
+	for _, r := range s.Jobs {
+		if r.Status == StatusFailed {
+			s.Failures = append(s.Failures, fmt.Sprintf("%s: %s", r.ID, r.Error))
+		}
+	}
+	sort.Strings(s.Failures)
+}
+
+// runOne resolves one job through the cache or executes it (with retries),
+// returning its record and, when successful, its result.
+func runOne(j Job, opts Options) (JobRecord, *exp.Result) {
+	rec := JobRecord{ID: j.ID, Key: j.Key(), Seed: j.Seed, N: j.effN}
+	jobStart := time.Now()
+	if opts.Cache != nil {
+		if res, ok := opts.Cache.Load(rec.Key); ok {
+			rec.Status = StatusCached
+			rec.ElapsedMS = time.Since(jobStart).Milliseconds()
+			return rec, res
+		}
+	}
+	var res *exp.Result
+	var err error
+	for rec.Attempts = 1; ; rec.Attempts++ {
+		res, err = execute(j, opts.Timeout)
+		if err == nil || rec.Attempts > opts.Retries {
+			break
+		}
+	}
+	rec.ElapsedMS = time.Since(jobStart).Milliseconds()
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec, nil
+	}
+	rec.Status = StatusOK
+	if opts.Cache != nil {
+		if serr := opts.Cache.Store(rec.Key, res); serr != nil {
+			// A cache write failure degrades re-run speed, not correctness.
+			rec.Error = "cache store: " + serr.Error()
+		}
+	}
+	return rec, res
+}
+
+// execute runs the job body on its own goroutine with panic recovery and
+// an optional wall-clock timeout. On timeout the goroutine is abandoned —
+// the simulator has no cancellation points — so a timed-out job keeps a
+// worker's worth of CPU busy until it finishes; the scheduler slot itself
+// is released immediately.
+func execute(j Job, timeout time.Duration) (res *exp.Result, err error) {
+	type outcome struct {
+		res *exp.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		r := j.run(j.N, j.Seed)
+		if r == nil {
+			ch <- outcome{err: fmt.Errorf("experiment returned nil result")}
+			return
+		}
+		ch <- outcome{res: r}
+	}()
+	if timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("timeout after %s", timeout)
+	}
+}

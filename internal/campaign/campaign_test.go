@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// fakeJob builds a job around an arbitrary runner, bypassing the registry,
+// so scheduler tests don't pay for real simulations.
+func fakeJob(id string, seed int64, run func(n int, seed int64) *exp.Result) Job {
+	return Job{ID: id, Seed: seed, effN: 10, run: run}
+}
+
+func okResult(id string) *exp.Result {
+	t := stats.NewTable("t", "a", "b")
+	t.AddRow("1", "2")
+	return &exp.Result{ID: id, Title: "fake " + id, Tables: []*stats.Table{t},
+		Plots: []string{"plot"}, Notes: []string{"note"}}
+}
+
+func TestRunExecutesAndCaches(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int32
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		id := fmt.Sprintf("job%d", i)
+		jobs[i] = fakeJob(id, 42, func(int, int64) *exp.Result {
+			execs.Add(1)
+			return okResult(id)
+		})
+	}
+	opts := Options{Jobs: jobs, Workers: 3, Cache: cache, Retries: 1}
+
+	s1 := Run(opts)
+	if s1.Executed != 5 || s1.Cached != 0 || s1.Failed != 0 {
+		t.Fatalf("first run: %+v", s1)
+	}
+	if execs.Load() != 5 {
+		t.Fatalf("executed %d jobs, want 5", execs.Load())
+	}
+
+	// Second run must be pure cache hits: zero re-executions.
+	s2 := Run(opts)
+	if s2.Executed != 0 || s2.Cached != 5 || s2.Failed != 0 {
+		t.Fatalf("second run: %+v", s2)
+	}
+	if execs.Load() != 5 {
+		t.Fatalf("cache hit still executed jobs: %d total execs", execs.Load())
+	}
+}
+
+func TestRunResumesAfterPartialCampaign(t *testing.T) {
+	// Simulate an interrupted campaign: only some jobs made it into the
+	// cache. The re-run must execute exactly the missing ones.
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int32
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		id := fmt.Sprintf("job%d", i)
+		jobs[i] = fakeJob(id, 7, func(int, int64) *exp.Result {
+			execs.Add(1)
+			return okResult(id)
+		})
+	}
+	for _, j := range jobs[:4] {
+		if err := cache.Store(j.Key(), okResult(j.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Run(Options{Jobs: jobs, Workers: 2, Cache: cache})
+	if s.Cached != 4 || s.Executed != 2 || execs.Load() != 2 {
+		t.Fatalf("resume ran %d execs (summary %+v), want exactly the 2 missing", execs.Load(), s)
+	}
+}
+
+func TestPanicIsolatedRetriedAndReported(t *testing.T) {
+	var attempts atomic.Int32
+	jobs := []Job{
+		fakeJob("boom", 1, func(int, int64) *exp.Result {
+			attempts.Add(1)
+			panic("synthetic failure")
+		}),
+		fakeJob("fine", 1, func(int, int64) *exp.Result { return okResult("fine") }),
+	}
+	s := Run(Options{Jobs: jobs, Workers: 2, Retries: 1})
+	if s.Failed != 1 || s.Executed != 1 {
+		t.Fatalf("summary %+v, want 1 failed + 1 ok", s)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("panicking job attempted %d times, want 2 (retry once)", attempts.Load())
+	}
+	rec := s.Jobs[0]
+	if rec.Status != StatusFailed || !strings.Contains(rec.Error, "panic") || rec.Attempts != 2 {
+		t.Fatalf("record %+v", rec)
+	}
+	if len(s.Failures) != 1 || !strings.Contains(s.Failures[0], "boom") {
+		t.Fatalf("failure digest %v", s.Failures)
+	}
+}
+
+func TestTimeoutFailsJobWithoutAbortingFleet(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job{
+		fakeJob("slow", 1, func(int, int64) *exp.Result { <-block; return okResult("slow") }),
+		fakeJob("fast", 1, func(int, int64) *exp.Result { return okResult("fast") }),
+	}
+	s := Run(Options{Jobs: jobs, Workers: 2, Timeout: 20 * time.Millisecond})
+	if s.Failed != 1 || s.Executed != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if rec := s.Jobs[0]; rec.Status != StatusFailed || !strings.Contains(rec.Error, "timeout") {
+		t.Fatalf("slow record %+v", rec)
+	}
+	if rec := s.Jobs[1]; rec.Status != StatusOK {
+		t.Fatalf("fast record %+v", rec)
+	}
+}
+
+func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
+	var attempts atomic.Int32
+	j := fakeJob("flaky", 1, func(int, int64) *exp.Result {
+		if attempts.Add(1) == 1 {
+			panic("first attempt fails")
+		}
+		return okResult("flaky")
+	})
+	s := Run(Options{Jobs: []Job{j}, Retries: 1})
+	if s.Executed != 1 || s.Failed != 0 || s.Jobs[0].Attempts != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+// stripTiming zeroes the fields the determinism contract excludes.
+func stripTiming(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	s.ElapsedMS = 0
+	s.JobsPerSec = 0
+	for i := range s.Jobs {
+		s.Jobs[i].ElapsedMS = 0
+	}
+	out, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSummaryJSONDeterministicAcrossColdRuns(t *testing.T) {
+	mk := func() []Job {
+		jobs := make([]Job, 4)
+		for i := range jobs {
+			id := fmt.Sprintf("job%d", i)
+			jobs[i] = fakeJob(id, 42, func(int, int64) *exp.Result { return okResult(id) })
+		}
+		return jobs
+	}
+	run := func() []byte {
+		cache, err := OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Run(Options{Jobs: mk(), Workers: 3, Cache: cache}).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripTiming(t, data)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cold runs differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestProgressAndTextSummary(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []Job{fakeJob("one", 1, func(int, int64) *exp.Result { return okResult("one") })}
+	s := Run(Options{Jobs: jobs, Progress: &buf})
+	if !strings.Contains(buf.String(), "one") || !strings.Contains(buf.String(), "jobs/s") {
+		t.Fatalf("progress output %q", buf.String())
+	}
+	text := s.Text()
+	if !strings.Contains(text, "Campaign summary") || !strings.Contains(text, "1 executed") {
+		t.Fatalf("text summary %q", text)
+	}
+}
+
+func TestOnResultDeliversCachedAndExecuted(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{fakeJob("x", 1, func(int, int64) *exp.Result { return okResult("x") })}
+	for _, cold := range []bool{true, false} {
+		got := 0
+		Run(Options{Jobs: jobs, Cache: cache, OnResult: func(j Job, r *exp.Result) {
+			if r == nil || r.ID != "x" {
+				t.Fatalf("cold=%v: bad result %+v", cold, r)
+			}
+			got++
+		}})
+		if got != 1 {
+			t.Fatalf("cold=%v: OnResult called %d times", cold, got)
+		}
+	}
+}
+
+func TestJobKeyDistinguishesIDSeedN(t *testing.T) {
+	base := Job{ID: "fig2a", Seed: 42, effN: 458}
+	keys := map[string]bool{base.Key(): true}
+	for _, j := range []Job{
+		{ID: "fig2b", Seed: 42, effN: 458},
+		{ID: "fig2a", Seed: 43, effN: 458},
+		{ID: "fig2a", Seed: 42, effN: 100},
+	} {
+		if keys[j.Key()] {
+			t.Fatalf("key collision for %+v", j)
+		}
+		keys[j.Key()] = true
+	}
+	if base.Key() != (Job{ID: "fig2a", Seed: 42, effN: 458}).Key() {
+		t.Fatal("key not stable for identical jobs")
+	}
+}

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Job statuses as reported in the campaign summary.
+const (
+	StatusOK     = "ok"     // executed this run
+	StatusCached = "cached" // served from the result cache
+	StatusFailed = "failed" // still failing after retries
+)
+
+// JobRecord is one job's outcome. Every field except ElapsedMS is
+// deterministic for a fixed (jobs, seed, n) request, so two cold runs
+// produce byte-identical summary JSON modulo the timing fields.
+type JobRecord struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Seed     int64  `json:"seed"`
+	N        int    `json:"n"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts,omitempty"` // 0 when served from cache
+	Error    string `json:"error,omitempty"`
+	// ElapsedMS is wall-clock per job — a timing field, excluded from the
+	// determinism contract.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Summary is the campaign's final report, emitted as both JSON and text.
+type Summary struct {
+	Schema   string      `json:"schema"`
+	Workers  int         `json:"workers"`
+	Executed int         `json:"executed"`
+	Cached   int         `json:"cached"`
+	Failed   int         `json:"failed"`
+	Failures []string    `json:"failures,omitempty"`
+	Jobs     []JobRecord `json:"jobs"`
+	// Timing fields — excluded from the determinism contract.
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// Total returns the fleet size.
+func (s *Summary) Total() int { return len(s.Jobs) }
+
+// JSON renders the summary as indented JSON.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the human-readable campaign report: a per-job table plus
+// the fleet totals and failure reasons.
+func (s *Summary) Text() string {
+	t := stats.NewTable("Campaign summary", "job", "status", "attempts", "elapsed", "key")
+	for _, r := range s.Jobs {
+		attempts := ""
+		if r.Attempts > 0 {
+			attempts = fmt.Sprint(r.Attempts)
+		}
+		t.AddRow(r.ID, r.Status, attempts, fmt.Sprintf("%dms", r.ElapsedMS), r.Key)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\n%d jobs: %d executed, %d cached, %d failed — %.1fs wall, %.2f jobs/s (%d workers)\n",
+		s.Total(), s.Executed, s.Cached, s.Failed,
+		float64(s.ElapsedMS)/1000, s.JobsPerSec, s.Workers)
+	for _, f := range s.Failures {
+		b.WriteString("FAILED " + f + "\n")
+	}
+	return b.String()
+}

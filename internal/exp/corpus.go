@@ -6,10 +6,9 @@ package exp
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
 
@@ -96,31 +95,7 @@ func ImpairmentCorpus(imp core.Impairment, n int, seed int64, profile traffic.Pr
 // parallelMap runs f over every scenario using all CPUs; results keep
 // input order. Each call owns its own simulator, so this is safe.
 func parallelMap[T any](scenarios []core.Scenario, f func(core.Scenario) T) []T {
-	out := make([]T, len(scenarios))
-	workers := runtime.NumCPU()
-	if workers > len(scenarios) {
-		workers = len(scenarios)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				out[i] = f(scenarios[i])
-			}
-		}()
-	}
-	for i := range scenarios {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return out
+	return par.Map(scenarios, f)
 }
 
 // RunDualCorpus executes two-NIC calls for every scenario in parallel.

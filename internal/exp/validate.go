@@ -180,10 +180,3 @@ func Validate(n int, seed int64) *Result {
 		Notes:  []string{fmt.Sprintf("corpus sizes: wild n=%d, office n=61, delay runs ~60 switches per mode", n)},
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapNPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out := MapN(items, 8, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapNWorkerClamping(t *testing.T) {
+	// More workers than items, zero workers, and negative workers must all
+	// behave identically to a sane worker count.
+	for _, workers := range []int{-3, 0, 1, 4, 1000} {
+		out := MapN([]int{1, 2, 3}, workers, func(x int) int { return x + 1 })
+		if len(out) != 3 || out[0] != 2 || out[1] != 3 || out[2] != 4 {
+			t.Fatalf("workers=%d: got %v", workers, out)
+		}
+	}
+}
+
+func TestMapNBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	items := make([]int, 64)
+	MapN(items, limit, func(int) int {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+		return 0
+	})
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent workers, limit %d", p, limit)
+	}
+}
+
+func TestMapNEmptyInput(t *testing.T) {
+	out := MapN(nil, 4, func(x int) int {
+		t.Fatal("f called on empty input")
+		return x
+	})
+	if len(out) != 0 {
+		t.Fatalf("want empty output, got %v", out)
+	}
+}
+
+func TestMapUsesAllItems(t *testing.T) {
+	var calls atomic.Int32
+	out := Map(make([]struct{}, 17), func(struct{}) int {
+		calls.Add(1)
+		return 1
+	})
+	if len(out) != 17 || calls.Load() != 17 {
+		t.Fatalf("len=%d calls=%d, want 17/17", len(out), calls.Load())
+	}
+}

@@ -1,0 +1,53 @@
+package pkt
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestZeroValueIsUsable(t *testing.T) {
+	var p Packet
+	if p.StreamID != 0 || p.Seq != 0 || p.Size != 0 || p.SentAt != 0 || p.Arrived != 0 {
+		t.Fatalf("zero value not zero: %+v", p)
+	}
+}
+
+// TestArrivedIsHopInformational pins the field's documented semantics:
+// Arrived is scratch space each hop may overwrite on reception, so packets
+// round-trip through copies — a hop stamping its copy never perturbs the
+// identity fields, and the sender's copy is untouched.
+func TestArrivedIsHopInformational(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Packet
+	}{
+		{"zero", Packet{}},
+		{"voip", Packet{StreamID: 7, Seq: 1234, Size: 160, SentAt: sim.Time(0).Add(20 * sim.Millisecond)}},
+		{"highrate", Packet{StreamID: 1, Seq: 9999999, Size: 1000, SentAt: sim.Time(0).Add(sim.Second)}},
+		{"already-stamped", Packet{StreamID: 2, Seq: 5, Size: 40,
+			SentAt: sim.Time(0).Add(sim.Millisecond), Arrived: sim.Time(0).Add(2 * sim.Millisecond)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			origArrived := tc.p.Arrived
+			hop := tc.p // value semantics: each hop owns its copy
+			hop.Arrived = tc.p.SentAt.Add(3 * sim.Millisecond)
+			if hop.StreamID != tc.p.StreamID || hop.Seq != tc.p.Seq ||
+				hop.Size != tc.p.Size || hop.SentAt != tc.p.SentAt {
+				t.Fatalf("stamping Arrived perturbed identity fields: %+v vs %+v", hop, tc.p)
+			}
+			if tc.p.Arrived != origArrived {
+				t.Fatalf("original packet mutated: %+v", tc.p)
+			}
+			next := hop // forwarding to the next hop carries the stamp…
+			if next != hop {
+				t.Fatalf("copy not identical: %+v vs %+v", next, hop)
+			}
+			next.Arrived = 0 // …and the next hop may clear or restamp it freely
+			if hop.Arrived == 0 {
+				t.Fatal("clearing downstream copy cleared upstream stamp")
+			}
+		})
+	}
+}
