@@ -6,12 +6,18 @@
 //	campaign [-jobs all|kind|id,id,...] [-seed N] [-n N] [-workers N]
 //	         [-timeout D] [-cache DIR] [-no-cache] [-out DIR]
 //	         [-summary FILE] [-json] [-quiet] [-list]
+//	         [-metrics FILE] [-trace FILE] [-pprof DIR]
 //
 // Every experiment registered in exp.Registry() is a job addressed by
 // (id, seed, n, config hash). Completed jobs persist their results under
 // the cache directory, so re-running a campaign is instant and an
 // interrupted campaign resumes from where it stopped. The process exits
 // nonzero if any job failed, but a failing job never aborts the fleet.
+//
+// The observability flags (-metrics, -trace, -pprof) are shared with
+// cmd/experiments; see docs/OBSERVABILITY.md. Jobs run concurrently, so
+// simulator-level metrics aggregate across the fleet, with trace lines
+// distinguished by their per-simulation run label.
 package main
 
 import (
@@ -24,9 +30,12 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
+	"repro/internal/obsflag"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	jobsSel := flag.String("jobs", "all", "fleet selector: all, a kind (table, figure, scaling, ablation, extension, calibration), or a comma-separated id list")
 	seed := flag.Int64("seed", 42, "root random seed")
 	n := flag.Int("n", 0, "corpus size override (0 = each experiment's paper size)")
@@ -39,19 +48,20 @@ func main() {
 	asJSON := flag.Bool("json", false, "print the summary as JSON instead of text")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		for _, s := range exp.Registry() {
 			fmt.Printf("%-24s %-12s n=%-4d %s\n", s.ID, s.Kind, s.DefaultN, s.Title)
 		}
-		return
+		return 0
 	}
 
 	jobs, err := campaign.JobsFor(*jobsSel, *seed, *n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	var cache *campaign.Cache
@@ -59,9 +69,16 @@ func main() {
 		cache, err = campaign.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+
+	sess, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 1
+	}
+	defer sess.Close()
 
 	var progress io.Writer
 	if !*quiet {
@@ -71,7 +88,7 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			return 1
 		}
 		onResult = func(j campaign.Job, r *exp.Result) {
 			path := filepath.Join(*outDir, r.ID+".csv")
@@ -89,6 +106,7 @@ func main() {
 		Cache:    cache,
 		Progress: progress,
 		OnResult: onResult,
+		Obs:      sess.Reg,
 	})
 
 	if *summaryPath != "" {
@@ -98,20 +116,25 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign: write summary:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *asJSON {
 		data, err := sum.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(sum.Text())
 	}
-	if sum.Failed > 0 {
-		os.Exit(1)
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 1
 	}
+	if sum.Failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-n N] [-csv] <experiment>|all
+//	experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE]
+//	            [-pprof DIR] <experiment>|all
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
 // regenerates everything except the calibration sweeps, which are
 // diagnostic. Run `experiments list` for the full inventory.
+//
+// The observability flags (-metrics, -trace, -pprof) are shared with
+// cmd/campaign; see docs/OBSERVABILITY.md for the metric names and the
+// JSONL trace schema they produce.
 package main
 
 import (
@@ -19,19 +24,35 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obsflag"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	seed := flag.Int64("seed", 42, "root random seed")
 	n := flag.Int("n", 0, "corpus size override (0 = paper's size)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	outDir := flag.String("out", "", "also write each experiment's CSV to <dir>/<id>.csv")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] <experiment>|all|list")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE] [-pprof DIR] <experiment>|all|list")
+		return 2
 	}
 
+	sess, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer sess.Close()
+
+	code := 0
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		code = 1
+	}
 	emit := func(r *exp.Result) {
 		if *csv {
 			fmt.Print(r.CSV())
@@ -41,17 +62,16 @@ func main() {
 		fmt.Println()
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
+				return
 			}
 			path := filepath.Join(*outDir, r.ID+".csv")
 			if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 	}
-	run := func(s exp.Spec) {
+	runSpec := func(s exp.Spec) {
 		r := s.Run(*n, *seed)
 		if s.Kind == exp.KindCalibration {
 			// Calibration sweeps are free-form diagnostic text, not tables.
@@ -67,7 +87,7 @@ func main() {
 			if s.Kind == exp.KindCalibration {
 				continue
 			}
-			run(s)
+			runSpec(s)
 		}
 	case "list":
 		for _, s := range exp.Registry() {
@@ -77,8 +97,12 @@ func main() {
 		s, err := exp.Lookup(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
-		run(s)
+		runSpec(s)
 	}
+	if err := sess.Close(); err != nil {
+		fail(err)
+	}
+	return code
 }

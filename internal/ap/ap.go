@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -101,6 +102,15 @@ type AP struct {
 
 	deliver func(Packet, sim.Time)
 	stats   Stats
+
+	// Observability, taken from the simulator at construction (nil-safe).
+	obs         *obs.Registry
+	ctEnqueued  *obs.Counter
+	ctQDrops    *obs.Counter
+	ctDelivered *obs.Counter
+	ctWasted    *obs.Counter
+	ctLost      *obs.Counter
+	gQueueDepth *obs.Gauge
 }
 
 // New creates an AP transmitting over link. deliver is invoked (in virtual
@@ -120,12 +130,21 @@ func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rand.Rand, pres Clie
 	if cfg.Voice {
 		tx.AC = mac.ACVoice
 	}
+	reg := s.Obs()
+	tx.SetObs(reg, cfg.Name)
 	return &AP{
-		cfg:     cfg,
-		sim:     s,
-		tx:      tx,
-		pres:    pres,
-		deliver: deliver,
+		cfg:         cfg,
+		sim:         s,
+		tx:          tx,
+		pres:        pres,
+		deliver:     deliver,
+		obs:         reg,
+		ctEnqueued:  reg.Counter("ap.enqueued"),
+		ctQDrops:    reg.Counter("ap.queue_drops"),
+		ctDelivered: reg.Counter("ap.tx_delivered"),
+		ctWasted:    reg.Counter("ap.tx_wasted"),
+		ctLost:      reg.Counter("ap.tx_lost"),
+		gQueueDepth: reg.Gauge("ap.queue_depth"),
 	}
 }
 
@@ -158,19 +177,31 @@ func (a *AP) SetQueueConfig(policy QueuePolicy, maxQueue int) {
 // the client is awake the transmit loop drains it.
 func (a *AP) Enqueue(p Packet) {
 	p.Arrived = a.sim.Now()
+	a.ctEnqueued.Inc()
 	if a.asleep {
 		a.stats.EnqueuedWhileAsleep++
 	}
 	if len(a.queue) >= a.cfg.MaxQueue {
 		a.stats.QueueDrops++
+		a.ctQDrops.Inc()
 		if a.cfg.Policy == HeadDrop {
 			// Evict the oldest to keep the freshest MaxQueue packets.
+			if a.obs.Tracing() {
+				a.obs.Emit(obs.Event{TUS: int64(a.sim.Now()), Ev: obs.EvHeadDrop,
+					Node: a.cfg.Name, Seq: a.queue[0].Seq, Detail: obs.DropEvictOldest})
+			}
 			a.queue = append(a.queue[1:], p)
+		} else {
+			// Tail-drop refuses the newcomer instead.
+			if a.obs.Tracing() {
+				a.obs.Emit(obs.Event{TUS: int64(a.sim.Now()), Ev: obs.EvHeadDrop,
+					Node: a.cfg.Name, Seq: p.Seq, Detail: obs.DropRefuseNewest})
+			}
 		}
-		// Tail-drop refuses the newcomer instead.
 	} else {
 		a.queue = append(a.queue, p)
 	}
+	a.gQueueDepth.Set(int64(len(a.queue)))
 	if !a.asleep {
 		a.kick()
 	}
@@ -204,6 +235,7 @@ func (a *AP) kick() {
 		}
 		a.hw = append(a.hw, a.queue[:n]...)
 		a.queue = a.queue[n:]
+		a.gQueueDepth.Set(int64(len(a.queue)))
 	}
 	a.sending = true
 	p := a.hw[0]
@@ -212,16 +244,28 @@ func (a *AP) kick() {
 	a.sim.Schedule(out.At, func() {
 		a.stats.Transmitted++
 		listening := a.pres.Listening(a, out.At)
+		outcome := obs.TxLost
 		switch {
 		case out.Delivered && listening:
 			a.stats.DeliveredToClient++
-			if a.deliver != nil {
-				a.deliver(p, out.At)
-			}
+			a.ctDelivered.Inc()
+			outcome = obs.TxDelivered
 		case out.Delivered && !listening:
 			a.stats.WastedTransmissions++
+			a.ctWasted.Inc()
+			outcome = obs.TxWasted
 		default:
 			a.stats.MACDrops++
+			a.ctLost.Inc()
+		}
+		// Emit before invoking the delivery callback so the trace shows
+		// the cause (tx) ahead of its effects (retrieve, link-switch).
+		if a.obs.Tracing() {
+			a.obs.Emit(obs.Event{TUS: int64(out.At), Ev: obs.EvTx, Node: a.cfg.Name,
+				Seq: p.Seq, Attempt: out.Attempts, DurUS: int64(out.Airtime), Detail: outcome})
+		}
+		if outcome == obs.TxDelivered && a.deliver != nil {
+			a.deliver(p, out.At)
 		}
 		a.sending = false
 		a.kick()

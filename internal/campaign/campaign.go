@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -121,6 +122,33 @@ type Options struct {
 	// executed) in completion order, under a lock — it need not be
 	// goroutine-safe.
 	OnResult func(Job, *exp.Result)
+	// Obs, when non-nil, receives scheduler-level metrics (see
+	// docs/OBSERVABILITY.md): campaign.jobs_executed / jobs_cached /
+	// jobs_failed / job_retries counters and the campaign.job_elapsed_ms
+	// histogram. Per-simulation metrics are attached separately via
+	// sim.ObsProvider; jobs run concurrently, so their simulator-level
+	// counters aggregate across the whole fleet.
+	Obs *obs.Registry
+}
+
+// instruments caches the scheduler's obs handles (all nil-safe no-ops when
+// Options.Obs is nil).
+type instruments struct {
+	executed *obs.Counter
+	cached   *obs.Counter
+	failed   *obs.Counter
+	retries  *obs.Counter
+	elapsed  *obs.Histogram
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	return instruments{
+		executed: r.Counter("campaign.jobs_executed"),
+		cached:   r.Counter("campaign.jobs_cached"),
+		failed:   r.Counter("campaign.jobs_failed"),
+		retries:  r.Counter("campaign.job_retries"),
+		elapsed:  r.Histogram("campaign.job_elapsed_ms", nil),
+	}
 }
 
 // Run executes the campaign and returns its summary. It never aborts on a
@@ -137,8 +165,9 @@ func Run(opts Options) *Summary {
 	var mu sync.Mutex
 	done := 0
 
+	ins := newInstruments(opts.Obs)
 	records := par.MapN(opts.Jobs, workers, func(j Job) JobRecord {
-		rec, res := runOne(j, opts)
+		rec, res := runOne(j, opts, ins)
 		mu.Lock()
 		done++
 		if opts.Progress != nil {
@@ -176,6 +205,7 @@ func Run(opts Options) *Summary {
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		s.JobsPerSec = float64(total) / secs
 	}
+	s.fillElapsedPercentiles()
 	sortFailuresFirst(s)
 	return s
 }
@@ -193,13 +223,14 @@ func sortFailuresFirst(s *Summary) {
 
 // runOne resolves one job through the cache or executes it (with retries),
 // returning its record and, when successful, its result.
-func runOne(j Job, opts Options) (JobRecord, *exp.Result) {
+func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 	rec := JobRecord{ID: j.ID, Key: j.Key(), Seed: j.Seed, N: j.effN}
 	jobStart := time.Now()
 	if opts.Cache != nil {
 		if res, ok := opts.Cache.Load(rec.Key); ok {
 			rec.Status = StatusCached
 			rec.ElapsedMS = time.Since(jobStart).Milliseconds()
+			ins.cached.Inc()
 			return rec, res
 		}
 	}
@@ -210,14 +241,18 @@ func runOne(j Job, opts Options) (JobRecord, *exp.Result) {
 		if err == nil || rec.Attempts > opts.Retries {
 			break
 		}
+		ins.retries.Inc()
 	}
 	rec.ElapsedMS = time.Since(jobStart).Milliseconds()
+	ins.elapsed.Observe(rec.ElapsedMS)
 	if err != nil {
 		rec.Status = StatusFailed
 		rec.Error = err.Error()
+		ins.failed.Inc()
 		return rec, nil
 	}
 	rec.Status = StatusOK
+	ins.executed.Inc()
 	if opts.Cache != nil {
 		if serr := opts.Cache.Store(rec.Key, res); serr != nil {
 			// A cache write failure degrades re-run speed, not correctness.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -238,5 +239,57 @@ func TestJobKeyDistinguishesIDSeedN(t *testing.T) {
 	}
 	if base.Key() != (Job{ID: "fig2a", Seed: 42, effN: 458}).Key() {
 		t.Fatal("key not stable for identical jobs")
+	}
+}
+
+func TestRunObsInstrumentation(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		fakeJob("ok1", 1, func(int, int64) *exp.Result { return okResult("ok1") }),
+		fakeJob("ok2", 1, func(int, int64) *exp.Result { return okResult("ok2") }),
+		fakeJob("boom", 1, func(int, int64) *exp.Result { panic("boom") }),
+	}
+	reg := obs.NewRegistry()
+	s := Run(Options{Jobs: jobs, Workers: 2, Cache: cache, Retries: 1, Obs: reg})
+	if s.Executed != 2 || s.Failed != 1 {
+		t.Fatalf("summary: %+v", s)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.jobs_executed"]; got != 2 {
+		t.Errorf("jobs_executed = %d, want 2", got)
+	}
+	if got := snap.Counters["campaign.jobs_failed"]; got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+	if got := snap.Counters["campaign.job_retries"]; got != 1 {
+		t.Errorf("job_retries = %d, want 1 (one retry before giving up)", got)
+	}
+	if got := snap.Histograms["campaign.job_elapsed_ms"].Count; got != 3 {
+		t.Errorf("job_elapsed_ms count = %d, want 3", got)
+	}
+	if s.ElapsedP50MS < 0 || s.ElapsedP95MS < s.ElapsedP50MS || s.ElapsedP99MS < s.ElapsedP95MS {
+		t.Errorf("percentiles not monotone: p50=%d p95=%d p99=%d",
+			s.ElapsedP50MS, s.ElapsedP95MS, s.ElapsedP99MS)
+	}
+	if !strings.Contains(s.Text(), "per-job elapsed: p50") {
+		t.Errorf("text summary missing percentile line:\n%s", s.Text())
+	}
+
+	// A cached re-run counts cache hits and leaves the execute counters
+	// for the successful jobs alone.
+	reg2 := obs.NewRegistry()
+	s2 := Run(Options{Jobs: jobs[:2], Workers: 2, Cache: cache, Retries: 1, Obs: reg2})
+	if s2.Cached != 2 {
+		t.Fatalf("second run: %+v", s2)
+	}
+	snap2 := reg2.Snapshot()
+	if got := snap2.Counters["campaign.jobs_cached"]; got != 2 {
+		t.Errorf("jobs_cached = %d, want 2", got)
+	}
+	if got := snap2.Counters["campaign.jobs_executed"]; got != 0 {
+		t.Errorf("jobs_executed = %d, want 0 on a warm cache", got)
 	}
 }

@@ -43,6 +43,29 @@ type Summary struct {
 	// Timing fields — excluded from the determinism contract.
 	ElapsedMS  int64   `json:"elapsed_ms"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Per-job wall-clock percentiles over executed (non-cached) jobs, for
+	// spotting stragglers in large fleets. Zero when nothing executed.
+	ElapsedP50MS int64 `json:"elapsed_p50_ms"`
+	ElapsedP95MS int64 `json:"elapsed_p95_ms"`
+	ElapsedP99MS int64 `json:"elapsed_p99_ms"`
+}
+
+// fillElapsedPercentiles derives the per-job elapsed percentiles from the
+// job records (executed and failed jobs only — cache hits are near-instant
+// and would drown the signal).
+func (s *Summary) fillElapsedPercentiles() {
+	var xs []float64
+	for _, r := range s.Jobs {
+		if r.Status != StatusCached {
+			xs = append(xs, float64(r.ElapsedMS))
+		}
+	}
+	if len(xs) == 0 {
+		return
+	}
+	s.ElapsedP50MS = int64(stats.Percentile(xs, 50))
+	s.ElapsedP95MS = int64(stats.Percentile(xs, 95))
+	s.ElapsedP99MS = int64(stats.Percentile(xs, 99))
 }
 
 // Total returns the fleet size.
@@ -69,6 +92,10 @@ func (s *Summary) Text() string {
 	fmt.Fprintf(&b, "\n%d jobs: %d executed, %d cached, %d failed — %.1fs wall, %.2f jobs/s (%d workers)\n",
 		s.Total(), s.Executed, s.Cached, s.Failed,
 		float64(s.ElapsedMS)/1000, s.JobsPerSec, s.Workers)
+	if s.Executed+s.Failed > 0 {
+		fmt.Fprintf(&b, "per-job elapsed: p50 %dms, p95 %dms, p99 %dms\n",
+			s.ElapsedP50MS, s.ElapsedP95MS, s.ElapsedP99MS)
+	}
 	for _, f := range s.Failures {
 		b.WriteString("FAILED " + f + "\n")
 	}

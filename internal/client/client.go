@@ -9,6 +9,7 @@ package client
 import (
 	"repro/internal/ap"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -147,6 +148,16 @@ type Client struct {
 	visitRecovered bool
 
 	stats Stats
+
+	// Observability, taken from the simulator at construction (nil-safe).
+	obs         *obs.Registry
+	ctLosses    *obs.Counter
+	ctRecSwitch *obs.Counter
+	ctKASwitch  *obs.Counter
+	ctRecovered *obs.Counter
+	ctDup       *obs.Counter
+	ctMisses    *obs.Counter
+	hRecDelay   *obs.Histogram
 }
 
 // RecoveryDelays returns, for each loss-triggered secondary visit that
@@ -159,10 +170,19 @@ func (c *Client) RecoveryDelays() []sim.Duration {
 // New creates the client. Call BindAPs before starting a call.
 func New(s *sim.Simulator, cfg Config) *Client {
 	cfg.fillDefaults()
+	reg := s.Obs()
 	return &Client{
-		sim:     s,
-		cfg:     cfg,
-		missing: make(map[int]sim.Time),
+		sim:         s,
+		cfg:         cfg,
+		missing:     make(map[int]sim.Time),
+		obs:         reg,
+		ctLosses:    reg.Counter("client.losses_detected"),
+		ctRecSwitch: reg.Counter("client.recovery_switches"),
+		ctKASwitch:  reg.Counter("client.keepalive_switches"),
+		ctRecovered: reg.Counter("client.recovered"),
+		ctDup:       reg.Counter("client.duplicates"),
+		ctMisses:    reg.Counter("client.playout_misses"),
+		hRecDelay:   reg.Histogram("client.recovery_delay_us", nil),
 	}
 }
 
@@ -247,6 +267,12 @@ func (c *Client) StartCall(count int) {
 		seq := seq
 		c.tr.RecordSent(seq, c.expectedSend(seq))
 		c.sim.Schedule(c.expectedArrival(seq).Add(c.plt()), func() { c.lossCheck(seq) })
+		if c.obs != nil {
+			// Playout-miss detection is observability-only: one check per
+			// sequence number at its recovery deadline. Gated on the
+			// registry so unobserved runs schedule nothing extra.
+			c.sim.Schedule(c.recoveryDeadline(seq), func() { c.playoutCheck(seq) })
+		}
 	}
 	if !c.cfg.DisableKeepalive {
 		c.scheduleKeepalive()
@@ -275,16 +301,23 @@ func (c *Client) OnDelivery(from *ap.AP, p pkt.Packet, at sim.Time) {
 	if from == c.sec {
 		if already {
 			c.stats.DuplicatesReceived++
+			c.ctDup.Inc()
 		} else if _, wasMissing := c.missing[p.Seq]; wasMissing {
 			c.stats.Recovered++
+			c.ctRecovered.Inc()
 			c.visitRecovered = true
 			c.futileVisits = 0
+			if c.obs.Tracing() {
+				c.obs.Emit(obs.Event{TUS: int64(at), Ev: obs.EvRetrieve, Node: "client",
+					Seq: p.Seq, DurUS: int64(at.Sub(c.visitStart))})
+			}
 			// Table 3 metric: switch initiation to the first *useful*
 			// packet retrieved over the secondary. Stale flushes of
 			// already-received packets do not count.
 			if !c.visitDelivered {
 				c.visitDelivered = true
 				c.recoveryDelays = append(c.recoveryDelays, at.Sub(c.visitStart))
+				c.hRecDelay.Observe(int64(at.Sub(c.visitStart)))
 			}
 		}
 	}
@@ -321,6 +354,20 @@ func (c *Client) anyRecoverable() bool {
 	return any
 }
 
+// playoutCheck fires at seq's recovery deadline and records a playout miss
+// if the packet never arrived in time. Only scheduled when a registry is
+// attached (see StartCall).
+func (c *Client) playoutCheck(seq int) {
+	if c.tr.Arrived(seq) {
+		return
+	}
+	c.ctMisses.Inc()
+	if c.obs.Tracing() {
+		c.obs.Emit(obs.Event{TUS: int64(c.sim.Now()), Ev: obs.EvPlayoutMiss,
+			Node: "client", Seq: seq})
+	}
+}
+
 // lossCheck fires PLT after seq's expected arrival (Algorithm 1 lines 9–12).
 func (c *Client) lossCheck(seq int) {
 	if c.tr.Arrived(seq) {
@@ -331,6 +378,7 @@ func (c *Client) lossCheck(seq int) {
 		return // already unrecoverable
 	}
 	c.stats.LossesDetected++
+	c.ctLosses.Inc()
 	c.missing[seq] = dl
 	if c.cfg.DisableRecovery || c.sim.Now() < c.backoffUntil {
 		return
@@ -355,6 +403,7 @@ func (c *Client) planRecovery(seq int) {
 	c.pendingSwitch = c.sim.Schedule(switchAt, func() {
 		if c.st == onPrimary && c.anyRecoverable() {
 			c.stats.RecoverySwitches++
+			c.ctRecSwitch.Inc()
 			c.goToSecondary(false)
 		}
 	})
@@ -363,6 +412,14 @@ func (c *Client) planRecovery(seq int) {
 // goToSecondary executes the link switch: PSM-sleep the primary, retune,
 // wake the secondary. keepalive marks a periodic visit (bounded residency).
 func (c *Client) goToSecondary(keepalive bool) {
+	if c.obs.Tracing() {
+		detail := obs.SwitchToSecondary
+		if keepalive {
+			detail = obs.SwitchKeepalive
+		}
+		c.obs.Emit(obs.Event{TUS: int64(c.sim.Now()), Ev: obs.EvLinkSwitch, Node: "client",
+			Seq: -1, DurUS: int64(switchCost()), Detail: detail})
+	}
 	c.st = switchingToSecondary
 	c.absentSince = c.sim.Now()
 	c.visitStart = c.sim.Now()
@@ -406,6 +463,10 @@ func (c *Client) returnToPrimary() {
 	if c.failsafe != nil {
 		c.failsafe.Stop()
 	}
+	if c.obs.Tracing() {
+		c.obs.Emit(obs.Event{TUS: int64(c.sim.Now()), Ev: obs.EvLinkSwitch, Node: "client",
+			Seq: -1, DurUS: int64(switchCost()), Detail: obs.SwitchToPrimary})
+	}
 	c.st = switchingToPrimary
 	if !c.visitRecovered && c.cfg.BackoffAfter > 0 {
 		c.futileVisits++
@@ -423,11 +484,13 @@ func (c *Client) returnToPrimary() {
 		c.st = onPrimary
 		c.absences = append(c.absences, Interval{From: c.absentSince, To: c.sim.Now()})
 		c.prim.Wake()
-		// Losses detected while we were away may still need a visit.
+		// Losses detected while we were away may still need a visit. Plan
+		// around the lowest missing seq — it is closest to eviction from
+		// the secondary's head-drop queue, and (unlike ranging over the
+		// map, which Go iterates in random order) keeps runs reproducible.
 		if !c.cfg.DisableRecovery && c.sim.Now() >= c.backoffUntil && c.anyRecoverable() {
-			for seq := range c.missing {
+			if seq := c.minMissing(); seq >= 0 {
 				c.planRecovery(seq)
-				break
 			}
 		}
 	})
@@ -443,6 +506,7 @@ func (c *Client) scheduleKeepalive() {
 		}
 		if c.sim.Now().Sub(c.lastSecVisit) >= c.cfg.AKT {
 			c.stats.KeepaliveSwitches++
+			c.ctKASwitch.Inc()
 			c.goToSecondary(true)
 		}
 	})

@@ -51,6 +51,8 @@ func RunMultiCall(sc Scenario, n int) []*trace.Trace {
 		spec := sc.specB
 		spec.extraLoss = rng.Float64() * 12
 		l := phy.NewLink(s.RNG("multilink/link"+string(rune('0'+i))), env, phy.LinkParams{
+			Name:      "m" + string(rune('0'+i)),
+			Obs:       s.Obs(),
 			APPos:     multiAPPositions[i],
 			Chan:      multiChannelPlan[i%len(multiChannelPlan)],
 			Client:    mob,

@@ -290,6 +290,8 @@ func (sc Scenario) Build(s *sim.Simulator) Links {
 
 	mk := func(name string, apPos phy.Position, ch phy.Channel, spec linkSpec) *phy.Link {
 		l := phy.NewLink(s.RNG("link/"+name), env, phy.LinkParams{
+			Name:      name,
+			Obs:       s.Obs(),
 			APPos:     apPos,
 			Chan:      ch,
 			Client:    mob,

@@ -62,11 +62,15 @@ func RunUplink(sc Scenario, diversifi bool) UplinkResult {
 		primLink, secLink = links.B, links.A
 	}
 	count := sc.PacketCount()
+	txPrim := mac.NewTransmitter(primLink, s.RNG("uptx/prim"))
+	txPrim.SetObs(s.Obs(), "up/prim")
+	txSec := mac.NewTransmitter(secLink, s.RNG("uptx/sec"))
+	txSec.SetObs(s.Obs(), "up/sec")
 	c := &uplinkClient{
 		s:        s,
 		sc:       sc,
-		txPrim:   mac.NewTransmitter(primLink, s.RNG("uptx/prim")),
-		txSec:    mac.NewTransmitter(secLink, s.RNG("uptx/sec")),
+		txPrim:   txPrim,
+		txSec:    txSec,
 		wire:     netsim.NewWire(s, "uplan", lanLatency, lanJitter, 0),
 		tr:       trace.New(count, sc.Profile.Spacing),
 		divers:   diversifi,

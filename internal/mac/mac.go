@@ -11,8 +11,10 @@
 package mac
 
 import (
+	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/phy"
 	"repro/internal/sim"
 )
@@ -89,11 +91,35 @@ type Transmitter struct {
 	// ewmaOK tracks recent frame success for rate adaptation.
 	ewmaOK  float64
 	started bool
+
+	// Observability (set via SetObs; all fields nil-safe no-ops otherwise).
+	obs        *obs.Registry
+	node       string
+	ctFrames   *obs.Counter
+	ctAttempts *obs.Counter
+	ctDrops    *obs.Counter
+	hAccess    *obs.Histogram
+	hAirtime   *obs.Histogram
 }
 
 // NewTransmitter creates a transmitter over link. rng drives backoff draws.
 func NewTransmitter(link *phy.Link, rng *rand.Rand) *Transmitter {
 	return &Transmitter{Link: link, rng: rng, rateIdx: 3, ewmaOK: 1}
+}
+
+// SetObs attaches an observability registry to the transmitter and labels
+// its trace events with node (typically the owning AP's name). The MAC
+// records frame/attempt/drop counters and access-wait/airtime histograms,
+// and emits retry/drop trace events when the registry is tracing. A nil
+// registry (the default) keeps the transmit path unobserved at zero cost.
+func (t *Transmitter) SetObs(r *obs.Registry, node string) {
+	t.obs = r
+	t.node = node
+	t.ctFrames = r.Counter("mac.frames")
+	t.ctAttempts = r.Counter("mac.attempts")
+	t.ctDrops = r.Counter("mac.frame_drops")
+	t.hAccess = r.Histogram("mac.access_wait_us", nil)
+	t.hAirtime = r.Histogram("mac.frame_airtime_us", nil)
 }
 
 // CurrentRate returns the rate adaptation's current choice.
@@ -151,6 +177,8 @@ func (t *Transmitter) Transmit(now sim.Time, payloadBytes int) TxOutcome {
 	cur := now
 	var totalAir sim.Duration
 	var rate phy.Rate
+	t.ctFrames.Inc()
+	tracing := t.obs.Tracing()
 	for attempt := 1; attempt <= RetryLimit; attempt++ {
 		idx := t.rateIdx
 		if attempt >= RateFallbk2 {
@@ -159,15 +187,23 @@ func (t *Transmitter) Transmit(now sim.Time, payloadBytes int) TxOutcome {
 			idx--
 		}
 		rate = phy.RateTable[idx]
-		cur = cur.Add(t.accessDelay(cur, cw))
+		wait := t.accessDelay(cur, cw)
+		cur = cur.Add(wait)
 		air := sim.Duration(phy.AirtimeUS(payloadBytes, rate))
 		ok := t.Link.AttemptPriority(cur, rate, t.AC == ACVoice)
 		cur = cur.Add(air)
 		totalAir += air
+		t.ctAttempts.Inc()
+		t.hAccess.Observe(int64(wait))
 		if ok {
 			t.ewmaOK = 0.9*t.ewmaOK + 0.1
 			t.adaptRate(cur)
+			t.hAirtime.Observe(int64(totalAir))
 			return TxOutcome{Delivered: true, At: cur, Attempts: attempt, Airtime: totalAir, Rate: rate}
+		}
+		if tracing && attempt < RetryLimit {
+			t.obs.Emit(obs.Event{TUS: int64(cur), Ev: obs.EvRetry, Node: t.node, Seq: -1,
+				Attempt: attempt, Detail: fmt.Sprintf("rate=%.1fMbps", rate.Mbps)})
 		}
 		t.ewmaOK = 0.9 * t.ewmaOK
 		if cw < CWMax {
@@ -175,6 +211,12 @@ func (t *Transmitter) Transmit(now sim.Time, payloadBytes int) TxOutcome {
 		}
 	}
 	t.adaptRate(cur)
+	t.ctDrops.Inc()
+	t.hAirtime.Observe(int64(totalAir))
+	if tracing {
+		t.obs.Emit(obs.Event{TUS: int64(cur), Ev: obs.EvDrop, Node: t.node, Seq: -1,
+			Attempt: RetryLimit, Detail: "retry-limit"})
+	}
 	return TxOutcome{Delivered: false, At: cur, Attempts: RetryLimit, Airtime: totalAir, Rate: rate}
 }
 

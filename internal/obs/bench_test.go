@@ -1,0 +1,92 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The disabled path is the one every unobserved simulation pays: all
+// instruments obtained from a nil registry must be free. The alloc figures
+// here back the zero-cost claim in docs/OBSERVABILITY.md; the corresponding
+// hard assertions live in TestDisabledPathAllocs.
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var r *obs.Registry
+	h := r.Histogram("bench.hist", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench.hist", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 1000000))
+	}
+}
+
+// benchSimLoop drives the simulator's hot loop — schedule + execute — with
+// the given registry attached. Comparing the nil-registry variant against
+// the attached one isolates what instrumentation adds per event.
+func benchSimLoop(b *testing.B, reg *obs.Registry) {
+	s := sim.New(1)
+	s.SetObs(reg)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunAll()
+}
+
+func BenchmarkSimEventLoopDisabled(b *testing.B) { benchSimLoop(b, nil) }
+
+func BenchmarkSimEventLoopEnabled(b *testing.B) { benchSimLoop(b, obs.NewRegistry()) }
+
+// TestSimLoopDisabledAddsNoAllocs is the hard form of the benchmark pair
+// above: executing events on an unobserved simulator allocates exactly as
+// much as the engine itself (one event record per Schedule), nothing more
+// for instrumentation.
+func TestSimLoopDisabledAddsNoAllocs(t *testing.T) {
+	s := sim.New(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(1, func() {})
+		s.RunAll()
+	})
+	s2 := sim.New(2)
+	s2.SetObs(nil)
+	withNil := testing.AllocsPerRun(1000, func() {
+		s2.After(1, func() {})
+		s2.RunAll()
+	})
+	if withNil > allocs {
+		t.Errorf("nil-registry loop allocates %.1f/op vs %.1f/op baseline", withNil, allocs)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Trace event types. Each names one packet-level process the DiversiFi
+// evaluation hinges on; docs/OBSERVABILITY.md documents the fields each
+// type carries, with a worked example per type.
+const (
+	// EvTx is one completed AP transmit chain for a stream packet:
+	// delivered to a listening client, delivered while nobody listened
+	// ("wasted"), or lost after the full retry chain.
+	EvTx = "tx"
+	// EvRetry is one failed MAC transmission attempt that will be retried.
+	EvRetry = "retry"
+	// EvDrop is a MAC-level frame loss: the retry chain exhausted without
+	// an ACK.
+	EvDrop = "drop"
+	// EvHeadDrop is a PSM-buffer eviction or refusal at an AP: head-drop
+	// evicts the oldest packet, tail-drop refuses the newcomer.
+	EvHeadDrop = "head-drop"
+	// EvLinkSwitch is a single-NIC client link switch (to the secondary
+	// for recovery or keepalive, or back to the primary).
+	EvLinkSwitch = "link-switch"
+	// EvRetrieve is a missing packet successfully fetched from the
+	// secondary link's network-side buffer.
+	EvRetrieve = "retrieve-from-secondary"
+	// EvPlayoutMiss is a packet that had not arrived by its playout
+	// deadline (it may still arrive later; late arrivals are useless).
+	EvPlayoutMiss = "playout-miss"
+)
+
+// EventTypes lists every valid trace event type.
+var EventTypes = []string{
+	EvTx, EvRetry, EvDrop, EvHeadDrop, EvLinkSwitch, EvRetrieve, EvPlayoutMiss,
+}
+
+// Detail values with fixed vocabularies (see docs/OBSERVABILITY.md).
+const (
+	// tx outcomes.
+	TxDelivered = "delivered"
+	TxWasted    = "wasted"
+	TxLost      = "lost"
+	// head-drop policies.
+	DropEvictOldest  = "evict-oldest"
+	DropRefuseNewest = "refuse-newest"
+	// link-switch directions.
+	SwitchToSecondary = "to-secondary"
+	SwitchKeepalive   = "to-secondary-keepalive"
+	SwitchToPrimary   = "to-primary"
+)
+
+// Event is one JSONL trace record. Field semantics:
+//
+//   - TUS: simulated timestamp, microseconds since simulation start.
+//   - Ev: event type (one of EventTypes).
+//   - Run: run label (e.g. "s42"), distinguishing interleaved simulations
+//     when a corpus runs in parallel. Optional.
+//   - Node: emitting component instance ("prim", "sec", "A", "client", ...).
+//   - Seq: stream sequence number the event concerns; -1 when the event is
+//     not about one specific packet (e.g. a MAC retry, which happens below
+//     the layer that knows sequence numbers).
+//   - Attempt: 1-based MAC attempt index (retry/drop) or total attempts
+//     consumed (tx). Omitted when zero.
+//   - DurUS: event-specific duration in microseconds (tx: airtime;
+//     link-switch: switch cost; retrieve-from-secondary: delay from switch
+//     initiation to retrieval). Omitted when zero.
+//   - Detail: event-specific vocabulary word (see the constants above) or
+//     free-form annotation (retry: the attempted PHY rate). Omitted when
+//     empty.
+type Event struct {
+	TUS     int64  `json:"t_us"`
+	Ev      string `json:"ev"`
+	Run     string `json:"run,omitempty"`
+	Node    string `json:"node,omitempty"`
+	Seq     int    `json:"seq"`
+	Attempt int    `json:"attempt,omitempty"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Validate checks ev against the documented schema: a known type, a
+// non-negative timestamp, and the per-type required fields. It returns nil
+// for conforming events.
+func (ev Event) Validate() error {
+	if ev.TUS < 0 {
+		return fmt.Errorf("obs: event %q: negative timestamp %d", ev.Ev, ev.TUS)
+	}
+	requireNode := func() error {
+		if ev.Node == "" {
+			return fmt.Errorf("obs: %s event missing node", ev.Ev)
+		}
+		return nil
+	}
+	requireSeq := func() error {
+		if ev.Seq < 0 {
+			return fmt.Errorf("obs: %s event missing seq", ev.Ev)
+		}
+		return nil
+	}
+	oneOf := func(allowed ...string) error {
+		for _, a := range allowed {
+			if ev.Detail == a {
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: %s event detail %q not in %v", ev.Ev, ev.Detail, allowed)
+	}
+	switch ev.Ev {
+	case EvTx:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		if err := requireSeq(); err != nil {
+			return err
+		}
+		if ev.Attempt < 1 {
+			return fmt.Errorf("obs: tx event needs attempt >= 1, got %d", ev.Attempt)
+		}
+		return oneOf(TxDelivered, TxWasted, TxLost)
+	case EvRetry, EvDrop:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		if ev.Attempt < 1 {
+			return fmt.Errorf("obs: %s event needs attempt >= 1, got %d", ev.Ev, ev.Attempt)
+		}
+		return nil
+	case EvHeadDrop:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		if err := requireSeq(); err != nil {
+			return err
+		}
+		return oneOf(DropEvictOldest, DropRefuseNewest)
+	case EvLinkSwitch:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		return oneOf(SwitchToSecondary, SwitchKeepalive, SwitchToPrimary)
+	case EvRetrieve:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		return requireSeq()
+	case EvPlayoutMiss:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		return requireSeq()
+	default:
+		return fmt.Errorf("obs: unknown event type %q", ev.Ev)
+	}
+}
+
+// DecodeEvent parses one JSONL trace line strictly: unknown fields are an
+// error, and the decoded event must pass Validate. This is the function
+// trace-consuming tooling (and the contract tests) use, so a trace that
+// decodes here is guaranteed to match docs/OBSERVABILITY.md.
+func DecodeEvent(line []byte) (Event, error) {
+	var ev Event
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ev); err != nil {
+		return Event{}, fmt.Errorf("obs: decode trace line: %w", err)
+	}
+	if err := ev.Validate(); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}

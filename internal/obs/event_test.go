@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleEvents holds one well-formed event of every type — the same worked
+// examples documented in docs/OBSERVABILITY.md.
+var sampleEvents = []Event{
+	{TUS: 1_023_456, Ev: EvTx, Run: "s42", Node: "prim", Seq: 51, Attempt: 2, DurUS: 652, Detail: TxDelivered},
+	{TUS: 1_020_113, Ev: EvRetry, Run: "s42", Node: "prim", Seq: -1, Attempt: 1, Detail: "rate=39.0Mbps"},
+	{TUS: 1_031_870, Ev: EvDrop, Run: "s42", Node: "prim", Seq: -1, Attempt: 7, Detail: "retry-limit"},
+	{TUS: 2_400_000, Ev: EvHeadDrop, Run: "s42", Node: "sec", Seq: 117, Detail: DropEvictOldest},
+	{TUS: 2_460_000, Ev: EvLinkSwitch, Run: "s42", Node: "client", Seq: -1, DurUS: 2800, Detail: SwitchToSecondary},
+	{TUS: 2_471_300, Ev: EvRetrieve, Run: "s42", Node: "client", Seq: 123, DurUS: 11_300},
+	{TUS: 2_650_000, Ev: EvPlayoutMiss, Run: "s42", Node: "client", Seq: 124},
+}
+
+// TestTraceJSONLRoundTrip writes every sample event through a Sink and
+// decodes the JSONL back with the strict decoder: each event must survive
+// the round trip unchanged.
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	sink := NewSink(&buf)
+	r.SetSink(sink)
+	if !r.Tracing() {
+		t.Fatal("registry should report tracing with a sink installed")
+	}
+	for _, ev := range sampleEvents {
+		r.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Written() != int64(len(sampleEvents)) {
+		t.Fatalf("written = %d, want %d", sink.Written(), len(sampleEvents))
+	}
+
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		ev, err := DecodeEvent(sc.Bytes())
+		if err != nil {
+			t.Fatalf("decode %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if !reflect.DeepEqual(got, sampleEvents) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, sampleEvents)
+	}
+}
+
+func TestValidateAcceptsAllSampleEvents(t *testing.T) {
+	for _, ev := range sampleEvents {
+		if err := ev.Validate(); err != nil {
+			t.Errorf("sample %s event invalid: %v", ev.Ev, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"unknown type", Event{TUS: 1, Ev: "warp", Seq: -1}},
+		{"negative time", Event{TUS: -1, Ev: EvDrop, Node: "p", Seq: -1, Attempt: 1}},
+		{"tx without node", Event{TUS: 1, Ev: EvTx, Seq: 3, Attempt: 1, Detail: TxDelivered}},
+		{"tx without seq", Event{TUS: 1, Ev: EvTx, Node: "p", Seq: -1, Attempt: 1, Detail: TxDelivered}},
+		{"tx without attempt", Event{TUS: 1, Ev: EvTx, Node: "p", Seq: 3, Detail: TxDelivered}},
+		{"tx bad detail", Event{TUS: 1, Ev: EvTx, Node: "p", Seq: 3, Attempt: 1, Detail: "maybe"}},
+		{"retry without attempt", Event{TUS: 1, Ev: EvRetry, Node: "p", Seq: -1}},
+		{"head-drop bad detail", Event{TUS: 1, Ev: EvHeadDrop, Node: "p", Seq: 3, Detail: "oops"}},
+		{"link-switch bad detail", Event{TUS: 1, Ev: EvLinkSwitch, Node: "c", Seq: -1, Detail: "sideways"}},
+		{"retrieve without seq", Event{TUS: 1, Ev: EvRetrieve, Node: "c", Seq: -1}},
+		{"playout-miss without seq", Event{TUS: 1, Ev: EvPlayoutMiss, Node: "c", Seq: -1}},
+	}
+	for _, c := range cases {
+		if err := c.ev.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.ev)
+		}
+	}
+}
+
+func TestDecodeEventStrict(t *testing.T) {
+	if _, err := DecodeEvent([]byte(`{"t_us":1,"ev":"drop","node":"p","seq":-1,"attempt":1,"bogus":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeEvent([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeEvent([]byte(`{"t_us":1,"ev":"warp","seq":-1}`)); err == nil {
+		t.Error("invalid event accepted")
+	}
+}
+
+func TestEventTypesListMatchesValidator(t *testing.T) {
+	for _, typ := range EventTypes {
+		ev := Event{TUS: 1, Ev: typ, Node: "n", Seq: 1, Attempt: 1, Detail: firstValidDetail(typ)}
+		if err := ev.Validate(); err != nil {
+			t.Errorf("type %q from EventTypes does not validate: %v", typ, err)
+		}
+	}
+}
+
+func firstValidDetail(typ string) string {
+	switch typ {
+	case EvTx:
+		return TxDelivered
+	case EvHeadDrop:
+		return DropEvictOldest
+	case EvLinkSwitch:
+		return SwitchToPrimary
+	default:
+		return ""
+	}
+}
+
+func TestSinkParallelWritesStayLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				sink.Write(Event{TUS: int64(i), Ev: EvDrop, Node: "p", Seq: -1, Attempt: 1})
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8*500 {
+		t.Fatalf("lines = %d, want %d", len(lines), 8*500)
+	}
+	for _, ln := range lines {
+		if _, err := DecodeEvent([]byte(ln)); err != nil {
+			t.Fatalf("corrupt line %q: %v", ln, err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultLatencyBounds is the bucket layout used by every latency/jitter
+// histogram in the metrics contract unless a metric documents otherwise:
+// roughly logarithmic upper bounds in microseconds from 50 µs to 5 s, with
+// an implicit overflow bucket above the last bound. The layout spans the
+// delays the simulation produces — sub-millisecond MAC access waits up to
+// multi-second recovery worst cases.
+var DefaultLatencyBounds = []int64{
+	50, 100, 200, 500,
+	1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000,
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations (the metrics
+// contract uses microseconds for durations, milliseconds where documented).
+// Buckets are defined by ascending upper bounds; an observation lands in
+// the first bucket whose bound is >= the value, or in the implicit
+// overflow bucket. Observation is lock-free (one atomic add per bucket
+// plus count/sum/min/max updates); a nil Histogram ignores observations.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.bounds...)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that holds the target rank. Values in
+// the overflow bucket are attributed to the observed maximum. Returns 0
+// when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := h.bucketRange(i)
+			frac := (rank - cum) / n
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.max.Load()
+}
+
+// bucketRange returns the value range [lo, hi] covered by bucket i,
+// clamped to the observed min/max so estimates never leave the data.
+func (h *Histogram) bucketRange(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		lo, hi = 0, h.bounds[0]
+	case i == len(h.bounds):
+		lo, hi = h.bounds[i-1], h.max.Load()
+	default:
+		lo, hi = h.bounds[i-1], h.bounds[i]
+	}
+	if mn := h.min.Load(); lo < mn {
+		lo = mn
+	}
+	if mx := h.max.Load(); hi > mx {
+		hi = mx
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// HistSummary is the exported snapshot form of a histogram: the p50/p95/p99
+// summaries every metrics dump reports.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary returns the histogram's summary statistics.
+func (h *Histogram) Summary() HistSummary {
+	if h == nil {
+		return HistSummary{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: n,
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+		Mean:  float64(h.sum.Load()) / float64(n),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

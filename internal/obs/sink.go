@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink serializes trace events as JSONL — one JSON object per line, in the
+// schema documented in docs/OBSERVABILITY.md — to an underlying writer.
+// Writes are mutex-serialized so simulations running in parallel can share
+// one sink; events from different runs interleave but each line stays
+// intact and carries its run label.
+type Sink struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	closer  io.Closer
+	written atomic.Int64
+	errored atomic.Int64
+}
+
+// NewSink wraps w in a buffered JSONL sink. If w is also an io.Closer,
+// Close closes it after flushing.
+func NewSink(w io.Writer) *Sink {
+	s := &Sink{bw: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	return s
+}
+
+// Write appends one event line. Serialization errors are counted, not
+// returned: tracing must never abort a simulation.
+func (s *Sink) Write(ev Event) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		s.errored.Add(1)
+		return
+	}
+	s.mu.Lock()
+	_, werr := s.bw.Write(data)
+	if werr == nil {
+		werr = s.bw.WriteByte('\n')
+	}
+	s.mu.Unlock()
+	if werr != nil {
+		s.errored.Add(1)
+		return
+	}
+	s.written.Add(1)
+}
+
+// Written returns the number of events successfully serialized.
+func (s *Sink) Written() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.written.Load()
+}
+
+// Errored returns the number of events dropped due to write errors.
+func (s *Sink) Errored() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.errored.Load()
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (s *Sink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// Close flushes and, when the underlying writer is a Closer, closes it.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.Flush()
+	if s.closer != nil {
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

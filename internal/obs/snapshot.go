@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// GaugeValue is the snapshot form of a Gauge.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a Registry,
+// suitable for the -metrics dump (Text) or machine consumption (JSON).
+type Snapshot struct {
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue  `json:"gauges,omitempty"`
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current instrument values. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeValue{},
+		Histograms: map[string]HistSummary{},
+	}
+	if r == nil {
+		return snap
+	}
+	c := r.core
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for name, ctr := range c.counters {
+		snap.Counters[name] = ctr.Value()
+	}
+	for name, g := range c.gauges {
+		snap.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range c.hists {
+		snap.Histograms[name] = h.Summary()
+	}
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as an aligned, sorted, human-readable metrics
+// report: one line per counter and gauge, one line per histogram with its
+// count/min/mean/p50/p95/p99/max summary.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		w := maxKeyLen(sortedKeys(s.Counters))
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-*s %d\n", w, name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		w := maxKeyLen(sortedKeys(s.Gauges))
+		for _, name := range sortedKeys(s.Gauges) {
+			g := s.Gauges[name]
+			fmt.Fprintf(&b, "  %-*s %d (max %d)\n", w, name, g.Value, g.Max)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		w := maxKeyLen(sortedKeys(s.Histograms))
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-*s n=%d min=%d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
+				w, name, h.Count, h.Min, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+func maxKeyLen(keys []string) int {
+	w := 0
+	for _, k := range keys {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	return w
+}

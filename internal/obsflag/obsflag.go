@@ -1,0 +1,164 @@
+// Package obsflag wires the observability layer (internal/obs) into a CLI:
+// it registers the shared -metrics / -trace / -pprof flags, builds the root
+// registry and trace sink they request, installs sim.ObsProvider so every
+// simulator constructed anywhere in the process is instrumented, and writes
+// all outputs on Close. Both cmd/experiments and cmd/campaign use it, so
+// the flags behave identically across drivers.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Flags holds the observability options shared by the experiment drivers.
+type Flags struct {
+	// Metrics is where the end-of-run metrics snapshot goes: "" disables,
+	// "-" writes text to stderr, a *.json path writes the JSON encoding,
+	// anything else writes the aligned text table.
+	Metrics string
+	// Trace is the JSONL event-trace output path ("" disables). The line
+	// schema is documented in docs/OBSERVABILITY.md.
+	Trace string
+	// Pprof is a directory for cpu.pprof and heap.pprof ("" disables).
+	Pprof string
+}
+
+// Register installs -metrics, -trace, and -pprof on fs (typically
+// flag.CommandLine) and returns the struct their values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics snapshot on exit ("-" = stderr as text, *.json = JSON, else text file)`)
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this file (schema: docs/OBSERVABILITY.md)")
+	fs.StringVar(&f.Pprof, "pprof", "", "write cpu.pprof and heap.pprof to this directory")
+	return f
+}
+
+// Enabled reports whether any simulator instrumentation was requested.
+// Profiling alone does not need a registry.
+func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" }
+
+// Session is the live observability state of one CLI run. Callers must
+// Close it before exiting — including error paths — or trace lines and
+// profiles are lost; the usual shape is a run() function with
+// `defer sess.Close()` whose return code main passes to os.Exit.
+type Session struct {
+	// Reg is the root registry (nil when no instrumentation was requested;
+	// the obs API is nil-safe, so callers may use it unconditionally).
+	Reg     *obs.Registry
+	flags   *Flags
+	cpuFile *os.File
+	closed  bool
+}
+
+// Setup builds what the flags ask for: a registry (with a trace sink when
+// -trace is set) published through sim.ObsProvider with per-simulation
+// "s<seed>" run labels, and a started CPU profile when -pprof is set. With
+// no flags set it returns an inert session whose Close is a no-op.
+func (f *Flags) Setup() (*Session, error) {
+	s := &Session{flags: f}
+	if f.Enabled() {
+		reg := obs.NewRegistry()
+		if f.Trace != "" {
+			if err := ensureDir(f.Trace); err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			file, err := os.Create(f.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			reg.SetSink(obs.NewSink(file))
+		}
+		if f.Metrics != "" && f.Metrics != "-" {
+			if err := ensureDir(f.Metrics); err != nil {
+				return nil, fmt.Errorf("metrics: %w", err)
+			}
+		}
+		s.Reg = reg
+		sim.ObsProvider = func(seed int64) *obs.Registry {
+			return reg.WithRun(fmt.Sprintf("s%d", seed))
+		}
+	}
+	if f.Pprof != "" {
+		if err := os.MkdirAll(f.Pprof, 0o755); err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		file, err := os.Create(filepath.Join(f.Pprof, "cpu.pprof"))
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		s.cpuFile = file
+	}
+	return s, nil
+}
+
+// ensureDir creates the parent directory of path if it is missing.
+func ensureDir(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		return os.MkdirAll(dir, 0o755)
+	}
+	return nil
+}
+
+// Close uninstalls sim.ObsProvider, flushes and closes the trace sink,
+// writes the metrics snapshot, and finalizes the CPU/heap profiles. It is
+// idempotent and safe on a nil session (so `defer sess.Close()` composes
+// with an explicit error-checked Close), returning the first error.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.Reg != nil {
+		sim.ObsProvider = nil
+		keep(s.Reg.Sink().Close())
+	}
+	if s.flags.Metrics != "" && s.Reg != nil {
+		snap := s.Reg.Snapshot()
+		switch {
+		case s.flags.Metrics == "-":
+			fmt.Fprint(os.Stderr, snap.Text())
+		case strings.HasSuffix(s.flags.Metrics, ".json"):
+			data, err := snap.JSON()
+			if err == nil {
+				err = os.WriteFile(s.flags.Metrics, data, 0o644)
+			}
+			keep(err)
+		default:
+			keep(os.WriteFile(s.flags.Metrics, []byte(snap.Text()), 0o644))
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+		runtime.GC() // fold recently freed memory out of the heap profile
+		hf, err := os.Create(filepath.Join(s.flags.Pprof, "heap.pprof"))
+		if err == nil {
+			err = pprof.WriteHeapProfile(hf)
+			if cerr := hf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		keep(err)
+	}
+	return firstErr
+}

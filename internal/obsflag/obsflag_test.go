@@ -1,0 +1,127 @@
+package obsflag
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestRegisterBindsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Register(fs)
+	err := fs.Parse([]string{"-metrics", "m.txt", "-trace", "t.jsonl", "-pprof", "prof"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Metrics != "m.txt" || f.Trace != "t.jsonl" || f.Pprof != "prof" {
+		t.Fatalf("parsed flags: %+v", f)
+	}
+	if !f.Enabled() {
+		t.Fatal("Enabled() = false with metrics+trace set")
+	}
+	if (&Flags{Pprof: "p"}).Enabled() {
+		t.Fatal("Enabled() = true for pprof-only flags")
+	}
+}
+
+func TestSetupInstrumentsSimulators(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		Metrics: filepath.Join(dir, "metrics.json"),
+		Trace:   filepath.Join(dir, "trace.jsonl"),
+		Pprof:   filepath.Join(dir, "prof"),
+	}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Any simulator constructed while the session is live must pick up an
+	// instrumented, run-labelled registry through sim.ObsProvider.
+	s := sim.New(7)
+	if s.Obs() == nil {
+		t.Fatal("sim.New did not receive a registry from ObsProvider")
+	}
+	if run := s.Obs().Run(); run != "s7" {
+		t.Fatalf("run label = %q, want s7", run)
+	}
+	s.Schedule(0, func() {})
+	s.Schedule(5, func() {
+		s.Obs().Emit(obs.Event{TUS: 5, Ev: obs.EvPlayoutMiss, Node: "client", Seq: 3})
+	})
+	s.RunAll()
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.ObsProvider != nil {
+		t.Error("Close did not uninstall sim.ObsProvider")
+	}
+
+	// Metrics snapshot (JSON flavour) must contain the engine counter.
+	data, err := os.ReadFile(f.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sim.events_executed": 2`) {
+		t.Errorf("metrics snapshot missing counter:\n%s", data)
+	}
+
+	// Trace lines must decode against the schema and carry the run label.
+	raw, err := os.ReadFile(f.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := bufio.NewScanner(bytes.NewReader(raw))
+	lines := 0
+	for scan.Scan() {
+		lines++
+		ev, err := obs.DecodeEvent(scan.Bytes())
+		if err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if ev.Run != "s7" {
+			t.Errorf("line %d: run = %q, want s7", lines, ev.Run)
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("trace has %d lines, want 1", lines)
+	}
+
+	// Profiles must exist and be non-empty.
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		st, err := os.Stat(filepath.Join(f.Pprof, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestInertSession(t *testing.T) {
+	sess, err := (&Flags{}).Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Reg != nil {
+		t.Error("inert session has a registry")
+	}
+	if sim.ObsProvider != nil {
+		t.Error("inert session installed ObsProvider")
+	}
+	if err := sess.Close(); err != nil {
+		t.Error(err)
+	}
+	var nilSess *Session
+	if err := nilSess.Close(); err != nil {
+		t.Error(err)
+	}
+}

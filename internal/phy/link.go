@@ -3,6 +3,7 @@ package phy
 import (
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -60,6 +61,13 @@ func (e *Environment) BusyFraction(now sim.Time, ch Channel, pos Position) float
 
 // LinkParams configures a Link between one AP and one client.
 type LinkParams struct {
+	// Name labels the link in metrics and traces ("A", "B", ...). Optional.
+	Name string
+	// Obs, when non-nil, receives the link's attempt/loss counters (see
+	// docs/OBSERVABILITY.md). The nil default disables instrumentation at
+	// zero cost.
+	Obs *obs.Registry
+
 	APPos     Position
 	Chan      Channel
 	Client    MobilityModel
@@ -88,6 +96,11 @@ type Link struct {
 	shadow *Shadowing
 	fades  []*GilbertElliott // one chain per MIMO spatial branch
 	rng    *rand.Rand
+
+	// Cached instruments (nil-safe no-ops when params.Obs is nil).
+	ctAttempts  *obs.Counter
+	ctCollision *obs.Counter
+	ctNoise     *obs.Counter
 }
 
 // NewLink builds a link. rng drives all of the link's stochastic processes;
@@ -103,10 +116,13 @@ func NewLink(rng *rand.Rand, env *Environment, p LinkParams) *Link {
 		p.FadeBad = 500 * sim.Millisecond
 	}
 	l := &Link{
-		params: p,
-		env:    env,
-		shadow: NewShadowing(rng, p.ShadowDB, p.ShadowT),
-		rng:    rng,
+		params:      p,
+		env:         env,
+		shadow:      NewShadowing(rng, p.ShadowDB, p.ShadowT),
+		rng:         rng,
+		ctAttempts:  p.Obs.Counter("phy.tx_attempts"),
+		ctCollision: p.Obs.Counter("phy.collision_losses"),
+		ctNoise:     p.Obs.Counter("phy.noise_losses"),
 	}
 	for i := 0; i < p.MIMOOrder; i++ {
 		l.fades = append(l.fades, NewGilbertElliott(rng, p.FadeGood, p.FadeBad))
@@ -186,16 +202,25 @@ func (l *Link) Attempt(now sim.Time, rate Rate) bool {
 // SNR-driven error term — prioritization addresses congestion, not
 // wireless loss (the paper's §2 point).
 func (l *Link) AttemptPriority(now sim.Time, rate Rate, priority bool) bool {
+	l.ctAttempts.Inc()
 	_, coll := l.env.Impact(now, l.params.Chan, l.params.Client.PositionAt(now))
 	if priority {
 		coll *= 0.5
 	}
 	if coll > 0 && l.rng.Float64() < coll {
+		l.ctCollision.Inc()
 		return false
 	}
 	per := FrameErrorProb(l.SNRdB(now), rate)
-	return l.rng.Float64() >= per
+	if l.rng.Float64() < per {
+		l.ctNoise.Inc()
+		return false
+	}
+	return true
 }
+
+// Name returns the link's metrics/trace label.
+func (l *Link) Name() string { return l.params.Name }
 
 // BusyFraction exposes the environment's medium occupancy on this link's
 // channel at the client's position, for the MAC's access-delay model.

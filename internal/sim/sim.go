@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Time is a point in virtual time, in microseconds since the start of the
@@ -127,15 +129,44 @@ type Simulator struct {
 	stopped bool
 
 	executed uint64 // total events run, for diagnostics
+
+	// obs is the observability registry threaded through every substrate
+	// built on this simulator (nil = disabled; all hooks become no-ops).
+	obs     *obs.Registry
+	evCount *obs.Counter // cached "sim.events_executed" counter
 }
+
+// ObsProvider, when non-nil, supplies the observability registry attached
+// to every Simulator created by New. The CLIs set it once at startup (to a
+// shared root registry scoped per run via WithRun) so that experiment code
+// — which constructs its own simulators deep inside corpus runners — is
+// instrumented without signature changes. The default, nil, leaves every
+// simulation unobserved at zero cost.
+var ObsProvider func(seed int64) *obs.Registry
 
 // New returns a Simulator whose random streams derive from seed.
 func New(seed int64) *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		seed:    seed,
 		streams: make(map[string]*rand.Rand),
 	}
+	if ObsProvider != nil {
+		s.SetObs(ObsProvider(seed))
+	}
+	return s
 }
+
+// SetObs attaches an observability registry (nil detaches). Components
+// constructed on this simulator pick the registry up at their own
+// construction time, so call SetObs before building the scenario.
+func (s *Simulator) SetObs(r *obs.Registry) {
+	s.obs = r
+	s.evCount = r.Counter("sim.events_executed")
+}
+
+// Obs returns the attached observability registry (possibly nil; the obs
+// API is nil-safe, so callers use the result unconditionally).
+func (s *Simulator) Obs() *obs.Registry { return s.obs }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
@@ -211,6 +242,7 @@ func (s *Simulator) Run(until Time) Time {
 		ev.fn = nil
 		ev.dead = true
 		s.executed++
+		s.evCount.Inc()
 		fn()
 	}
 	if s.now < until && !s.stopped {
@@ -232,6 +264,7 @@ func (s *Simulator) RunAll() Time {
 		ev.fn = nil
 		ev.dead = true
 		s.executed++
+		s.evCount.Inc()
 		fn()
 	}
 	return s.now

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenTable is a fixture exercising every layout rule the Table godoc
+// pins down: a title, a column whose widest cell is a data cell, a column
+// whose widest cell is the header, a short row (empty-padded), and cells
+// that force CSV quoting.
+func goldenTable() *Table {
+	tbl := NewTable("Golden fixture — Table 3 shaped",
+		"strategy", "worst-5s p90 (%)", "note")
+	tbl.AddRowf("stronger", 43.268, "baseline")
+	tbl.AddRowf("cross-link", 12.4, `quoted "p90", see §4`)
+	tbl.AddRow("divert")
+	tbl.AddRowf("a-strategy-name-wider-than-its-header", 0.0, "tail")
+	return tbl
+}
+
+// goldenPlot is a fixture exercising the AsciiPlot godoc: two series (glyph
+// cycling, legend order), interpolation across columns, overlapping points,
+// and non-round axis ranges.
+func goldenPlot() string {
+	series := map[string][]Point{
+		"stronger":   {{X: 0, Y: 0.1}, {X: 25, Y: 0.55}, {X: 100, Y: 0.97}},
+		"cross-link": {{X: 0, Y: 0.4}, {X: 50, Y: 0.8}, {X: 100, Y: 1.0}},
+	}
+	return AsciiPlot("golden CDF", series, []string{"stronger", "cross-link"}, 48, 12)
+}
+
+// TestGolden pins the exact bytes of the three output formats. The golden
+// files under testdata/ are the rendered contract described in the godoc of
+// Table.String, Table.CSV, and AsciiPlot; regenerate them after a deliberate
+// format change with
+//
+//	go test ./internal/stats -run TestGolden -update
+//
+// and review the diff like any other contract change.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		file string
+		got  string
+	}{
+		{"table.txt", goldenTable().String()},
+		{"table.csv", goldenTable().CSV()},
+		{"plot.txt", goldenPlot()},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(c.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if c.got != string(want) {
+				t.Errorf("output differs from %s — if intended, re-run with -update and review the diff\ngot:\n%s\nwant:\n%s",
+					path, c.got, want)
+			}
+		})
+	}
+}

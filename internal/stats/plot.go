@@ -7,8 +7,20 @@ import (
 )
 
 // AsciiPlot renders one or more (x, y) series as a terminal line chart —
-// the closest a text harness gets to the paper's CDF figures. Each series
-// is drawn with its own glyph; axes are annotated with the data ranges.
+// the closest a text harness gets to the paper's CDF figures. The output is
+// (top to bottom): the title line (when non-empty); height grid lines, each
+// an 8-column y-axis label gutter (%7.2f printed on the top, middle, and
+// bottom lines only), a `|` margin, then width plot columns; a `+----`
+// x-axis rule; one line with the min/max x labels (%.1f) at its two ends;
+// and one legend line per series (`glyph name`, in order's order).
+//
+// Series are drawn in order with glyphs * + o x # @ (cycling past six);
+// consecutive points are connected by linear interpolation stepped per
+// column, and an earlier series' glyph is never overdrawn by a later line
+// segment (points still overdraw). Axis ranges are the data min/max of all
+// series in order, degenerate ranges widened by 1; a width below 20 falls
+// back to the default 60, a height below 5 to the default 16. Series absent
+// from order are not rendered; with no data the output is "<title> (no data)".
 func AsciiPlot(title string, series map[string][]Point, order []string, width, height int) string {
 	if width < 20 {
 		width = 60

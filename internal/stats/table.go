@@ -46,7 +46,20 @@ func (t *Table) AddRowf(cells ...any) {
 	t.AddRow(strs...)
 }
 
-// String renders the aligned text form.
+// String renders the aligned text form, the default `cmd/experiments`
+// output. The layout is fixed (and pinned by the golden files under
+// testdata/):
+//
+//	<Title>\n                          — omitted entirely when Title == ""
+//	<h1>  <h2>  …\n                    — headers, two-space gutter
+//	<----->  <-->  …\n                 — one dash run per column
+//	<c1>  <c2>  …\n                    — one line per row
+//
+// Every column is left-aligned and padded to the width of its widest cell
+// (headers included), so the same column starts at the same byte offset on
+// every line. Trailing rows of a column may still end early — padding is
+// %-*s, so the final column carries trailing spaces only when a wider cell
+// exists below it.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -85,7 +98,13 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as RFC-4180-ish CSV (quoting cells that need it).
+// CSV renders the machine form behind the `-csv` flag: the header row then
+// one line per data row, LF-terminated, comma-separated. The Title is NOT
+// included — concatenated experiment outputs stay parseable as one stream.
+// Quoting follows RFC 4180: a cell containing a comma, double quote, or
+// newline is wrapped in double quotes with embedded quotes doubled; all
+// other cells are written verbatim. Cell text is emitted exactly as stored
+// (no padding), so String and CSV differ only in layout, never in content.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -111,7 +130,11 @@ func (t *Table) CSV() string {
 }
 
 // SeriesTable renders one or more named (x, y) series side by side, keyed by
-// X — the format used for the paper's CDF figures.
+// X — the format used for the paper's CDF figures. The first column is the
+// union of all X values in ascending order, printed %.3f; each series named
+// in order contributes one column of %.4f Y values, with an empty cell where
+// a series has no point at that X. Series in the map but absent from order
+// are not rendered.
 func SeriesTable(title, xLabel string, series map[string][]Point, order []string) *Table {
 	headers := append([]string{xLabel}, order...)
 	t := NewTable(title, headers...)
