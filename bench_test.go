@@ -8,7 +8,7 @@
 package repro
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 
 	"repro/internal/core"
@@ -255,7 +255,7 @@ func BenchmarkMACTransmit(b *testing.B) {
 		ShadowDB: 5, ShadowT: 4 * sim.Second,
 		FadeGood: 10 * sim.Second, FadeBad: 300 * sim.Millisecond,
 	})
-	tx := mac.NewTransmitter(link, rand.New(rand.NewSource(2)))
+	tx := mac.NewTransmitter(link, rng.New(2))
 	now := sim.Time(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -265,7 +265,7 @@ func BenchmarkMACTransmit(b *testing.B) {
 }
 
 func BenchmarkGilbertElliott(b *testing.B) {
-	g := phy.NewGilbertElliott(rand.New(rand.NewSource(3)), sim.Second, 200*sim.Millisecond)
+	g := phy.NewGilbertElliott(rng.New(3), sim.Second, 200*sim.Millisecond)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Bad(sim.Time(i) * sim.Time(20*sim.Millisecond))
@@ -273,7 +273,7 @@ func BenchmarkGilbertElliott(b *testing.B) {
 }
 
 func BenchmarkFullDualCall(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	sc := core.RandomScenario(rng, core.ImpWeakLink, traffic.G711, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -285,7 +285,7 @@ func BenchmarkFullDualCall(b *testing.B) {
 }
 
 func BenchmarkFullDiversiFiCall(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	sc := core.RandomScenario(rng, core.ImpWeakLink, traffic.G711, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,7 +296,7 @@ func BenchmarkFullDiversiFiCall(b *testing.B) {
 func BenchmarkTraceMerge(b *testing.B) {
 	mk := func(seed int64) *trace.Trace {
 		tr := trace.New(6000, 20*sim.Millisecond)
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		for i := 0; i < 6000; i++ {
 			at := sim.Time(i) * sim.Time(20*sim.Millisecond)
 			tr.RecordSent(i, at)
@@ -315,7 +315,7 @@ func BenchmarkTraceMerge(b *testing.B) {
 
 func BenchmarkWorstWindow(b *testing.B) {
 	lost := make([]bool, 6000)
-	rng := rand.New(rand.NewSource(6))
+	rng := rng.New(6)
 	for i := range lost {
 		lost[i] = rng.Float64() < 0.05
 	}
@@ -326,7 +326,7 @@ func BenchmarkWorstWindow(b *testing.B) {
 }
 
 func BenchmarkCDFPercentiles(b *testing.B) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rng.New(7)
 	xs := make([]float64, 1000)
 	for i := range xs {
 		xs[i] = rng.Float64() * 100

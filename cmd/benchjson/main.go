@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_<date>.json format the repository checks in to
+// track simulator performance over time (see docs/PERFORMANCE.md).
+//
+// Each input is one benchmark run, given as label=file; "-" as the file
+// reads stdin. All standard testing metrics are kept (ns/op, B/op,
+// allocs/op) along with any custom b.ReportMetric units (the scheduler
+// benchmarks report events/sec); ops/sec is derived from ns/op for
+// benchmarks that do not report a throughput of their own.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/sim > run.txt
+//	go run ./cmd/benchjson -date 2026-08-06 -o BENCH_2026-08-06.json current=run.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// RunSet is every benchmark parsed from one labelled input.
+type RunSet struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the BENCH_<date>.json document.
+type File struct {
+	Date string   `json:"date"`
+	Runs []RunSet `json:"runs"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp for the output document (required)")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson -date YYYY-MM-DD [-o out.json] label=file [label=file...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *date == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	doc := File{Date: *date}
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=file\n", arg)
+			os.Exit(2)
+		}
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		rs, err := parseRun(label, r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if len(rs.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s contains no benchmark lines\n", path)
+			os.Exit(1)
+		}
+		doc.Runs = append(doc.Runs, rs)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseRun reads one `go test -bench` output stream.
+func parseRun(label string, r io.Reader) (RunSet, error) {
+	rs := RunSet{Label: label}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rs.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rs.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rs.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return rs, err
+			}
+			b.Pkg = pkg
+			rs.Benchmarks = append(rs.Benchmarks, b)
+		}
+	}
+	return rs, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   12345   86.06 ns/op   11620362 events/sec   56 B/op   2 allocs/op
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix when it is purely numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: name, Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+		if _, has := b.Metrics["events/sec"]; !has {
+			b.Metrics["ops/sec"] = 1e9 / ns
+		}
+	}
+	return b, nil
+}

@@ -13,8 +13,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"repro/internal/sim/rng"
 	"time"
 
 	"repro/internal/core"
@@ -62,7 +62,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		rng := rand.New(rand.NewSource(*seed))
+		rng := rng.New(*seed)
 		sc = core.RandomScenario(rng, impairment, profile, *seed).
 			WithDuration(sim.FromSeconds(duration.Seconds()))
 	}

@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/nettest"
 )
@@ -32,7 +32,7 @@ func main() {
 		}
 		cfg.Counts = scaled
 	}
-	st := nettest.Run(rand.New(rand.NewSource(*seed)), cfg)
+	st := nettest.Run(rng.New(*seed), cfg)
 	byType, counts, overall := st.PCRByType()
 	fmt.Printf("%-12s %8s %8s\n", "call type", "calls", "PCR %")
 	total := 0

@@ -6,7 +6,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -20,7 +20,7 @@ func main() {
 	fmt.Println("5 Mbps interactive stream (cloud gaming) over flaky WiFi")
 	fmt.Printf("(%d simulated 30-second sessions, weak-link conditions)\n\n", runs)
 
-	rng := rand.New(rand.NewSource(42))
+	rng := rng.New(42)
 	deadline := 150 * sim.Millisecond
 	var strongWorst, crossWorst, divWorst []float64
 	for i := 0; i < runs; i++ {

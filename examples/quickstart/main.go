@@ -5,7 +5,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -17,7 +17,7 @@ import (
 func main() {
 	// A randomly placed client in the paper's 30 m × 15 m office with a
 	// weak-link impairment: both APs reachable, neither great.
-	rng := rand.New(rand.NewSource(2016))
+	rng := rng.New(2016)
 	scenario := core.RandomScenario(rng, core.ImpWeakLink, traffic.G711, 2016)
 
 	// Baseline: associate with the stronger AP and hope for the best.

@@ -6,7 +6,7 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/traffic"
@@ -21,7 +21,7 @@ func main() {
 	fmt.Printf("%-12s %14s %14s %16s\n", "impairment", "single PCR", "DiversiFi PCR", "mean waste")
 
 	for _, imp := range core.AllImpairments {
-		rng := rand.New(rand.NewSource(int64(imp) + 99))
+		rng := rng.New(int64(imp) + 99)
 		var single, diversifi []voip.Quality
 		var waste float64
 		for i := 0; i < callsPerImpairment; i++ {

@@ -6,7 +6,7 @@
 package ap
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/mac"
 	"repro/internal/obs"
@@ -96,9 +96,16 @@ type AP struct {
 	pres ClientPresence
 
 	asleep  bool
-	queue   []Packet // PSM/host buffer
-	hw      []Packet // hardware queue: committed to the air
+	queue   pkt.Ring[Packet] // PSM/host buffer
+	hw      pkt.Ring[Packet] // hardware queue: committed to the air
 	sending bool
+
+	// In-flight transmission state. Only one frame is on the air at a time
+	// (sending guards kick), so a single field pair plus the prebuilt
+	// txDone closure replaces a per-frame closure allocation.
+	curPkt Packet
+	curOut mac.TxOutcome
+	txDone func()
 
 	deliver func(Packet, sim.Time)
 	stats   Stats
@@ -115,7 +122,7 @@ type AP struct {
 
 // New creates an AP transmitting over link. deliver is invoked (in virtual
 // time) for every frame the client actually receives.
-func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rand.Rand, pres ClientPresence, deliver func(Packet, sim.Time)) *AP {
+func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rng.Stream, pres ClientPresence, deliver func(Packet, sim.Time)) *AP {
 	if cfg.MaxQueue <= 0 {
 		if cfg.Policy == HeadDrop {
 			cfg.MaxQueue = 5
@@ -132,7 +139,7 @@ func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rand.Rand, pres Clie
 	}
 	reg := s.Obs()
 	tx.SetObs(reg, cfg.Name)
-	return &AP{
+	a := &AP{
 		cfg:         cfg,
 		sim:         s,
 		tx:          tx,
@@ -146,6 +153,8 @@ func New(s *sim.Simulator, cfg Config, link *phy.Link, rng *rand.Rand, pres Clie
 		ctLost:      reg.Counter("ap.tx_lost"),
 		gQueueDepth: reg.Gauge("ap.queue_depth"),
 	}
+	a.txDone = a.onTxDone
+	return a
 }
 
 // Name returns the AP's identifier.
@@ -161,7 +170,7 @@ func (a *AP) Stats() Stats { return a.stats }
 func (a *AP) Asleep() bool { return a.asleep }
 
 // QueueLen returns the current host-side buffer occupancy.
-func (a *AP) QueueLen() int { return len(a.queue) }
+func (a *AP) QueueLen() int { return a.queue.Len() }
 
 // SetQueueConfig applies the client's requested queue policy and size, as
 // signalled via the association-request information element (§5.3.1).
@@ -181,16 +190,17 @@ func (a *AP) Enqueue(p Packet) {
 	if a.asleep {
 		a.stats.EnqueuedWhileAsleep++
 	}
-	if len(a.queue) >= a.cfg.MaxQueue {
+	if a.queue.Len() >= a.cfg.MaxQueue {
 		a.stats.QueueDrops++
 		a.ctQDrops.Inc()
 		if a.cfg.Policy == HeadDrop {
 			// Evict the oldest to keep the freshest MaxQueue packets.
 			if a.obs.Tracing() {
 				a.obs.Emit(obs.Event{TUS: int64(a.sim.Now()), Ev: obs.EvHeadDrop,
-					Node: a.cfg.Name, Seq: a.queue[0].Seq, Detail: obs.DropEvictOldest})
+					Node: a.cfg.Name, Seq: a.queue.Peek().Seq, Detail: obs.DropEvictOldest})
 			}
-			a.queue = append(a.queue[1:], p)
+			a.queue.Pop()
+			a.queue.Push(p)
 		} else {
 			// Tail-drop refuses the newcomer instead.
 			if a.obs.Tracing() {
@@ -199,9 +209,9 @@ func (a *AP) Enqueue(p Packet) {
 			}
 		}
 	} else {
-		a.queue = append(a.queue, p)
+		a.queue.Push(p)
 	}
-	a.gQueueDepth.Set(int64(len(a.queue)))
+	a.gQueueDepth.Set(int64(a.queue.Len()))
 	if !a.asleep {
 		a.kick()
 	}
@@ -225,49 +235,54 @@ func (a *AP) kick() {
 	if a.sending {
 		return
 	}
-	if len(a.hw) == 0 {
-		if a.asleep || len(a.queue) == 0 {
+	if a.hw.Len() == 0 {
+		if a.asleep || a.queue.Len() == 0 {
 			return
 		}
 		n := a.cfg.HWBatch
-		if n > len(a.queue) {
-			n = len(a.queue)
+		if n > a.queue.Len() {
+			n = a.queue.Len()
 		}
-		a.hw = append(a.hw, a.queue[:n]...)
-		a.queue = a.queue[n:]
-		a.gQueueDepth.Set(int64(len(a.queue)))
+		for i := 0; i < n; i++ {
+			a.hw.Push(a.queue.Pop())
+		}
+		a.gQueueDepth.Set(int64(a.queue.Len()))
 	}
 	a.sending = true
-	p := a.hw[0]
-	a.hw = a.hw[1:]
-	out := a.tx.Transmit(a.sim.Now(), p.Size)
-	a.sim.Schedule(out.At, func() {
-		a.stats.Transmitted++
-		listening := a.pres.Listening(a, out.At)
-		outcome := obs.TxLost
-		switch {
-		case out.Delivered && listening:
-			a.stats.DeliveredToClient++
-			a.ctDelivered.Inc()
-			outcome = obs.TxDelivered
-		case out.Delivered && !listening:
-			a.stats.WastedTransmissions++
-			a.ctWasted.Inc()
-			outcome = obs.TxWasted
-		default:
-			a.stats.MACDrops++
-			a.ctLost.Inc()
-		}
-		// Emit before invoking the delivery callback so the trace shows
-		// the cause (tx) ahead of its effects (retrieve, link-switch).
-		if a.obs.Tracing() {
-			a.obs.Emit(obs.Event{TUS: int64(out.At), Ev: obs.EvTx, Node: a.cfg.Name,
-				Seq: p.Seq, Attempt: out.Attempts, DurUS: int64(out.Airtime), Detail: outcome})
-		}
-		if outcome == obs.TxDelivered && a.deliver != nil {
-			a.deliver(p, out.At)
-		}
-		a.sending = false
-		a.kick()
-	})
+	a.curPkt = a.hw.Pop()
+	a.curOut = a.tx.Transmit(a.sim.Now(), a.curPkt.Size)
+	a.sim.Schedule(a.curOut.At, a.txDone)
+}
+
+// onTxDone settles the frame whose transmit chain just completed (it is
+// scheduled, via the prebuilt txDone closure, at the chain's end time).
+func (a *AP) onTxDone() {
+	p, out := a.curPkt, a.curOut
+	a.stats.Transmitted++
+	listening := a.pres.Listening(a, out.At)
+	outcome := obs.TxLost
+	switch {
+	case out.Delivered && listening:
+		a.stats.DeliveredToClient++
+		a.ctDelivered.Inc()
+		outcome = obs.TxDelivered
+	case out.Delivered && !listening:
+		a.stats.WastedTransmissions++
+		a.ctWasted.Inc()
+		outcome = obs.TxWasted
+	default:
+		a.stats.MACDrops++
+		a.ctLost.Inc()
+	}
+	// Emit before invoking the delivery callback so the trace shows
+	// the cause (tx) ahead of its effects (retrieve, link-switch).
+	if a.obs.Tracing() {
+		a.obs.Emit(obs.Event{TUS: int64(out.At), Ev: obs.EvTx, Node: a.cfg.Name,
+			Seq: p.Seq, Attempt: out.Attempts, DurUS: int64(out.Airtime), Detail: outcome})
+	}
+	if outcome == obs.TxDelivered && a.deliver != nil {
+		a.deliver(p, out.At)
+	}
+	a.sending = false
+	a.kick()
 }

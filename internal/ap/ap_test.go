@@ -1,7 +1,7 @@
 package ap
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 
 	"repro/internal/phy"
@@ -22,7 +22,7 @@ func cleanLink(s *sim.Simulator) *phy.Link {
 }
 
 func mkAP(s *sim.Simulator, cfg Config, pres ClientPresence, deliver func(Packet, sim.Time)) *AP {
-	return New(s, cfg, cleanLink(s), rand.New(rand.NewSource(1)), pres, deliver)
+	return New(s, cfg, cleanLink(s), rng.New(1), pres, deliver)
 }
 
 func TestAwakeDeliveryInOrder(t *testing.T) {
@@ -252,7 +252,7 @@ func TestPacketConservation(t *testing.T) {
 		FadeGood:  100 * sim.Minute, FadeBad: sim.Millisecond,
 	})
 	a := New(s, Config{Chan: phy.Chan1, Policy: HeadDrop, MaxQueue: 5},
-		link, rand.New(rand.NewSource(11)),
+		link, rng.New(11),
 		presenceFunc(func(*AP, sim.Time) bool { return listening }),
 		func(Packet, sim.Time) { delivered++ })
 
@@ -275,10 +275,10 @@ func TestPacketConservation(t *testing.T) {
 	s.RunAll()
 	st := a.Stats()
 	accounted := st.DeliveredToClient + st.WastedTransmissions + st.MACDrops +
-		st.QueueDrops + a.QueueLen() + len(a.hw)
+		st.QueueDrops + a.QueueLen() + a.hw.Len()
 	if accounted != n {
 		t.Fatalf("conservation violated: %d accounted of %d (stats %+v, queued %d, hw %d)",
-			accounted, n, st, a.QueueLen(), len(a.hw))
+			accounted, n, st, a.QueueLen(), a.hw.Len())
 	}
 	if st.DeliveredToClient != delivered {
 		t.Fatalf("stats delivered %d != callback count %d", st.DeliveredToClient, delivered)

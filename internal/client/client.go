@@ -126,8 +126,8 @@ type Client struct {
 
 	st            state
 	missing       map[int]sim.Time // seq -> recovery deadline (SentAt+Deadline)
-	pendingSwitch *sim.Timer
-	failsafe      *sim.Timer
+	pendingSwitch sim.Timer
+	failsafe      sim.Timer
 	lastSecVisit  sim.Time
 
 	// absence tracking for the TCP-coexistence experiment: periods when
@@ -390,7 +390,7 @@ func (c *Client) lossCheck(seq int) {
 // when seq is HeadMargin slots from eviction out of the secondary's
 // head-drop queue — the implicit packet selection of §5.2.5.
 func (c *Client) planRecovery(seq int) {
-	if c.st != onPrimary || (c.pendingSwitch != nil && c.pendingSwitch.Pending()) {
+	if c.st != onPrimary || c.pendingSwitch.Pending() {
 		return // a visit is already in progress or planned; it will serve seq too
 	}
 	apql := c.cfg.Profile.APQueueLen()
@@ -460,9 +460,7 @@ func (c *Client) returnToPrimary() {
 	if c.st != onSecondary {
 		return
 	}
-	if c.failsafe != nil {
-		c.failsafe.Stop()
-	}
+	c.failsafe.Stop()
 	if c.obs.Tracing() {
 		c.obs.Emit(obs.Event{TUS: int64(c.sim.Now()), Ev: obs.EvLinkSwitch, Node: "client",
 			Seq: -1, DurUS: int64(switchCost()), Detail: obs.SwitchToPrimary})

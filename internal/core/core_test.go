@@ -2,7 +2,7 @@ package core
 
 import (
 	"encoding/json"
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 
 	"repro/internal/sim"
@@ -54,7 +54,7 @@ func TestStrongerPicksHigherRSSI(t *testing.T) {
 }
 
 func TestCrossLinkNeverWorseThanEitherLink(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	for i := 0; i < 5; i++ {
 		sc := RandomScenario(rng, ImpWeakLink, traffic.G711, int64(100+i)).WithDuration(30 * sim.Second)
 		d := RunDualCall(sc)
@@ -275,7 +275,7 @@ func TestImpairmentStrings(t *testing.T) {
 }
 
 func TestRandomScenarioCoversImpairments(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := rng.New(17)
 	for _, imp := range AllImpairments {
 		sc := RandomScenario(rng, imp, traffic.G711, 500)
 		if sc.Impairment != imp {
@@ -496,7 +496,7 @@ func TestFullAssociationMatchesDirectConfig(t *testing.T) {
 }
 
 func TestScenarioJSONRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(70))
+	rng := rng.New(70)
 	for _, imp := range AllImpairments {
 		orig := RandomScenario(rng, imp, traffic.G711, 7000+int64(imp))
 		data, err := json.Marshal(orig)

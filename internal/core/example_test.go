@@ -2,7 +2,7 @@ package core_test
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -14,7 +14,7 @@ import (
 // ExampleRunDualCall simulates one call received over both WiFi links and
 // compares stock link selection with cross-link replication.
 func ExampleRunDualCall() {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	sc := core.RandomScenario(rng, core.ImpWeakLink, traffic.G711, 2016).
 		WithDuration(30 * sim.Second)
 
@@ -45,7 +45,7 @@ func ExampleRunDiversiFi() {
 // ExampleDualCall_Handoff contrasts an RSSI-driven handoff client with
 // replication on a mobile scenario.
 func ExampleDualCall_Handoff() {
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	sc := core.RandomScenario(rng, core.ImpMobility, traffic.G711, 900)
 	d := core.RunDualCall(sc)
 
@@ -62,7 +62,7 @@ func ExampleDualCall_Handoff() {
 // ExampleScenario_marshalJSON shows scenario round-tripping for
 // reproducible sharing of a run.
 func Example_scenarioReplay() {
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	sc := core.RandomScenario(rng, core.ImpCongestion, traffic.G711, 77).
 		WithDuration(20 * sim.Second)
 	a := core.RunDualCall(sc)

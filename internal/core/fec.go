@@ -59,6 +59,7 @@ func RunFEC(sc Scenario, k int) FECResult {
 			raw.RecordArrival(p.Seq, at)
 		})
 	wire := netsim.NewWire(s, "fecLan", lanLatency, lanJitter, 0)
+	enq := a.Enqueue
 
 	for seq := 0; seq < count; seq++ {
 		seq := seq
@@ -66,7 +67,7 @@ func RunFEC(sc Scenario, k int) FECResult {
 		s.Schedule(at, func() {
 			p := pkt.Packet{StreamID: 1, Seq: seq, Size: sc.Profile.PacketBytes, SentAt: s.Now()}
 			raw.RecordSent(seq, p.SentAt)
-			wire.Send(p, a.Enqueue)
+			wire.Send(p, enq)
 			if (seq+1)%k == 0 {
 				// Emit the block's parity right after its last member.
 				par := pkt.Packet{
@@ -75,7 +76,7 @@ func RunFEC(sc Scenario, k int) FECResult {
 					Size:     sc.Profile.PacketBytes,
 					SentAt:   s.Now(),
 				}
-				wire.Send(par, a.Enqueue)
+				wire.Send(par, enq)
 			}
 		})
 	}

@@ -72,6 +72,7 @@ func RunMultiCall(sc Scenario, n int) []*trace.Trace {
 	traces := make([]*trace.Trace, n)
 	aps := make([]*ap.AP, n)
 	wires := make([]*netsim.Wire, n)
+	enqs := make([]func(pkt.Packet), n)
 	for i := range linkList {
 		i := i
 		traces[i] = trace.New(count, sc.Profile.Spacing)
@@ -79,6 +80,7 @@ func RunMultiCall(sc Scenario, n int) []*trace.Trace {
 			linkList[i], s.RNG("multilink/ap"+string(rune('0'+i))), ap.AlwaysListening{},
 			func(p pkt.Packet, at sim.Time) { traces[i].RecordArrival(p.Seq, at) })
 		wires[i] = netsim.NewWire(s, "mlan"+string(rune('0'+i)), lanLatency, lanJitter, 0)
+		enqs[i] = aps[i].Enqueue
 	}
 
 	for seq := 0; seq < count; seq++ {
@@ -87,7 +89,7 @@ func RunMultiCall(sc Scenario, n int) []*trace.Trace {
 			p := pkt.Packet{StreamID: 1, Seq: seq, Size: sc.Profile.PacketBytes, SentAt: s.Now()}
 			for i := range aps {
 				traces[i].RecordSent(seq, p.SentAt)
-				wires[i].Send(p, aps[i].Enqueue)
+				wires[i].Send(p, enqs[i])
 			}
 		})
 	}

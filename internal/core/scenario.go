@@ -8,7 +8,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -97,14 +97,14 @@ const (
 // RandomScenario draws a scenario of the given impairment class. rng is
 // corpus-level randomness (placement, parameters); the per-call fading and
 // interference draws come from the simulator seeded with Seed.
-func RandomScenario(rng *rand.Rand, imp Impairment, profile traffic.Profile, seed int64) Scenario {
+func RandomScenario(rng *rng.Stream, imp Impairment, profile traffic.Profile, seed int64) Scenario {
 	return RandomScenarioSeverity(rng, imp, profile, seed, 1.0)
 }
 
 // RandomScenarioSeverity is RandomScenario with an impairment severity
 // scale: 1.0 reproduces the §4 "wild" conditions, smaller values the
 // milder §6 office deployment.
-func RandomScenarioSeverity(rng *rand.Rand, imp Impairment, profile traffic.Profile, seed int64, severity float64) Scenario {
+func RandomScenarioSeverity(rng *rng.Stream, imp Impairment, profile traffic.Profile, seed int64, severity float64) Scenario {
 	sc := Scenario{
 		Impairment: imp,
 		Profile:    profile,

@@ -65,11 +65,14 @@ func RunDualCall(sc Scenario) DualCall {
 
 	wireA := netsim.NewWire(s, "lanA", lanLatency, lanJitter, 0)
 	wireB := netsim.NewWire(s, "lanB", lanLatency, lanJitter, 0)
+	// Bind the delivery callbacks once; building a method value per packet
+	// shows up in -benchmem at corpus scale.
+	enqA, enqB := apA.Enqueue, apB.Enqueue
 	src := traffic.NewSource(s, 1, sc.Profile, func(p pkt.Packet) {
 		trA.RecordSent(p.Seq, p.SentAt)
 		trB.RecordSent(p.Seq, p.SentAt)
-		wireA.Send(p, apA.Enqueue)
-		wireB.Send(p, apB.Enqueue)
+		wireA.Send(p, enqA)
+		wireB.Send(p, enqB)
 	})
 
 	res := DualCall{Scenario: sc, TraceA: trA, TraceB: trB}
@@ -208,6 +211,10 @@ func RunDiversiFi(sc Scenario, opts DiversiFiOptions) DiversiFiResult {
 	// which is assigned below before any packet flows.
 	var primAP, secAP *ap.AP
 	var feedSecondary func(pkt.Packet)
+	// secEnq is built once and captures secAP by reference (it is assigned
+	// below, before any packet flows); per-packet closures would dominate
+	// the wired path's allocation profile.
+	secEnq := func(q pkt.Packet) { secAP.Enqueue(q) }
 	if opts.Mode == ModeMiddlebox {
 		mbCfg := netsim.DefaultMiddleboxConfig()
 		mbCfg.BufferDepth = qlen
@@ -215,15 +222,16 @@ func RunDiversiFi(sc Scenario, opts DiversiFiOptions) DiversiFiResult {
 		mb.SetBackgroundLoad(opts.MiddleboxLoad)
 		mbOut := netsim.NewWire(s, "mbToSec", lanLatency, lanJitter, 0)
 		_ = mb.Register(1, netsim.PortFunc(func(p pkt.Packet) {
-			mbOut.Send(p, func(q pkt.Packet) { secAP.Enqueue(q) })
+			mbOut.Send(p, secEnq)
 		}))
 		wireMB := netsim.NewWire(s, "lanMB", lanLatency, lanJitter, 0)
-		feedSecondary = func(p pkt.Packet) { wireMB.Send(p, mb.Receive) }
+		mbRecv := mb.Receive
+		feedSecondary = func(p pkt.Packet) { wireMB.Send(p, mbRecv) }
 		cfg.Secondary = mbAdapter{mb: mb, streamID: 1}
 	} else {
 		wireSec := netsim.NewWire(s, "lanSec", lanLatency, lanJitter, 0)
 		feedSecondary = func(p pkt.Packet) {
-			wireSec.Send(p, func(q pkt.Packet) { secAP.Enqueue(q) })
+			wireSec.Send(p, secEnq)
 		}
 	}
 
@@ -239,9 +247,10 @@ func RunDiversiFi(sc Scenario, opts DiversiFiOptions) DiversiFiResult {
 	wirePrim := netsim.NewWire(s, "lanPrim", lanLatency, lanJitter, 0)
 
 	// The SDN switch (or source-side replication) fans the stream out.
+	primEnq := primAP.Enqueue
 	sw := netsim.NewSDNSwitch(nil)
 	_ = sw.InstallRule(1,
-		netsim.PortFunc(func(p pkt.Packet) { wirePrim.Send(p, primAP.Enqueue) }),
+		netsim.PortFunc(func(p pkt.Packet) { wirePrim.Send(p, primEnq) }),
 		netsim.PortFunc(func(p pkt.Packet) { feedSecondary(p) }),
 	)
 
@@ -340,13 +349,14 @@ func RunTemporal(sc Scenario, delta sim.Duration) (*trace.Trace, *trace.Trace) {
 			}
 		})
 	wire := netsim.NewWire(s, "lanT", lanLatency, lanJitter, 0)
+	enq := a.Enqueue
 	src := traffic.NewSource(s, 1, sc.Profile, func(p pkt.Packet) {
 		repl.RecordSent(p.Seq, p.SentAt)
 		base.RecordSent(p.Seq, p.SentAt)
-		wire.Send(p, a.Enqueue)
+		wire.Send(p, enq)
 		cp := p
 		cp.StreamID = copyStream
-		s.After(delta, func() { wire.Send(cp, a.Enqueue) })
+		s.After(delta, func() { wire.Send(cp, enq) })
 	})
 	s.Schedule(0, func() { src.Start(count) })
 	s.Run(sim.Time(sc.Duration + 2*sim.Second))
@@ -412,9 +422,10 @@ func RunPriorityCall(sc Scenario, voice bool) *trace.Trace {
 		link, s.RNG("ap/prio"), ap.AlwaysListening{},
 		func(p pkt.Packet, at sim.Time) { tr.RecordArrival(p.Seq, at) })
 	wire := netsim.NewWire(s, "prioLan", lanLatency, lanJitter, 0)
+	enq := a.Enqueue
 	src := traffic.NewSource(s, 1, sc.Profile, func(p pkt.Packet) {
 		tr.RecordSent(p.Seq, p.SentAt)
-		wire.Send(p, a.Enqueue)
+		wire.Send(p, enq)
 	})
 	s.Schedule(0, func() { src.Start(count) })
 	s.Run(sim.Time(sc.Duration + 2*sim.Second))

@@ -48,6 +48,7 @@ type uplinkClient struct {
 	queue    []pkt.Packet
 	sending  bool
 	maxQueue int
+	onWire   func(pkt.Packet) // prebuilt arrival recorder for wire.Send
 }
 
 // RunUplink simulates one uplink call. With diversifi=false the client
@@ -76,6 +77,7 @@ func RunUplink(sc Scenario, diversifi bool) UplinkResult {
 		divers:   diversifi,
 		maxQueue: 4 * sc.Profile.APQueueLen(),
 	}
+	c.onWire = func(q pkt.Packet) { c.tr.RecordArrival(q.Seq, q.Arrived) }
 
 	// The application hands the client a packet every Spacing.
 	emit := func(seq int) {
@@ -170,9 +172,7 @@ func (c *uplinkClient) retransmit(p pkt.Packet, done func()) {
 
 // deliver forwards the packet over the wired LAN to the peer.
 func (c *uplinkClient) deliver(p pkt.Packet) {
-	c.wire.Send(p, func(q pkt.Packet) {
-		c.tr.RecordArrival(q.Seq, q.Arrived)
-	})
+	c.wire.Send(p, c.onWire)
 }
 
 // pastDeadline reports whether p can no longer reach the peer in time,

@@ -1,8 +1,8 @@
 package emu
 
 import (
-	"math/rand"
 	"net"
+	"repro/internal/sim/rng"
 	"sync"
 	"time"
 )
@@ -33,7 +33,7 @@ type Link struct {
 
 	mu    sync.Mutex
 	cfg   LinkConfig
-	rng   *rand.Rand
+	rng   *rng.Stream
 	bad   bool
 	stats LinkStats
 
@@ -72,7 +72,7 @@ func NewLink(listenAddr, dst string, cfg LinkConfig) (*Link, error) {
 		conn:   conn,
 		dst:    daddr,
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rng.New(seed),
 		closed: make(chan struct{}),
 	}
 	l.wg.Add(1)
@@ -98,7 +98,7 @@ func (l *Link) SetConfig(cfg LinkConfig) {
 	seed := cfg.Seed
 	l.cfg = cfg
 	if seed != 0 {
-		l.rng = rand.New(rand.NewSource(seed))
+		l.rng = rng.New(seed)
 	}
 }
 

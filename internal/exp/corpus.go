@@ -5,7 +5,7 @@
 package exp
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/par"
@@ -55,7 +55,7 @@ var officeMix = []struct {
 // BuildCorpus draws n scenarios of the given kind. seed fixes both the
 // scenario draws and each call's per-run randomness.
 func BuildCorpus(kind CorpusKind, n int, seed int64, profile traffic.Profile) []core.Scenario {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	mix := wildMix
 	if kind == CorpusOffice {
 		mix = officeMix
@@ -84,7 +84,7 @@ func BuildCorpus(kind CorpusKind, n int, seed int64, profile traffic.Profile) []
 // ImpairmentCorpus draws n scenarios all of one impairment class (for the
 // per-impairment breakdown of Figure 6).
 func ImpairmentCorpus(imp core.Impairment, n int, seed int64, profile traffic.Profile) []core.Scenario {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	out := make([]core.Scenario, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, core.RandomScenario(rng, imp, profile, seed*2_000_003+int64(i)))

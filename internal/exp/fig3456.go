@@ -2,7 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -17,7 +17,7 @@ import (
 func Figure3(seed int64) *Result {
 	// Search nearby seeds for a weak-link call whose per-link loss rates
 	// resemble the paper's example; the search is deterministic.
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	deadline := networkDeadline
 	var best core.DualCall
 	bestScore := -1.0

@@ -2,7 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/nettest"
 	"repro/internal/population"
@@ -13,7 +13,7 @@ import (
 // Table1 regenerates the §3.1 VoIP-service analysis: relative PCR by
 // last-hop category under the paper's four subset filters.
 func Table1(seed int64) *Result {
-	m := population.Generate(rand.New(rand.NewSource(seed)), population.DefaultConfig())
+	m := population.Generate(rng.New(seed), population.DefaultConfig())
 	t := stats.NewTable("Table 1: change in PCR relative to the baseline (+ = better)",
 		"Subset", "EE", "EW", "WW", "EE(paper)", "EW(paper)", "WW(paper)")
 	paper := [][3]float64{
@@ -44,7 +44,7 @@ func Table1(seed int64) *Result {
 
 // Table2 regenerates the §3.2 NetTest study.
 func Table2(seed int64) *Result {
-	st := nettest.Run(rand.New(rand.NewSource(seed)), nettest.DefaultConfig())
+	st := nettest.Run(rng.New(seed), nettest.DefaultConfig())
 	byType, counts, overall := st.PCRByType()
 	paper := map[nettest.CallType]float64{
 		nettest.EW:        5.22,
@@ -79,7 +79,7 @@ func Table2(seed int64) *Result {
 
 // Figure1 regenerates the §3.3 BSSID availability survey.
 func Figure1(seed int64) *Result {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	obs := survey.Walk(rng, 32)
 	t := stats.NewTable("Figure 1: BSSIDs and distinct channels per location",
 		"Location", "BSSIDs", "Channels")

@@ -12,7 +12,7 @@ package mac
 
 import (
 	"fmt"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/obs"
 	"repro/internal/phy"
@@ -81,7 +81,7 @@ type TxOutcome struct {
 // is owned by whichever node transmits on the link (the AP, for downlink).
 type Transmitter struct {
 	Link *phy.Link
-	rng  *rand.Rand
+	rng  *rng.Stream
 
 	// AC selects the EDCA access category (default best-effort/DCF).
 	AC AccessCategory
@@ -103,7 +103,7 @@ type Transmitter struct {
 }
 
 // NewTransmitter creates a transmitter over link. rng drives backoff draws.
-func NewTransmitter(link *phy.Link, rng *rand.Rand) *Transmitter {
+func NewTransmitter(link *phy.Link, rng *rng.Stream) *Transmitter {
 	return &Transmitter{Link: link, rng: rng, rateIdx: 3, ewmaOK: 1}
 }
 

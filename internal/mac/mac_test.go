@@ -1,7 +1,7 @@
 package mac
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 
 	"repro/internal/phy"
@@ -9,7 +9,7 @@ import (
 )
 
 func goodLink(seed int64) *phy.Link {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	return phy.NewLink(rng, phy.NewEnvironment(), phy.LinkParams{
 		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
 		Client:   phy.Static{Pos: phy.Position{X: 3, Y: 0}},
@@ -18,7 +18,7 @@ func goodLink(seed int64) *phy.Link {
 }
 
 func awfulLink(seed int64) *phy.Link {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	return phy.NewLink(rng, phy.NewEnvironment(), phy.LinkParams{
 		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
 		Client:    phy.Static{Pos: phy.Position{X: 80, Y: 0}},
@@ -29,7 +29,7 @@ func awfulLink(seed int64) *phy.Link {
 }
 
 func TestTransmitGoodLinkDelivers(t *testing.T) {
-	tx := NewTransmitter(goodLink(1), rand.New(rand.NewSource(1)))
+	tx := NewTransmitter(goodLink(1), rng.New(1))
 	delivered := 0
 	now := sim.Time(0)
 	for i := 0; i < 1000; i++ {
@@ -48,7 +48,7 @@ func TestTransmitGoodLinkDelivers(t *testing.T) {
 }
 
 func TestTransmitAwfulLinkDrops(t *testing.T) {
-	tx := NewTransmitter(awfulLink(2), rand.New(rand.NewSource(2)))
+	tx := NewTransmitter(awfulLink(2), rng.New(2))
 	delivered := 0
 	now := sim.Time(0)
 	for i := 0; i < 500; i++ {
@@ -67,7 +67,7 @@ func TestTransmitAwfulLinkDrops(t *testing.T) {
 }
 
 func TestTransmitTimingSane(t *testing.T) {
-	tx := NewTransmitter(goodLink(3), rand.New(rand.NewSource(3)))
+	tx := NewTransmitter(goodLink(3), rng.New(3))
 	out := tx.Transmit(0, 160)
 	// A single successful VoIP frame should complete well under 2 ms on a
 	// clean link, and always above the DIFS+airtime floor.
@@ -85,9 +85,9 @@ func TestTransmitTimingSane(t *testing.T) {
 func TestRetryChainTakesLonger(t *testing.T) {
 	// A frame that needs the whole retry chain must take much longer than
 	// a first-attempt success.
-	txGood := NewTransmitter(goodLink(4), rand.New(rand.NewSource(4)))
+	txGood := NewTransmitter(goodLink(4), rng.New(4))
 	okOut := txGood.Transmit(0, 160)
-	txBad := NewTransmitter(awfulLink(5), rand.New(rand.NewSource(5)))
+	txBad := NewTransmitter(awfulLink(5), rng.New(5))
 	var failOut TxOutcome
 	now := sim.Time(0)
 	for i := 0; i < 200; i++ {
@@ -108,11 +108,11 @@ func TestRetryChainTakesLonger(t *testing.T) {
 
 func TestCongestionStretchesAccessDelay(t *testing.T) {
 	env := phy.NewEnvironment()
-	rng := rand.New(rand.NewSource(6))
+	rs := rng.New(6)
 	// Saturated congestion with no collisions: delay impact only.
-	c := phy.NewCongestion(rng, phy.Chan1, 0.8, 0, 0, 0)
+	c := phy.NewCongestion(rs, phy.Chan1, 0.8, 0, 0, 0)
 	env.AddInterferer(c)
-	congested := phy.NewLink(rng, env, phy.LinkParams{
+	congested := phy.NewLink(rs, env, phy.LinkParams{
 		APPos: phy.Position{}, Chan: phy.Chan1,
 		Client:   phy.Static{Pos: phy.Position{X: 3, Y: 0}},
 		ShadowDB: 0, FadeGood: 100 * sim.Minute, FadeBad: sim.Millisecond,
@@ -120,7 +120,7 @@ func TestCongestionStretchesAccessDelay(t *testing.T) {
 	clean := goodLink(7)
 
 	sum := func(l *phy.Link, seed int64) sim.Duration {
-		tx := NewTransmitter(l, rand.New(rand.NewSource(seed)))
+		tx := NewTransmitter(l, rng.New(seed))
 		var total sim.Duration
 		now := sim.Time(0)
 		for i := 0; i < 300; i++ {
@@ -138,8 +138,8 @@ func TestCongestionStretchesAccessDelay(t *testing.T) {
 }
 
 func TestRateAdaptationTracksLinkQuality(t *testing.T) {
-	txGood := NewTransmitter(goodLink(9), rand.New(rand.NewSource(9)))
-	txBad := NewTransmitter(awfulLink(10), rand.New(rand.NewSource(10)))
+	txGood := NewTransmitter(goodLink(9), rng.New(9))
+	txBad := NewTransmitter(awfulLink(10), rng.New(10))
 	now := sim.Time(0)
 	for i := 0; i < 100; i++ {
 		txGood.Transmit(now, 160)
@@ -156,7 +156,7 @@ func TestRateAdaptationTracksLinkQuality(t *testing.T) {
 }
 
 func TestSendPSMGoodLink(t *testing.T) {
-	tx := NewTransmitter(goodLink(11), rand.New(rand.NewSource(11)))
+	tx := NewTransmitter(goodLink(11), rng.New(11))
 	res := tx.SendPSM(0)
 	if !res.Delivered {
 		t.Fatal("PSM frame lost on clean link")
@@ -170,7 +170,7 @@ func TestSendPSMGoodLink(t *testing.T) {
 }
 
 func TestSendPSMRetriesOnBadLink(t *testing.T) {
-	tx := NewTransmitter(awfulLink(12), rand.New(rand.NewSource(12)))
+	tx := NewTransmitter(awfulLink(12), rng.New(12))
 	res := tx.SendPSM(0)
 	if res.Attempts <= 1 {
 		t.Errorf("bad-link PSM used %d attempts, expected retries", res.Attempts)

@@ -4,7 +4,7 @@
 package netsim
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -20,18 +20,37 @@ type Wire struct {
 	Loss    float64      // independent per-packet loss probability
 
 	sim  *sim.Simulator
-	rng  *rand.Rand
+	rng  *rng.Stream
 	last sim.Time // latest scheduled arrival, to keep the wire FIFO
+
+	// In-flight packets, FIFO by arrival time. One dispatch closure (built
+	// at construction) is scheduled per arrival and pops the head, so
+	// steady-state forwarding allocates nothing per packet.
+	inflight pkt.Ring[arrival]
+	dispatch func()
 
 	sent, dropped int
 }
 
+// arrival is one in-flight packet and its delivery callback.
+type arrival struct {
+	p       pkt.Packet
+	at      sim.Time
+	deliver func(pkt.Packet)
+}
+
 // NewWire creates a wire driven by the simulator's named RNG stream.
 func NewWire(s *sim.Simulator, name string, latency, jitter sim.Duration, loss float64) *Wire {
-	return &Wire{
+	w := &Wire{
 		Name: name, Latency: latency, Jitter: jitter, Loss: loss,
 		sim: s, rng: s.RNG("wire/" + name),
 	}
+	w.dispatch = func() {
+		a := w.inflight.Pop()
+		a.p.Arrived = a.at
+		a.deliver(a.p)
+	}
+	return w
 }
 
 // Send puts p on the wire at the current virtual time; deliver fires at the
@@ -52,10 +71,10 @@ func (w *Wire) Send(p pkt.Packet, deliver func(pkt.Packet)) {
 		at = w.last
 	}
 	w.last = at
-	w.sim.Schedule(at, func() {
-		p.Arrived = at
-		deliver(p)
-	})
+	// FIFO arrival times mean each scheduled dispatch maps 1:1, in order,
+	// onto the in-flight queue's head.
+	w.inflight.Push(arrival{p: p, at: at, deliver: deliver})
+	w.sim.Schedule(at, w.dispatch)
 }
 
 // SentCount returns packets offered to the wire.

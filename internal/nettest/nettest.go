@@ -9,7 +9,7 @@
 package nettest
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -74,7 +74,7 @@ type Client struct {
 // NewClient draws a participant. Quality classes follow residential WiFi:
 // most links are fine, a fraction are mediocre, a few are bad — which is
 // what produces the paper's finding that 16.3% of users had PCR ≥ 20%.
-func NewClient(rng *rand.Rand, countries int) Client {
+func NewClient(rng *rng.Stream, countries int) Client {
 	c := Client{Country: rng.Intn(countries), NATRestricted: rng.Float64() < 0.3}
 	r := rng.Float64()
 	switch {
@@ -143,7 +143,7 @@ type Study struct {
 }
 
 // Run executes the study.
-func Run(rng *rand.Rand, cfg Config) *Study {
+func Run(rng *rng.Stream, cfg Config) *Study {
 	st := &Study{}
 	for i := 0; i < cfg.Clients; i++ {
 		st.Clients = append(st.Clients, NewClient(rng, cfg.Countries))
@@ -173,7 +173,7 @@ func Run(rng *rand.Rand, cfg Config) *Study {
 
 // simulateCall synthesizes the receiver-side packet trace of one 2-minute
 // call and scores it.
-func simulateCall(rng *rand.Rand, cfg Config, clients []Client, ct CallType, recv int) voip.Quality {
+func simulateCall(rng *rng.Stream, cfg Config, clients []Client, ct CallType, recv int) voip.Quality {
 	prof := traffic.G711
 	count := int((2 * sim.Minute) / prof.Spacing)
 	tr := trace.New(count, prof.Spacing)

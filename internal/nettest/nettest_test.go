@@ -1,7 +1,7 @@
 package nettest
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 )
 
@@ -12,8 +12,8 @@ func smallConfig() Config {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := Run(rand.New(rand.NewSource(1)), smallConfig())
-	b := Run(rand.New(rand.NewSource(1)), smallConfig())
+	a := Run(rng.New(1), smallConfig())
+	b := Run(rng.New(1), smallConfig())
 	_, _, oa := a.PCRByType()
 	_, _, ob := b.PCRByType()
 	if oa != ob {
@@ -22,7 +22,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestCategoryOrdering(t *testing.T) {
-	st := Run(rand.New(rand.NewSource(2)), smallConfig())
+	st := Run(rng.New(2), smallConfig())
 	byType, counts, overall := st.PCRByType()
 	for ct, want := range smallConfig().Counts {
 		if counts[ct] != want {
@@ -47,7 +47,7 @@ func TestCategoryOrdering(t *testing.T) {
 }
 
 func TestUserStats(t *testing.T) {
-	st := Run(rand.New(rand.NewSource(3)), smallConfig())
+	st := Run(rng.New(3), smallConfig())
 	anyPoor, over20 := st.UserStats()
 	if anyPoor <= 0 || anyPoor > 1 {
 		t.Errorf("anyPoor = %v", anyPoor)
@@ -58,7 +58,7 @@ func TestUserStats(t *testing.T) {
 }
 
 func TestRelayConcentration(t *testing.T) {
-	st := Run(rand.New(rand.NewSource(4)), smallConfig())
+	st := Run(rng.New(4), smallConfig())
 	// Relayed calls must land only on NAT-restricted clients.
 	for _, r := range st.Results {
 		if r.Type == EWRelayed || r.Type == WWRelayed {
@@ -70,7 +70,7 @@ func TestRelayConcentration(t *testing.T) {
 }
 
 func TestClientClasses(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	good, bad := 0, 0
 	for i := 0; i < 5000; i++ {
 		c := NewClient(rng, 22)

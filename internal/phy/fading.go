@@ -2,7 +2,7 @@ package phy
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/sim"
 )
@@ -21,13 +21,13 @@ type GilbertElliott struct {
 	MeanBad  sim.Duration // mean sojourn in Bad
 	BadSNRdB float64      // SNR penalty applied while Bad
 
-	rng        *rand.Rand
+	rng        *rng.Stream
 	bad        bool
 	nextSwitch sim.Time
 }
 
 // NewGilbertElliott creates a chain that starts in the Good state at time 0.
-func NewGilbertElliott(rng *rand.Rand, meanGood, meanBad sim.Duration) *GilbertElliott {
+func NewGilbertElliott(rng *rng.Stream, meanGood, meanBad sim.Duration) *GilbertElliott {
 	g := &GilbertElliott{
 		MeanGood: meanGood,
 		MeanBad:  meanBad,
@@ -84,14 +84,14 @@ type Shadowing struct {
 	SigmaDB           float64      // standard deviation of the shadowing
 	DecorrelationTime sim.Duration // time for correlation to fall to 1/e
 
-	rng     *rand.Rand
+	rng     *rng.Stream
 	value   float64
 	updated sim.Time
 	started bool
 }
 
 // NewShadowing creates a shadowing process with the given deviation.
-func NewShadowing(rng *rand.Rand, sigmaDB float64, decorrelation sim.Duration) *Shadowing {
+func NewShadowing(rng *rng.Stream, sigmaDB float64, decorrelation sim.Duration) *Shadowing {
 	return &Shadowing{SigmaDB: sigmaDB, DecorrelationTime: decorrelation, rng: rng}
 }
 

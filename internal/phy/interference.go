@@ -1,7 +1,7 @@
 package phy
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/sim"
 )
@@ -95,7 +95,7 @@ type Congestion struct {
 
 // NewCongestion creates a congestion source on ch with mean intensity
 // busy/collision that flickers between on/off periods.
-func NewCongestion(rng *rand.Rand, ch Channel, busy, collision float64, start sim.Time, dur sim.Duration) *Congestion {
+func NewCongestion(rng *rng.Stream, ch Channel, busy, collision float64, start sim.Time, dur sim.Duration) *Congestion {
 	c := &Congestion{
 		Chan:      ch,
 		Busy:      busy,

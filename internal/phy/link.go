@@ -1,7 +1,7 @@
 package phy
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -95,7 +95,7 @@ type Link struct {
 	env    *Environment
 	shadow *Shadowing
 	fades  []*GilbertElliott // one chain per MIMO spatial branch
-	rng    *rand.Rand
+	rng    *rng.Stream
 
 	// Cached instruments (nil-safe no-ops when params.Obs is nil).
 	ctAttempts  *obs.Counter
@@ -105,7 +105,7 @@ type Link struct {
 
 // NewLink builds a link. rng drives all of the link's stochastic processes;
 // give each link its own named stream from the simulator for independence.
-func NewLink(rng *rand.Rand, env *Environment, p LinkParams) *Link {
+func NewLink(rng *rng.Stream, env *Environment, p LinkParams) *Link {
 	if p.MIMOOrder < 1 {
 		p.MIMOOrder = 1
 	}

@@ -2,7 +2,7 @@ package phy
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/sim"
 )
@@ -42,7 +42,7 @@ type waypointSegment struct {
 
 // NewRandomWaypoint precomputes a trajectory covering horizon within the
 // rectangle [minX,maxX]×[minY,maxY].
-func NewRandomWaypoint(rng *rand.Rand, minX, minY, maxX, maxY, speed float64, pause, horizon sim.Duration) *RandomWaypoint {
+func NewRandomWaypoint(rng *rng.Stream, minX, minY, maxX, maxY, speed float64, pause, horizon sim.Duration) *RandomWaypoint {
 	w := &RandomWaypoint{
 		MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY,
 		SpeedMPS: speed, Pause: pause,

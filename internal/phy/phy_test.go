@@ -2,7 +2,7 @@ package phy
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 	"testing/quick"
 
@@ -135,7 +135,7 @@ func TestAirtime(t *testing.T) {
 }
 
 func TestGilbertElliottSojourns(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	g := NewGilbertElliott(rng, 100*sim.Millisecond, 50*sim.Millisecond)
 	// Sample the chain every ms for 60 virtual seconds and check the
 	// fraction of bad time is near MeanBad/(MeanGood+MeanBad) = 1/3.
@@ -153,7 +153,7 @@ func TestGilbertElliottSojourns(t *testing.T) {
 }
 
 func TestGilbertElliottBursty(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	g := NewGilbertElliott(rng, 500*sim.Millisecond, 200*sim.Millisecond)
 	// Sampling at 20 ms (VoIP spacing), consecutive samples should be
 	// highly correlated: count state changes.
@@ -176,7 +176,7 @@ func TestGilbertElliottBursty(t *testing.T) {
 
 func TestGilbertElliottAdvanceMonotone(t *testing.T) {
 	// Querying the same instant repeatedly must not evolve the chain.
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	g := NewGilbertElliott(rng, 10*sim.Millisecond, 10*sim.Millisecond)
 	at := sim.Time(123456)
 	first := g.Bad(at)
@@ -188,7 +188,7 @@ func TestGilbertElliottAdvanceMonotone(t *testing.T) {
 }
 
 func TestShadowingStationary(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	s := NewShadowing(rng, 6, 2*sim.Second)
 	var vals []float64
 	for i := 0; i < 2000; i++ {
@@ -212,7 +212,7 @@ func TestShadowingStationary(t *testing.T) {
 }
 
 func TestShadowingSmooth(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	s := NewShadowing(rng, 6, 5*sim.Second)
 	prev := s.ValueDB(0)
 	for i := 1; i < 100; i++ {
@@ -274,7 +274,7 @@ func TestMicrowaveDutyCycle(t *testing.T) {
 }
 
 func TestCongestionChannelScoping(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rng.New(6)
 	c := NewCongestion(rng, Chan1, 0.6, 0.3, 0, 0)
 	if _, coll := c.Impact(0, Chan11, Position{}); coll != 0 {
 		t.Error("congestion leaking to non-overlapping channel")
@@ -290,7 +290,7 @@ func TestCongestionChannelScoping(t *testing.T) {
 
 func TestEnvironmentAggregation(t *testing.T) {
 	env := NewEnvironment()
-	rng := rand.New(rand.NewSource(7))
+	rng := rng.New(7)
 	env.AddInterferer(NewCongestion(rng, Chan1, 0.4, 0.2, 0, 0))
 	env.AddInterferer(NewCongestion(rng, Chan1, 0.4, 0.2, 0, 0))
 	_, coll := env.Impact(0, Chan1, Position{})
@@ -327,7 +327,7 @@ func TestStaticAndOrbitMobility(t *testing.T) {
 }
 
 func TestRandomWaypointInBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := rng.New(8)
 	w := NewRandomWaypoint(rng, 0, 0, 30, 15, 1.2, sim.Second, 2*sim.Minute)
 	for i := 0; i < 1000; i++ {
 		p := w.PositionAt(sim.Time(i) * sim.Time(120*sim.Millisecond))
@@ -338,7 +338,7 @@ func TestRandomWaypointInBounds(t *testing.T) {
 }
 
 func TestRandomWaypointSpeedLimit(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rng.New(9)
 	speed := 1.5
 	w := NewRandomWaypoint(rng, 0, 0, 30, 15, speed, 500*sim.Millisecond, 2*sim.Minute)
 	step := sim.Time(50 * sim.Millisecond)
@@ -356,7 +356,7 @@ func TestRandomWaypointSpeedLimit(t *testing.T) {
 
 func TestLinkSNRDegradesWithDistance(t *testing.T) {
 	env := NewEnvironment()
-	rng := rand.New(rand.NewSource(10))
+	rng := rng.New(10)
 	mk := func(d float64) *Link {
 		return NewLink(rng, env, LinkParams{
 			APPos:  Position{0, 0},
@@ -377,7 +377,7 @@ func TestLinkSNRDegradesWithDistance(t *testing.T) {
 
 func TestLinkAttemptQuality(t *testing.T) {
 	env := NewEnvironment()
-	rng := rand.New(rand.NewSource(11))
+	rng := rng.New(11)
 	good := NewLink(rng, env, LinkParams{
 		APPos: Position{0, 0}, Chan: Chan1,
 		Client:   Static{Pos: Position{3, 0}},
@@ -413,7 +413,7 @@ func TestMIMODiversityReducesFadeLoss(t *testing.T) {
 	// are simultaneously bad is much smaller — SNR dips should be rarer.
 	env := NewEnvironment()
 	countBad := func(order int, seed int64) int {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		l := NewLink(rng, env, LinkParams{
 			APPos: Position{0, 0}, Chan: Chan1,
 			Client:   Static{Pos: Position{10, 0}},
@@ -443,7 +443,7 @@ func TestMIMODoesNotHelpInterference(t *testing.T) {
 	env := NewEnvironment()
 	env.AddInterferer(NewMicrowave(Position{0, 0}, 0, sim.Minute))
 	mk := func(order int) *Link {
-		rng := rand.New(rand.NewSource(30))
+		rng := rng.New(30)
 		return NewLink(rng, env, LinkParams{
 			APPos: Position{0, 0}, Chan: Chan1,
 			Client:   Static{Pos: Position{3, 0}},

@@ -1,0 +1,106 @@
+package pkt
+
+import "testing"
+
+func TestRingFIFO(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining", r.Len())
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	// Interleave pushes and pops so head wraps repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if got := r.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != want {
+			t.Fatalf("drain Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d values, pushed %d", want, next)
+	}
+}
+
+func TestRingPeekAt(t *testing.T) {
+	var r Ring[string]
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if r.Peek() != "a" {
+		t.Fatalf("Peek = %q", r.Peek())
+	}
+	if r.At(2) != "c" {
+		t.Fatalf("At(2) = %q", r.At(2))
+	}
+	r.Pop()
+	if r.Peek() != "b" || r.At(1) != "c" {
+		t.Fatal("ring state wrong after Pop")
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	var r Ring[int]
+	for name, fn := range map[string]func(){
+		"pop":  func() { r.Pop() },
+		"peek": func() { r.Peek() },
+		"at":   func() { r.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty ring did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestRingSteadyStateAllocs pins the hot-path property: once warm, a
+// push/pop cycle allocates nothing.
+func TestRingSteadyStateAllocs(t *testing.T) {
+	var r Ring[Packet]
+	for i := 0; i < 64; i++ {
+		r.Push(Packet{Seq: i})
+	}
+	for r.Len() > 0 {
+		r.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			r.Push(Packet{Seq: i})
+		}
+		for r.Len() > 0 {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f per round, want 0", allocs)
+	}
+}

@@ -9,7 +9,7 @@
 package population
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 )
 
 // LastHop is an endpoint's access-link type.
@@ -147,7 +147,7 @@ type Model struct {
 }
 
 // Generate builds the population and simulates the year of rated calls.
-func Generate(rng *rand.Rand, cfg Config) *Model {
+func Generate(rng *rng.Stream, cfg Config) *Model {
 	m := &Model{cfg: cfg}
 	for i := 0; i < cfg.Subnets; i++ {
 		r := rng.Float64()
@@ -189,7 +189,7 @@ func Generate(rng *rand.Rand, cfg Config) *Model {
 }
 
 // drawEndpoint picks a subnet and an endpoint consistent with its type.
-func (m *Model) drawEndpoint(rng *rand.Rand) endpoint {
+func (m *Model) drawEndpoint(rng *rng.Stream) endpoint {
 	i := rng.Intn(len(m.subnets))
 	s := m.subnets[i]
 	var hop LastHop
@@ -225,7 +225,7 @@ func (m *Model) drawEndpoint(rng *rand.Rand) endpoint {
 }
 
 // callMOS draws the call's quality.
-func (m *Model) callMOS(rng *rand.Rand, a, b endpoint) float64 {
+func (m *Model) callMOS(rng *rng.Stream, a, b endpoint) float64 {
 	mos := 4.4
 	for _, e := range []endpoint{a, b} {
 		mos -= rng.ExpFloat64() * m.subnets[e.sub].backhaul

@@ -1,7 +1,7 @@
 package population
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 )
 
@@ -13,8 +13,8 @@ func smallConfig() Config {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(rand.New(rand.NewSource(1)), smallConfig())
-	b := Generate(rand.New(rand.NewSource(1)), smallConfig())
+	a := Generate(rng.New(1), smallConfig())
+	b := Generate(rng.New(1), smallConfig())
 	if a.RatedCalls() != b.RatedCalls() {
 		t.Fatal("same seed produced different populations")
 	}
@@ -24,7 +24,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	m := Generate(rand.New(rand.NewSource(2)), smallConfig())
+	m := Generate(rng.New(2), smallConfig())
 	rows := m.Table1()
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
@@ -70,10 +70,10 @@ func TestRelativeDelta(t *testing.T) {
 func TestRatingBiasOversamplesPoorCalls(t *testing.T) {
 	// With the response bias on, the rated-call PCR exceeds the PCR of a
 	// population rated uniformly at random.
-	biased := Generate(rand.New(rand.NewSource(3)), smallConfig())
+	biased := Generate(rng.New(3), smallConfig())
 	flat := smallConfig()
 	flat.RatingBias = 0
-	unbiased := Generate(rand.New(rand.NewSource(3)), flat)
+	unbiased := Generate(rng.New(3), flat)
 	if biased.OverallPCR() <= unbiased.OverallPCR() {
 		t.Errorf("bias did not raise rated PCR: %v vs %v",
 			biased.OverallPCR(), unbiased.OverallPCR())
@@ -85,8 +85,8 @@ func TestWiFiPenaltyDrivesGap(t *testing.T) {
 	withCfg := smallConfig()
 	withoutCfg := smallConfig()
 	withoutCfg.WiFiPenalty = 0
-	with := Generate(rand.New(rand.NewSource(4)), withCfg).Table1()[0]
-	without := Generate(rand.New(rand.NewSource(4)), withoutCfg).Table1()[0]
+	with := Generate(rng.New(4), withCfg).Table1()[0]
+	without := Generate(rng.New(4), withoutCfg).Table1()[0]
 	gapWith := with.EE - with.WW
 	gapWithout := without.EE - without.WW
 	if gapWithout >= gapWith {

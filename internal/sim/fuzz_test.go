@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzScheduleOrder drives the scheduler with an arbitrary op sequence —
+// schedules into a deliberately tiny set of time buckets (to force
+// same-timestamp ties) interleaved with cancellations of arbitrary live
+// timers — and checks the execution order against a reference model: all
+// non-cancelled events run exactly once, sorted by time with FIFO order
+// among equal timestamps, and the queue drains completely.
+func FuzzScheduleOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 0, 5, 0, 5})             // three-way tie
+	f.Add([]byte{0, 7, 0, 3, 1, 0, 0, 3})       // schedule, cancel first, more ties
+	f.Add([]byte{0, 0, 1, 0, 1, 0})             // double-cancel
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 1, 1, 0, 1}) // interleaved
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(42)
+
+		type ev struct {
+			at    Time
+			id    int
+			alive bool
+		}
+		var model []*ev
+		var timers []Timer
+		var got []int
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			if op%4 != 0 && len(model) > 0 {
+				// Cancel an arbitrary previously scheduled timer. Stopping
+				// one that is already stopped must return false and change
+				// nothing.
+				k := int(arg) % len(model)
+				wasAlive := model[k].alive
+				stopped := timers[k].Stop()
+				if stopped != wasAlive {
+					t.Fatalf("op %d: Stop() = %v, model says alive=%v", i, stopped, wasAlive)
+				}
+				model[k].alive = false
+				continue
+			}
+			// Schedule into one of 8 time buckets so ties are common.
+			e := &ev{at: Time(arg%8) * Time(Millisecond), id: len(model), alive: true}
+			id := e.id
+			tm := s.Schedule(e.at, func() { got = append(got, id) })
+			if !tm.Pending() {
+				t.Fatalf("op %d: freshly scheduled timer not pending", i)
+			}
+			model = append(model, e)
+			timers = append(timers, tm)
+		}
+
+		live := 0
+		for _, e := range model {
+			if e.alive {
+				live++
+			}
+		}
+		if s.Pending() != live {
+			t.Fatalf("Pending() = %d, model says %d live", s.Pending(), live)
+		}
+
+		before := s.Executed()
+		s.RunAll()
+		if executed := s.Executed() - before; executed != uint64(live) {
+			t.Fatalf("executed %d events, want %d", executed, live)
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("Pending() = %d after RunAll, want 0", s.Pending())
+		}
+
+		// Reference order: stable sort by time keeps FIFO among ties
+		// because model is already in scheduling order.
+		var want []int
+		alive := make([]*ev, 0, len(model))
+		for _, e := range model {
+			if e.alive {
+				alive = append(alive, e)
+			}
+		}
+		sort.SliceStable(alive, func(a, b int) bool { return alive[a].at < alive[b].at })
+		for _, e := range alive {
+			want = append(want, e.id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ran %d callbacks, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("execution order diverges at %d: got %v, want %v", i, got, want)
+			}
+		}
+
+		// Cancelled timers must not report pending after the run either.
+		for k, tm := range timers {
+			if tm.Pending() {
+				t.Fatalf("timer %d still pending after RunAll", k)
+			}
+		}
+	})
+}
+
+// TestNestedScheduleFIFO pins the tie-break rule for events scheduled from
+// inside a callback at the *current* timestamp: they run after everything
+// already queued for that timestamp (scheduling order is global), before
+// any later timestamp.
+func TestNestedScheduleFIFO(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Schedule(Time(Millisecond), func() {
+		order = append(order, "a")
+		s.Schedule(Time(Millisecond), func() { order = append(order, "a-child") })
+	})
+	s.Schedule(Time(Millisecond), func() { order = append(order, "b") })
+	s.Schedule(2*Time(Millisecond), func() { order = append(order, "c") })
+	s.RunAll()
+	want := []string{"a", "b", "a-child", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

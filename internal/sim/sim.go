@@ -5,14 +5,20 @@
 // times and the engine executes them in strict timestamp order. Ties are
 // broken by scheduling order, which together with seeded RNG streams makes
 // every run exactly reproducible.
+//
+// The scheduler is built for the hot path (see docs/PERFORMANCE.md): a
+// value-typed 4-ary min-heap of (time, seq, slot) entries over a free-listed
+// slot pool, so steady-state scheduling allocates nothing, and cancellation
+// is O(1) (the slot is released immediately — nil'ing its callback so
+// captured packets are not pinned — and the heap entry is skipped lazily
+// when it surfaces).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/obs"
+	"repro/internal/sim/rng"
 )
 
 // Time is a point in virtual time, in microseconds since the start of the
@@ -59,74 +65,83 @@ func FromMillis(ms float64) Duration { return Duration(ms * 1e3) }
 // FromSeconds converts floating-point seconds to a Duration.
 func FromSeconds(s float64) Duration { return Duration(s * 1e6) }
 
-// event is a scheduled callback.
-type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: FIFO among equal timestamps
-	fn    func()
-	index int // heap index; -1 once removed
-	dead  bool
+// slot holds a scheduled callback in the simulator's pool. A slot is live
+// between Schedule and execution/cancellation; freed slots form a free list
+// through next and keep fn nil so completed events never pin captured
+// state (packets, closures) for the life of the pool.
+type slot struct {
+	fn   func()
+	seq  uint64 // identity of the occupying event; guards against reuse
+	next int32  // free-list link while free
+	dead bool   // true once executed, cancelled, or free
 }
 
-type eventHeap []*event
+// heapEntry is one value-typed entry of the 4-ary scheduling heap. Entries
+// are ordered by (at, seq): time first, FIFO among equal timestamps.
+// Cancelled events leave stale entries behind; they are recognized (the
+// slot's seq no longer matches, or the slot is dead) and discarded when
+// they reach the top.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
-// Timer is a handle to a scheduled event. The zero value is not usable;
-// timers are obtained from Simulator.Schedule and friends.
+// Timer is a handle to a scheduled event. Timers are plain values (copying
+// is fine, no allocation); the zero Timer is valid and behaves as an
+// already-fired timer.
 type Timer struct {
-	ev *event
+	s   *Simulator
+	idx int32
+	seq uint64
 }
 
 // Stop cancels the timer if it has not yet fired. It reports whether the
-// timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// timer was still pending. The event's slot is released immediately and its
+// callback dropped; only a stale heap entry remains, to be skipped when it
+// surfaces.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
+	sl := &t.s.slots[t.idx]
+	if sl.dead || sl.seq != t.seq {
+		return false
+	}
+	t.s.freeSlot(t.idx)
+	t.s.live--
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.idx]
+	return !sl.dead && sl.seq == t.seq
+}
 
 // Simulator is a discrete-event scheduler with a virtual clock and named,
 // independently seeded random streams. It is not safe for concurrent use;
 // a simulation runs on a single goroutine by design.
 type Simulator struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	seed    int64
-	streams map[string]*rand.Rand
-	stopped bool
+	now      Time
+	seq      uint64 // next event sequence number (FIFO tie-breaker)
+	heap     []heapEntry
+	slots    []slot
+	freeHead int32 // head of the slot free list; -1 when empty
+	live     int   // scheduled events not yet executed or cancelled
+	seed     int64
+	streams  map[string]*rng.Stream
+	stopped  bool
 
 	executed uint64 // total events run, for diagnostics
 
@@ -147,8 +162,9 @@ var ObsProvider func(seed int64) *obs.Registry
 // New returns a Simulator whose random streams derive from seed.
 func New(seed int64) *Simulator {
 	s := &Simulator{
-		seed:    seed,
-		streams: make(map[string]*rand.Rand),
+		seed:     seed,
+		streams:  make(map[string]*rng.Stream),
+		freeHead: -1,
 	}
 	if ObsProvider != nil {
 		s.SetObs(ObsProvider(seed))
@@ -180,40 +196,106 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // RNG returns the named random stream, creating it on first use. Each name
 // gets an independent deterministic stream derived from the root seed, so
 // adding a new consumer of randomness does not perturb existing ones.
-func (s *Simulator) RNG(name string) *rand.Rand {
+func (s *Simulator) RNG(name string) *rng.Stream {
 	if r, ok := s.streams[name]; ok {
 		return r
 	}
-	// Derive a per-stream seed from the root seed and the name using a
-	// simple 64-bit FNV-1a so streams are decorrelated but reproducible.
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= prime64
-	}
-	h ^= uint64(s.seed)
-	h *= prime64
-	r := rand.New(rand.NewSource(int64(h)))
+	r := rng.Named(s.seed, name)
 	s.streams[name] = r
 	return r
 }
 
+// allocSlot takes a slot from the free list (or grows the pool) and
+// installs fn under sequence number seq.
+func (s *Simulator) allocSlot(fn func(), seq uint64) int32 {
+	if i := s.freeHead; i >= 0 {
+		s.freeHead = s.slots[i].next
+		s.slots[i] = slot{fn: fn, seq: seq, next: -1}
+		return i
+	}
+	s.slots = append(s.slots, slot{fn: fn, seq: seq, next: -1})
+	return int32(len(s.slots) - 1)
+}
+
+// freeSlot returns slot i to the free list, dropping its callback so the
+// pool never pins captured state.
+func (s *Simulator) freeSlot(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.dead = true
+	sl.next = s.freeHead
+	s.freeHead = i
+}
+
+// heapPush inserts e, sifting up through 4-ary parents.
+func (s *Simulator) heapPush(e heapEntry) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	s.heap = h
+}
+
+// heapPop removes the minimum entry (the caller has already read s.heap[0]),
+// sifting the displaced tail entry down through the smallest of up to four
+// children.
+func (s *Simulator) heapPop() {
+	h := s.heap
+	n := len(h) - 1
+	e := h[n]
+	h = h[:n]
+	s.heap = h
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+}
+
 // Schedule runs fn at virtual time at. Scheduling in the past (before Now)
 // panics: that is always a logic error in a discrete-event model.
-func (s *Simulator) Schedule(at Time, fn func()) *Timer {
+func (s *Simulator) Schedule(at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	seq := s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	idx := s.allocSlot(fn, seq)
+	s.heapPush(heapEntry{at: at, seq: seq, idx: idx})
+	s.live++
+	return Timer{s: s, idx: idx, seq: seq}
 }
 
 // After runs fn d after the current time.
-func (s *Simulator) After(d Duration, fn func()) *Timer {
+func (s *Simulator) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -223,27 +305,45 @@ func (s *Simulator) After(d Duration, fn func()) *Timer {
 // Stop halts the run loop after the current event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// pop executes one step of the run loop's head inspection: it discards
+// stale entries (cancelled or superseded slots) and returns the head entry
+// and its slot when live, or ok=false when the heap has drained.
+func (s *Simulator) head() (heapEntry, *slot, bool) {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		sl := &s.slots[e.idx]
+		if sl.dead || sl.seq != e.seq {
+			s.heapPop()
+			continue
+		}
+		return e, sl, true
+	}
+	return heapEntry{}, nil, false
+}
+
+// runHead pops and executes the live head entry e backed by sl.
+func (s *Simulator) runHead(e heapEntry, sl *slot) {
+	s.heapPop()
+	s.now = e.at
+	fn := sl.fn
+	s.freeSlot(e.idx)
+	s.live--
+	s.executed++
+	s.evCount.Inc()
+	fn()
+}
+
 // Run executes events until the queue drains, Stop is called, or the clock
 // would pass until. Events scheduled exactly at until are executed. It
 // returns the final clock value.
 func (s *Simulator) Run(until Time) Time {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
-		if ev.at > until {
+	for !s.stopped {
+		e, sl, ok := s.head()
+		if !ok || e.at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		ev.dead = true
-		s.executed++
-		s.evCount.Inc()
-		fn()
+		s.runHead(e, sl)
 	}
 	if s.now < until && !s.stopped {
 		s.now = until
@@ -254,32 +354,18 @@ func (s *Simulator) Run(until Time) Time {
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Simulator) RunAll() Time {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
+	for !s.stopped {
+		e, sl, ok := s.head()
+		if !ok {
+			break
 		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		ev.dead = true
-		s.executed++
-		s.evCount.Inc()
-		fn()
+		s.runHead(e, sl)
 	}
 	return s.now
 }
 
 // Pending returns the number of live events still queued.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (s *Simulator) Pending() int { return s.live }
 
 // Every schedules fn to run every period, starting one period from now,
 // until the returned Ticker is stopped. Periods must be positive.
@@ -288,6 +374,17 @@ func (s *Simulator) Every(period Duration, fn func()) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
+	// The tick closure is built once and re-armed by reference, so a
+	// long-running ticker costs zero allocations per tick.
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -297,26 +394,17 @@ type Ticker struct {
 	sim     *Simulator
 	period  Duration
 	fn      func()
-	timer   *Timer
+	tick    func()
+	timer   Timer
 	stopped bool
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.sim.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.timer = t.sim.After(t.period, t.tick)
 }
 
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }

@@ -1,0 +1,74 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEngineDeterminism is the engine-level seeded-equivalence check: two
+// runs of the same scenario under the same seed but *different run labels*
+// must execute the same number of events, produce identical metric
+// snapshots, and emit byte-identical traces once the run labels are
+// stripped. Distinct labels prove the comparison is not trivially passing
+// because the byte streams share incidental state.
+func TestEngineDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a := sc.Run("run1")
+			b := sc.Run("run2")
+
+			ja, err := a.Metrics.JSON()
+			if err != nil {
+				t.Fatalf("marshal snapshot: %v", err)
+			}
+			jb, err := b.Metrics.JSON()
+			if err != nil {
+				t.Fatalf("marshal snapshot: %v", err)
+			}
+			if !bytes.Equal(ja, jb) {
+				t.Errorf("metric snapshots differ between same-seed runs:\n%s", firstDiff(ja, jb))
+			}
+
+			execA := a.Metrics.Counters["sim.events_executed"]
+			execB := b.Metrics.Counters["sim.events_executed"]
+			if execA == 0 {
+				t.Fatalf("sim.events_executed counter missing or zero; engine instrumentation broken")
+			}
+			if execA != execB {
+				t.Errorf("executed event counts differ: %d vs %d", execA, execB)
+			}
+
+			ta, tb := StripRuns(a.Trace), StripRuns(b.Trace)
+			if bytes.Contains(ta, []byte(`"run"`)) {
+				t.Fatalf("StripRuns left run labels in the trace")
+			}
+			if !bytes.Equal(ta, tb) {
+				t.Errorf("traces differ after stripping run labels:\n%s", firstDiff(ta, tb))
+			}
+		})
+	}
+}
+
+// TestExecutedCountMatchesCounter cross-checks the simulator's Executed()
+// accessor against the observability counter on a tiny direct run, tying
+// the engine API and the obs contract together.
+func TestExecutedCountMatchesCounter(t *testing.T) {
+	sc := Scenarios()[0]
+	c := sc.Run("x")
+	if got := c.Metrics.Counters["sim.events_executed"]; got <= 0 {
+		t.Fatalf("events_executed = %d, want > 0", got)
+	}
+
+	s := sim.New(1)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		s.After(sim.Duration(i)*sim.Millisecond, func() { ran++ })
+	}
+	s.RunAll()
+	if s.Executed() != 5 || ran != 5 {
+		t.Fatalf("Executed() = %d, callbacks = %d, want 5/5", s.Executed(), ran)
+	}
+}

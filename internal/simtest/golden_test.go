@@ -1,0 +1,122 @@
+package simtest
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "regenerate golden fixtures from the current implementation")
+
+// TestSeededEquivalence runs every suite scenario at its pinned seed and
+// compares the metric snapshot and the full event trace bit-for-bit
+// against the checked-in fixtures. A mismatch means simulated behaviour
+// changed: either a bug crept into the engine/RNG/substrates, or the
+// change was intentional and the fixtures must be regenerated with
+// -update and the diff reviewed.
+func TestSeededEquivalence(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			cap1 := sc.Run(sc.Name)
+			metrics := snapshotJSON(t, cap1)
+
+			// Two consecutive runs in the same process must already be
+			// bit-identical — if they are not, goldens cannot help.
+			cap2 := sc.Run(sc.Name)
+			if !bytes.Equal(cap1.Trace, cap2.Trace) {
+				t.Fatalf("two same-seed runs produced different traces (%d vs %d bytes)",
+					len(cap1.Trace), len(cap2.Trace))
+			}
+			if m2 := snapshotJSON(t, cap2); !bytes.Equal(metrics, m2) {
+				t.Fatalf("two same-seed runs produced different metric snapshots")
+			}
+
+			// Every trace line must satisfy the documented JSONL contract.
+			validateTrace(t, cap1.Trace)
+
+			metricsPath := filepath.Join("testdata", sc.Name+".metrics.json")
+			tracePath := filepath.Join("testdata", sc.Name+".trace.jsonl")
+			if *update {
+				writeFixture(t, metricsPath, metrics)
+				writeFixture(t, tracePath, cap1.Trace)
+				return
+			}
+			compareFixture(t, metricsPath, metrics)
+			compareFixture(t, tracePath, cap1.Trace)
+		})
+	}
+}
+
+func snapshotJSON(t *testing.T, c *Capture) []byte {
+	t.Helper()
+	data, err := c.Metrics.JSON()
+	if err != nil {
+		t.Fatalf("marshal metrics snapshot: %v", err)
+	}
+	return append(data, '\n')
+}
+
+func validateTrace(t *testing.T, trace []byte) {
+	t.Helper()
+	lines := bytes.Split(trace, []byte("\n"))
+	n := 0
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		if _, err := obs.DecodeEvent(line); err != nil {
+			t.Fatalf("trace line %d violates the JSONL contract: %v\n%s", i+1, err, line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatalf("scenario emitted no trace events; the harness is not observing the run")
+	}
+}
+
+func writeFixture(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatalf("mkdir testdata: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write fixture %s: %v", path, err)
+	}
+	t.Logf("wrote %s (%d bytes)", path, len(data))
+}
+
+func compareFixture(t *testing.T, path string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture %s (run with -update to create it): %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Errorf("%s: output differs from golden fixture\n%s", path, firstDiff(got, want))
+}
+
+// firstDiff renders the first differing line of two line-oriented byte
+// slices, so a golden failure points at the event that moved rather than
+// dumping megabytes.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(gl), len(wl))
+}

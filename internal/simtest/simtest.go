@@ -1,0 +1,158 @@
+// Package simtest is the seeded-equivalence harness for the simulation
+// stack: a fixed set of end-to-end scenarios, each run at a pinned seed
+// with observability attached, whose metric snapshots and JSONL event
+// traces are compared bit-for-bit against checked-in golden fixtures.
+//
+// The harness exists to protect determinism across engine work. The event
+// scheduler, the RNG streams, and every substrate built on them promise
+// that a fixed seed reproduces a call exactly — same event order, same
+// random draws, same metrics, same trace. Optimizations to the hot path
+// (heap layout, allocation trims, RNG changes) must not silently change
+// simulated behaviour; if they do, the golden diff shows exactly which
+// scenario and which events moved.
+//
+// Regenerating fixtures is deliberate, not automatic: run
+//
+//	go test ./internal/simtest -run TestSeededEquivalence -update
+//
+// after an *intentional* behaviour change (new RNG algorithm, different
+// draw order, new instrumentation) and review the fixture diff like code.
+// A regeneration that shows up in a PR that claimed to be
+// behaviour-preserving is a bug report.
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/sim/rng"
+	"repro/internal/traffic"
+)
+
+// callDuration keeps golden fixtures small: 5 s of G.711 is 250 packets,
+// enough to exercise fading, recovery switches, and queue churn without
+// multi-megabyte traces.
+const callDuration = 5 * sim.Second
+
+// Scenario is one pinned simulation in the equivalence suite.
+type Scenario struct {
+	// Name identifies the scenario and names its fixture files
+	// (testdata/<name>.metrics.json, testdata/<name>.trace.jsonl).
+	Name string
+	// Seed is the simulation seed; corpus-level draws (placement,
+	// impairment parameters) use a stream derived from it, so the whole
+	// scenario is a pure function of this value.
+	Seed int64
+	// run executes the call with observability already attached via
+	// sim.ObsProvider.
+	run func()
+}
+
+// Capture is everything one scenario run observably produced.
+type Capture struct {
+	// Metrics is the end-of-run snapshot of every counter, gauge, and
+	// histogram the stack registered.
+	Metrics *obs.Snapshot
+	// Trace is the full JSONL event trace in emission order. The
+	// simulator's event count is not a separate field; it appears in
+	// Metrics as the "sim.events_executed" counter.
+	Trace []byte
+}
+
+// Scenarios returns the equivalence suite: six calls covering the paper's
+// impairment corpus plus the two controlled setups the recovery machinery
+// depends on. Order is fixed and names are stable — they are fixture keys.
+func Scenarios() []Scenario {
+	mk := func(name string, seed int64, run func()) Scenario {
+		return Scenario{Name: name, Seed: seed, run: run}
+	}
+	diversifi := func(sc core.Scenario) func() {
+		return func() { core.RunDiversiFi(sc, core.DiversiFiOptions{Mode: core.ModeCustomAP}) }
+	}
+	random := func(imp core.Impairment, seed int64) core.Scenario {
+		// The corpus stream is derived from the scenario seed so the
+		// placement draw is as pinned as the per-call fading draws.
+		return core.RandomScenarioSeverity(simRNG(seed), imp, traffic.G711, seed, 1.0).
+			WithDuration(callDuration)
+	}
+	return []Scenario{
+		mk("clean-link", 101, diversifi(
+			core.ControlledScenario(101, traffic.G711, callDuration, 0, 6))),
+		mk("microwave", 202, diversifi(random(core.ImpMicrowave, 202))),
+		mk("mobility", 303, diversifi(random(core.ImpMobility, 303))),
+		mk("weak-link", 404, diversifi(random(core.ImpWeakLink, 404))),
+		mk("congestion", 505, diversifi(random(core.ImpCongestion, 505))),
+		// head-drop-recovery puts Gilbert–Elliott fading on the *strong*
+		// link so the client's failure detector fires and the secondary
+		// path (head-drop queue, retrieve-from-secondary) is exercised.
+		mk("head-drop-recovery", 606, diversifi(
+			core.ControlledScenario(606, traffic.G711, callDuration, 0, 6).
+				WithFading(true, 400*sim.Millisecond, 600*sim.Millisecond, 40))),
+	}
+}
+
+// simRNG derives the corpus-parameter stream for a scenario seed using the
+// same named-stream scheme the simulator itself uses.
+func simRNG(seed int64) *rng.Stream { return sim.New(seed).RNG("simtest/corpus") }
+
+// Run executes the scenario with a fresh observability registry attached
+// (run label = label) and returns the captured metrics and trace. It
+// temporarily installs sim.ObsProvider, so concurrent Run calls from the
+// same process would race; the harness runs scenarios sequentially.
+func (s Scenario) Run(label string) *Capture {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	sink := obs.NewSink(&buf)
+	reg.SetSink(sink)
+
+	prev := sim.ObsProvider
+	sim.ObsProvider = func(int64) *obs.Registry { return reg.WithRun(label) }
+	defer func() { sim.ObsProvider = prev }()
+
+	s.run()
+	if err := sink.Flush(); err != nil {
+		panic(fmt.Sprintf("simtest: flush trace sink: %v", err))
+	}
+	return &Capture{Metrics: reg.Snapshot(), Trace: append([]byte(nil), buf.Bytes()...)}
+}
+
+// StripRuns removes the run label field from every line of a JSONL trace,
+// so traces from two runs of the same scenario under different labels can
+// be compared byte-for-byte. It relies on the encoding/json field order of
+// obs.Event being deterministic (it is: struct order).
+func StripRuns(trace []byte) []byte {
+	out := make([]byte, 0, len(trace))
+	for _, line := range bytes.Split(trace, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		out = append(out, stripRunField(line)...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// stripRunField removes a `"run":"...",` (or trailing-comma variant)
+// segment from one JSON line. Run labels never contain quotes or escapes —
+// the harness controls them — so a textual cut is exact.
+func stripRunField(line []byte) []byte {
+	i := bytes.Index(line, []byte(`"run":"`))
+	if i < 0 {
+		return line
+	}
+	j := bytes.IndexByte(line[i+len(`"run":"`):], '"')
+	if j < 0 {
+		return line
+	}
+	end := i + len(`"run":"`) + j + 1
+	// Swallow one adjacent comma to keep the JSON valid.
+	if end < len(line) && line[end] == ',' {
+		end++
+	} else if i > 0 && line[i-1] == ',' {
+		i--
+	}
+	return append(append([]byte{}, line[:i]...), line[end:]...)
+}

@@ -7,7 +7,7 @@
 package survey
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"sort"
 )
 
@@ -83,7 +83,7 @@ type Observation struct {
 }
 
 // Observe surveys one venue of the given type.
-func Observe(rng *rand.Rand, loc LocationType) Observation {
+func Observe(rng *rng.Stream, loc LocationType) Observation {
 	p, ok := profiles[loc]
 	if !ok {
 		p = profiles[Office]
@@ -103,7 +103,7 @@ func Observe(rng *rand.Rand, loc LocationType) Observation {
 // Walk reproduces the paper's survey: n venues drawn across the non-
 // residential location types (the Figure 1 corpus), in a deterministic
 // order given rng.
-func Walk(rng *rand.Rand, n int) []Observation {
+func Walk(rng *rng.Stream, n int) []Observation {
 	types := []LocationType{Office, Campus, ServicedApartment, Hotel, Mall, Airport, Conference, InFlight}
 	obs := make([]Observation, 0, n)
 	for i := 0; i < n; i++ {
@@ -141,7 +141,7 @@ func Summarize(obs []Observation) Summary {
 // ResidentialMultiBSSIDFraction estimates the fraction of residential
 // clients with more than one connectable BSSID — the paper's NetTest data
 // put this at ~30% (§3.3).
-func ResidentialMultiBSSIDFraction(rng *rand.Rand, n int) float64 {
+func ResidentialMultiBSSIDFraction(rng *rng.Stream, n int) float64 {
 	multi := 0
 	for i := 0; i < n; i++ {
 		// Most homes have a single AP; some have extenders/multi-band

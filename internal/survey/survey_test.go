@@ -1,12 +1,12 @@
 package survey
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 )
 
 func TestObserveWithinProfileBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	for loc, p := range profiles {
 		for i := 0; i < 200; i++ {
 			o := Observe(rng, loc)
@@ -26,7 +26,7 @@ func TestObserveWithinProfileBounds(t *testing.T) {
 }
 
 func TestObserveUnknownLocationFallsBack(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	o := Observe(rng, LocationType(99))
 	if o.BSSIDs == 0 {
 		t.Error("unknown location produced no APs")
@@ -34,7 +34,7 @@ func TestObserveUnknownLocationFallsBack(t *testing.T) {
 }
 
 func TestWalkCoversTypes(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	obs := Walk(rng, 16)
 	if len(obs) != 16 {
 		t.Fatalf("walk length %d", len(obs))
@@ -49,7 +49,7 @@ func TestWalkCoversTypes(t *testing.T) {
 }
 
 func TestSummarizeMatchesPaperShape(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	s := Summarize(Walk(rng, 500))
 	// Paper: median 6 BSSIDs (range 2–13), median 4 channels (range 2–9).
 	if s.MedianBSSIDs < 4 || s.MedianBSSIDs > 8 {
@@ -73,7 +73,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestResidentialMultiBSSIDNearPaper(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	f := ResidentialMultiBSSIDFraction(rng, 50000)
 	if f < 0.25 || f < 0.2 || f > 0.4 {
 		t.Errorf("residential multi-BSSID fraction = %v, want ≈0.30", f)

@@ -1,7 +1,7 @@
 package traffic
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -38,7 +38,7 @@ func DefaultTCPConfig() TCPConfig {
 // [from, to). absent reports the NIC's away-from-channel time within a
 // window (pass nil when the NIC never leaves). rng supplies the run's
 // variation; use a distinct stream per run.
-func TCPThroughputKbps(link *phy.Link, from, to sim.Time, cfg TCPConfig, absent func(a, b sim.Time) sim.Duration, rng *rand.Rand) float64 {
+func TCPThroughputKbps(link *phy.Link, from, to sim.Time, cfg TCPConfig, absent func(a, b sim.Time) sim.Duration, rng *rng.Stream) float64 {
 	if cfg.WindowSize <= 0 {
 		cfg.WindowSize = 100 * sim.Millisecond
 	}

@@ -1,7 +1,7 @@
 package traffic
 
 import (
-	"math/rand"
+	"repro/internal/sim/rng"
 	"testing"
 
 	"repro/internal/phy"
@@ -9,7 +9,7 @@ import (
 )
 
 func tcpLink(extra float64) *phy.Link {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	return phy.NewLink(rng, phy.NewEnvironment(), phy.LinkParams{
 		APPos: phy.Position{X: 0, Y: 0}, Chan: phy.Chan1,
 		Client:   phy.Static{Pos: phy.Position{X: 8, Y: 0}},
@@ -87,12 +87,12 @@ func TestTCPDegenerateInputs(t *testing.T) {
 
 func TestTCPNoiseIsSeedDeterministic(t *testing.T) {
 	cfg := DefaultTCPConfig()
-	a := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(9)))
-	b := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(9)))
+	a := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rng.New(9))
+	b := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rng.New(9))
 	if a != b {
 		t.Error("same seed produced different noisy throughput")
 	}
-	c := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rand.New(rand.NewSource(10)))
+	c := TCPThroughputKbps(tcpLink(0), 0, sim.Time(5*sim.Second), cfg, nil, rng.New(10))
 	if a == c {
 		t.Error("different seeds produced identical noise")
 	}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run the simulator benchmark suite and write BENCH_<date>.json
+# (see docs/PERFORMANCE.md for how to read the file).
+#
+# Usage:
+#   scripts/bench.sh           full run: 2s per benchmark, writes BENCH_<date>.json
+#   scripts/bench.sh smoke     CI regression smoke: enforce the scheduling
+#                              alloc ceilings and run every benchmark once
+#
+# BENCH_DATE overrides the date stamp (useful for reproducible artifacts).
+# POSIX sh; depends only on the Go toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "smoke" ]; then
+    # The alloc-ceiling test is the hard regression gate: scheduling hot
+    # paths promise zero steady-state allocations, and this fails the build
+    # if any of them starts allocating again. The 1x bench pass then checks
+    # every benchmark in the repo still compiles and runs.
+    go test ./internal/sim -run TestSchedulingAllocCeiling -count=1
+    go test -bench . -benchtime=1x -benchmem -run '^$' ./...
+    exit 0
+fi
+
+date=${BENCH_DATE:-$(date +%F)}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Scheduler + RNG micro-benchmarks (the perf contract for internal/sim).
+go test -bench . -benchmem -benchtime 2s -run '^$' \
+    ./internal/sim ./internal/sim/rng >"$tmp/sim.txt"
+# End-to-end experiment benchmarks (whole-call and figure-scale runs).
+go test -bench 'Table1|Figure2a|FullDualCall|FullDiversiFiCall' \
+    -benchmem -benchtime 2s -run '^$' . >"$tmp/e2e.txt"
+
+go run ./cmd/benchjson -date "$date" -o "BENCH_$date.json" \
+    sim="$tmp/sim.txt" e2e="$tmp/e2e.txt"
+echo "wrote BENCH_$date.json"
