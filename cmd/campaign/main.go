@@ -6,7 +6,8 @@
 //	campaign [-jobs all|kind|id,id,...] [-seed N] [-n N] [-workers N]
 //	         [-timeout D] [-cache DIR] [-no-cache] [-out DIR]
 //	         [-summary FILE] [-json] [-quiet] [-list]
-//	         [-metrics FILE] [-trace FILE] [-pprof DIR]
+//	         [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]]
+//	         [-pprof DIR]
 //
 // Every experiment registered in exp.Registry() is a job addressed by
 // (id, seed, n, config hash). Completed jobs persist their results under
@@ -14,8 +15,8 @@
 // interrupted campaign resumes from where it stopped. The process exits
 // nonzero if any job failed, but a failing job never aborts the fleet.
 //
-// The observability flags (-metrics, -trace, -pprof) are shared with
-// cmd/experiments; see docs/OBSERVABILITY.md. Jobs run concurrently, so
+// The observability flags (-metrics, -trace, -series, -pprof) are shared
+// with cmd/experiments; see docs/OBSERVABILITY.md. Jobs run concurrently, so
 // simulator-level metrics aggregate across the fleet, with trace lines
 // distinguished by their per-simulation run label.
 package main

@@ -4,16 +4,17 @@
 // Usage:
 //
 //	experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE]
-//	            [-pprof DIR] <experiment>|all
+//	            [-series PATH[,WINDOW]] [-pprof DIR] <experiment>|all
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
 // regenerates everything except the calibration sweeps, which are
 // diagnostic. Run `experiments list` for the full inventory.
 //
-// The observability flags (-metrics, -trace, -pprof) are shared with
-// cmd/campaign; see docs/OBSERVABILITY.md for the metric names and the
-// JSONL trace schema they produce.
+// The observability flags (-metrics, -trace, -series, -pprof) are shared
+// with cmd/campaign; see docs/OBSERVABILITY.md for the metric names, the
+// JSONL trace schema, and the time-series dump they produce. Traces can
+// be analyzed offline with cmd/tracetool.
 package main
 
 import (
@@ -37,7 +38,7 @@ func run() int {
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE] [-pprof DIR] <experiment>|all|list")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]] [-pprof DIR] <experiment>|all|list")
 		return 2
 	}
 

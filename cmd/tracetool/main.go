@@ -1,0 +1,335 @@
+// Command tracetool analyzes JSONL traces produced by the -trace flag of
+// cmd/experiments and cmd/campaign (schema: docs/OBSERVABILITY.md), via the
+// streaming engine in internal/obs/analyze.
+//
+// Usage:
+//
+//	tracetool lint [-max N] FILE...
+//	tracetool episodes [-json] FILE...
+//	tracetool series [-json] [-window DUR] FILE...
+//	tracetool summary [-json] FILE...
+//
+// lint checks every line against the trace contract — strict schema decode,
+// per-(run, node) timestamp ordering, episode well-formedness, and
+// retrieval causality — printing one "file:line: kind: message" finding per
+// violation and exiting nonzero if any trace is dirty.
+//
+// episodes reconstructs every secondary visit (recovery and keepalive) with
+// its Table 3 delay decomposition: detect (trigger loss → switch), switch
+// (link-switch cost), retrieve (switch completion → first retrieval), and
+// total (switch initiation → first retrieval, the client.recovery_delay_us
+// observation).
+//
+// series buckets event counts into fixed windows of simulated time — the
+// trace-derived counterpart of the -series flag's metric timeline.
+//
+// summary prints per-trace totals: events by type, per-link transmit
+// outcomes and loss-burst structure, episode counts, and lint status.
+//
+// FILE may be "-" for stdin. All subcommands accept -json for
+// machine-readable output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs/analyze"
+	"repro/internal/stats"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  tracetool lint [-max N] FILE...
+  tracetool episodes [-json] FILE...
+  tracetool series [-json] [-window DUR] FILE...
+  tracetool summary [-json] FILE...
+
+FILE may be "-" for stdin. See docs/OBSERVABILITY.md for the trace schema.
+`)
+}
+
+// run is the testable entry point: it dispatches to one subcommand and
+// returns the process exit code (0 ok, 1 failure/violations, 2 usage).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "lint":
+		return cmdLint(rest, stdin, stdout, stderr)
+	case "episodes":
+		return cmdEpisodes(rest, stdin, stdout, stderr)
+	case "series":
+		return cmdSeries(rest, stdin, stdout, stderr)
+	case "summary":
+		return cmdSummary(rest, stdin, stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "tracetool: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+// analyzeFile runs one analysis pass over path ("-" = stdin).
+func analyzeFile(path string, stdin io.Reader, opts analyze.Options) (*analyze.Report, error) {
+	r := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return analyze.Analyze(r, opts)
+}
+
+// forEachFile analyzes every path, invoking fn per report. Open/read errors
+// are printed and turn the exit code nonzero without stopping the walk.
+func forEachFile(paths []string, stdin io.Reader, stderr io.Writer,
+	opts analyze.Options, fn func(path string, rep *analyze.Report)) int {
+	code := 0
+	for _, path := range paths {
+		rep, err := analyzeFile(path, stdin, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			code = 1
+			continue
+		}
+		fn(path, rep)
+	}
+	return code
+}
+
+func cmdLint(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxV := fs.Int("max", 0, "max violations to print per file (0 = default 100, negative = all)")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	dirty := false
+	code := forEachFile(fs.Args(), stdin, stderr, analyze.Options{MaxViolations: *maxV},
+		func(path string, rep *analyze.Report) {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s\n", path, v.Line, v.Kind, v.Msg)
+			}
+			if rep.Clean() {
+				fmt.Fprintf(stdout, "%s: %d events, clean\n", path, rep.Events)
+			} else {
+				dirty = true
+				fmt.Fprintf(stdout, "%s: %d events, %d violations (%d shown)\n",
+					path, rep.Events, rep.TotalViolations, len(rep.Violations))
+			}
+		})
+	// Violations are findings, not tool errors, but the exit code must
+	// reflect them so CI can gate on a clean corpus.
+	if code == 0 && dirty {
+		code = 1
+	}
+	return code
+}
+
+func cmdEpisodes(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("episodes", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit JSON instead of a text table")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	return forEachFile(fs.Args(), stdin, stderr, analyze.Options{KeepEpisodes: true},
+		func(path string, rep *analyze.Report) {
+			if *asJSON {
+				writeJSON(stdout, struct {
+					File          string             `json:"file"`
+					Recoveries    int64              `json:"recoveries"`
+					Keepalives    int64              `json:"keepalives"`
+					Unclosed      int64              `json:"unclosed"`
+					Retrieved     int64              `json:"retrieved"`
+					RecoveryDelay analyze.DelayStats `json:"recovery_delay"`
+					DetectDelay   analyze.DelayStats `json:"detect_delay"`
+					Episodes      []analyze.Episode  `json:"episodes"`
+				}{path, rep.Recoveries, rep.Keepalives, rep.Unclosed, rep.Retrieved,
+					rep.RecoveryDelay, rep.DetectDelay, rep.Episodes})
+				return
+			}
+			tbl := stats.NewTable("episodes: "+path,
+				"run", "kind", "line", "start_us", "end_us", "trigger",
+				"detect_us", "switch_us", "retrieve_us", "total_us", "retrieved")
+			for _, e := range rep.Episodes {
+				tbl.AddRow(e.Run, e.Kind, fmt.Sprint(e.Line), fmt.Sprint(e.StartUS),
+					orDash(e.EndUS), orDash(int64(e.TriggerSeq)), orDash(e.DetectUS),
+					fmt.Sprint(e.SwitchUS), orDash(e.RetrieveUS), orDash(e.TotalUS),
+					fmt.Sprint(e.Retrieved))
+			}
+			fmt.Fprint(stdout, tbl.String())
+			fmt.Fprintf(stdout, "recoveries %d, keepalives %d, unclosed %d, retrieved %d\n",
+				rep.Recoveries, rep.Keepalives, rep.Unclosed, rep.Retrieved)
+			fmt.Fprintf(stdout, "recovery total_us: %s\n", delayLine(rep.RecoveryDelay))
+			fmt.Fprintf(stdout, "detect_us:         %s\n", delayLine(rep.DetectDelay))
+		})
+}
+
+func cmdSeries(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("series", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit JSON instead of a text table")
+	window := fs.Duration("window", time.Second, "window width in simulated time")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 || *window <= 0 {
+		usage(stderr)
+		return 2
+	}
+	windowUS := window.Microseconds()
+	return forEachFile(fs.Args(), stdin, stderr, analyze.Options{WindowUS: windowUS},
+		func(path string, rep *analyze.Report) {
+			if *asJSON {
+				writeJSON(stdout, struct {
+					File     string               `json:"file"`
+					WindowUS int64                `json:"window_us"`
+					Points   []analyze.TracePoint `json:"points"`
+				}{path, windowUS, rep.Points})
+				return
+			}
+			// Columns: the union of count keys across every window.
+			keySet := map[string]bool{}
+			for _, p := range rep.Points {
+				for k := range p.Counts {
+					keySet[k] = true
+				}
+			}
+			keys := make([]string, 0, len(keySet))
+			for k := range keySet {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			tbl := stats.NewTable(fmt.Sprintf("series: %s (window %v)", path, *window),
+				append([]string{"start_us", "end_us"}, keys...)...)
+			for _, p := range rep.Points {
+				row := []string{fmt.Sprint(p.StartUS), fmt.Sprint(p.EndUS)}
+				for _, k := range keys {
+					if n := p.Counts[k]; n != 0 {
+						row = append(row, fmt.Sprint(n))
+					} else {
+						row = append(row, "")
+					}
+				}
+				tbl.AddRow(row...)
+			}
+			fmt.Fprint(stdout, tbl.String())
+		})
+}
+
+func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	return forEachFile(fs.Args(), stdin, stderr, analyze.Options{},
+		func(path string, rep *analyze.Report) {
+			if *asJSON {
+				writeJSON(stdout, struct {
+					File string `json:"file"`
+					*analyze.Report
+				}{path, rep})
+				return
+			}
+			fmt.Fprintf(stdout, "%s: %d lines, %d events", path, rep.Lines, rep.Events)
+			if len(rep.Runs) > 0 {
+				fmt.Fprintf(stdout, ", runs %v, span [%dus, %dus]", rep.Runs, rep.FirstUS, rep.LastUS)
+			}
+			fmt.Fprintln(stdout)
+
+			types := stats.NewTable("", "event", "count")
+			for _, k := range sortedKeys(rep.ByType) {
+				types.AddRow(k, fmt.Sprint(rep.ByType[k]))
+			}
+			fmt.Fprint(stdout, types.String())
+
+			links := stats.NewTable("links",
+				"link", "delivered", "wasted", "lost", "retries", "drops",
+				"hd-evict", "hd-refuse", "bursts", "max-burst")
+			for _, k := range sortedKeys(rep.Links) {
+				ls := rep.Links[k]
+				links.AddRow(k, fmt.Sprint(ls.TxDelivered), fmt.Sprint(ls.TxWasted),
+					fmt.Sprint(ls.TxLost), fmt.Sprint(ls.Retries), fmt.Sprint(ls.Drops),
+					fmt.Sprint(ls.HeadDropEvict), fmt.Sprint(ls.HeadDropRefuse),
+					fmt.Sprint(ls.LossBursts), fmt.Sprint(ls.MaxBurst))
+			}
+			fmt.Fprint(stdout, links.String())
+
+			fmt.Fprintf(stdout, "episodes: %d recoveries, %d keepalives, %d unclosed; %d retrieved, %d playout misses\n",
+				rep.Recoveries, rep.Keepalives, rep.Unclosed, rep.Retrieved, rep.PlayoutMisses)
+			fmt.Fprintf(stdout, "recovery total_us: %s\n", delayLine(rep.RecoveryDelay))
+			if rep.Clean() {
+				fmt.Fprintln(stdout, "lint: clean")
+			} else {
+				fmt.Fprintf(stdout, "lint: %d violations (run `tracetool lint %s`)\n",
+					rep.TotalViolations, path)
+			}
+		})
+}
+
+// orDash renders v, with the analyzer's -1 "not determined" sentinel as "-".
+func orDash(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprint(v)
+}
+
+// delayLine renders a DelayStats as "count N min X mean Y max Z".
+func delayLine(d analyze.DelayStats) string {
+	if d.Count == 0 {
+		return "count 0"
+	}
+	return fmt.Sprintf("count %d min %d mean %.1f max %d", d.Count, d.MinUS, d.MeanUS(), d.MaxUS)
+}
+
+func writeJSON(w io.Writer, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	w.Write(data)
+	io.WriteString(w, "\n")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

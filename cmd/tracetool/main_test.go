@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/analyze"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// exec runs the CLI entry point and captures its streams.
+func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestGoldenOutputs pins the exact bytes of every subcommand's text and JSON
+// output over the checked-in fixture traces. Regenerate after a deliberate
+// format change with
+//
+//	go test ./cmd/tracetool -run TestGoldenOutputs -update
+//
+// and review the diff like any other contract change.
+func TestGoldenOutputs(t *testing.T) {
+	sample := filepath.Join("testdata", "sample.trace.jsonl")
+	dirty := filepath.Join("testdata", "dirty.trace.jsonl")
+	cases := []struct {
+		golden   string
+		args     []string
+		wantCode int
+	}{
+		{"episodes.txt", []string{"episodes", sample}, 0},
+		{"episodes.json", []string{"episodes", "-json", sample}, 0},
+		{"summary.txt", []string{"summary", sample}, 0},
+		{"summary.json", []string{"summary", "-json", sample}, 0},
+		{"series.txt", []string{"series", "-window", "50ms", sample}, 0},
+		{"lint.txt", []string{"lint", sample, dirty}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.golden, func(t *testing.T) {
+			code, out, errOut := exec(t, c.args...)
+			if code != c.wantCode {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, c.wantCode, errOut)
+			}
+			path := filepath.Join("testdata", c.golden)
+			if *update {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("output differs from %s — if intended, re-run with -update and review\ngot:\n%s\nwant:\n%s",
+					path, out, want)
+			}
+		})
+	}
+}
+
+func TestLintExitCodes(t *testing.T) {
+	if code, _, _ := exec(t, "lint", filepath.Join("testdata", "sample.trace.jsonl")); code != 0 {
+		t.Errorf("lint on clean trace exited %d", code)
+	}
+	if code, _, _ := exec(t, "lint", filepath.Join("testdata", "dirty.trace.jsonl")); code != 1 {
+		t.Errorf("lint on dirty trace exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t, "lint", filepath.Join("testdata", "no-such-file.jsonl")); code != 1 {
+		t.Errorf("lint on missing file exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t); code != 2 {
+		t.Errorf("no-args exited %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "frobnicate"); code != 2 {
+		t.Errorf("unknown command exited %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "help"); code != 0 {
+		t.Errorf("help exited %d, want 0", code)
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "sample.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code := run([]string{"lint", "-"}, bytes.NewReader(data), &out, &out)
+	if code != 0 || !strings.Contains(out.String(), "clean") {
+		t.Fatalf("lint over stdin: code %d, out %q", code, out.String())
+	}
+}
+
+// simtestGoldens returns the seeded-equivalence golden traces checked in
+// under internal/simtest/testdata.
+func simtestGoldens(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "internal", "simtest", "testdata", "*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 6 {
+		t.Fatalf("expected the six simtest golden traces, found %d: %v", len(paths), paths)
+	}
+	return paths
+}
+
+// TestSimtestGoldensLintClean is the acceptance gate: every golden trace of
+// the seeded-equivalence harness passes the linter.
+func TestSimtestGoldensLintClean(t *testing.T) {
+	code, out, errOut := exec(t, append([]string{"lint"}, simtestGoldens(t)...)...)
+	if code != 0 {
+		t.Fatalf("lint over simtest goldens exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+// TestSimtestGoldenEpisodesMatchMetrics is the acceptance gate for episode
+// reconstruction: `tracetool episodes -json` over each golden trace must
+// reproduce that scenario's metric snapshot bit-identically —
+// client.recovery_switches / client.keepalive_switches as episode counts,
+// the client.recovery_delay_us histogram's count/min/max as the
+// switch→first-retrieval delay stats, and client.recovered /
+// client.playout_misses as the retrieval totals.
+func TestSimtestGoldenEpisodesMatchMetrics(t *testing.T) {
+	for _, tracePath := range simtestGoldens(t) {
+		name := strings.TrimSuffix(filepath.Base(tracePath), ".trace.jsonl")
+		t.Run(name, func(t *testing.T) {
+			code, out, errOut := exec(t, "episodes", "-json", tracePath)
+			if code != 0 {
+				t.Fatalf("episodes exited %d: %s", code, errOut)
+			}
+			var got struct {
+				Recoveries    int64              `json:"recoveries"`
+				Keepalives    int64              `json:"keepalives"`
+				Unclosed      int64              `json:"unclosed"`
+				Retrieved     int64              `json:"retrieved"`
+				RecoveryDelay analyze.DelayStats `json:"recovery_delay"`
+			}
+			if err := json.Unmarshal([]byte(out), &got); err != nil {
+				t.Fatalf("parse episodes JSON: %v", err)
+			}
+
+			metricsPath := strings.TrimSuffix(tracePath, ".trace.jsonl") + ".metrics.json"
+			data, err := os.ReadFile(metricsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var metrics struct {
+				Counters   map[string]int64 `json:"counters"`
+				Histograms map[string]struct {
+					Count int64 `json:"count"`
+					Min   int64 `json:"min"`
+					Max   int64 `json:"max"`
+				} `json:"histograms"`
+			}
+			if err := json.Unmarshal(data, &metrics); err != nil {
+				t.Fatal(err)
+			}
+
+			if want := metrics.Counters["client.recovery_switches"]; got.Recoveries != want {
+				t.Errorf("recoveries = %d, metrics say %d", got.Recoveries, want)
+			}
+			if want := metrics.Counters["client.keepalive_switches"]; got.Keepalives != want {
+				t.Errorf("keepalives = %d, metrics say %d", got.Keepalives, want)
+			}
+			if want := metrics.Counters["client.recovered"]; got.Retrieved != want {
+				t.Errorf("retrieved = %d, metrics say %d", got.Retrieved, want)
+			}
+			if got.Unclosed != 0 {
+				t.Errorf("unclosed episodes = %d, want 0", got.Unclosed)
+			}
+			hist := metrics.Histograms["client.recovery_delay_us"]
+			if got.RecoveryDelay.Count != hist.Count {
+				t.Errorf("recovery delay count = %d, histogram says %d", got.RecoveryDelay.Count, hist.Count)
+			}
+			if hist.Count > 0 {
+				if got.RecoveryDelay.MinUS != hist.Min || got.RecoveryDelay.MaxUS != hist.Max {
+					t.Errorf("recovery delay min/max = %d/%d, histogram says %d/%d",
+						got.RecoveryDelay.MinUS, got.RecoveryDelay.MaxUS, hist.Min, hist.Max)
+				}
+			}
+		})
+	}
+}

@@ -200,6 +200,7 @@ func Run(opts Options) *Summary {
 		default:
 			s.Failed++
 		}
+		s.SeriesPoints += r.SeriesPoints
 	}
 	s.ElapsedMS = time.Since(start).Milliseconds()
 	if secs := time.Since(start).Seconds(); secs > 0 {
@@ -236,6 +237,11 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 	}
 	var res *exp.Result
 	var err error
+	// Series windows are attributed to jobs by interval: the collector is
+	// shared across the fleet, so under concurrency this is telemetry (like
+	// ElapsedMS), not part of the determinism contract.
+	series := opts.Obs.Series()
+	pointsBefore := series.Points()
 	for rec.Attempts = 1; ; rec.Attempts++ {
 		res, err = execute(j, opts.Timeout)
 		if err == nil || rec.Attempts > opts.Retries {
@@ -243,6 +249,7 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 		}
 		ins.retries.Inc()
 	}
+	rec.SeriesPoints = series.Points() - pointsBefore
 	rec.ElapsedMS = time.Since(jobStart).Milliseconds()
 	ins.elapsed.Observe(rec.ElapsedMS)
 	if err != nil {

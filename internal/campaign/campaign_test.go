@@ -242,6 +242,55 @@ func TestJobKeyDistinguishesIDSeedN(t *testing.T) {
 	}
 }
 
+// TestSummarySurfacesSeriesPoints checks the per-job and fleet-total
+// series-window telemetry: windows captured while a job runs land in its
+// record and sum into the summary (and its text report grows the series
+// column and footer only then).
+func TestSummarySurfacesSeriesPoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	se := obs.NewSeries(reg, 1000)
+	reg.SetSeries(se)
+	var clock atomic.Int64
+	tickThree := func(int, int64) *exp.Result {
+		base := clock.Add(10_000)
+		for i := int64(0); i < 3; i++ {
+			se.Tick(base + i*1000)
+		}
+		return okResult("x")
+	}
+	jobs := []Job{fakeJob("a", 1, tickThree), fakeJob("b", 1, tickThree)}
+	s := Run(Options{Jobs: jobs, Workers: 1, Obs: reg})
+	if s.SeriesPoints != 6 {
+		t.Fatalf("summary series points = %d, want 6", s.SeriesPoints)
+	}
+	for _, r := range s.Jobs {
+		if r.SeriesPoints != 3 {
+			t.Errorf("job %s series points = %d, want 3", r.ID, r.SeriesPoints)
+		}
+	}
+	text := s.Text()
+	if !strings.Contains(text, "series") || !strings.Contains(text, "series: 6 windows") {
+		t.Errorf("text summary missing series telemetry:\n%s", text)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"series_points": 3`) {
+		t.Errorf("summary JSON missing per-job series_points:\n%s", data)
+	}
+
+	// Without a collector the summary stays series-free: no column, no
+	// footer, and omitempty keeps the JSON schema unchanged.
+	s2 := Run(Options{Jobs: []Job{fakeJob("c", 1, func(int, int64) *exp.Result { return okResult("c") })}, Workers: 1})
+	if s2.SeriesPoints != 0 || strings.Contains(s2.Text(), "series") {
+		t.Errorf("series telemetry leaked into an uninstrumented campaign:\n%s", s2.Text())
+	}
+	if data, err := s2.JSON(); err != nil || strings.Contains(string(data), "series_points") {
+		t.Errorf("series_points present in uninstrumented summary JSON (err=%v)", err)
+	}
+}
+
 func TestRunObsInstrumentation(t *testing.T) {
 	cache, err := OpenCache(t.TempDir())
 	if err != nil {

@@ -29,6 +29,12 @@ type JobRecord struct {
 	// ElapsedMS is wall-clock per job — a timing field, excluded from the
 	// determinism contract.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// SeriesPoints is how many time-series windows (obs.Series) were
+	// captured while this job ran. Jobs run concurrently against one shared
+	// collector, so this is attribution-by-interval telemetry — excluded
+	// from the determinism contract, like ElapsedMS. Zero when -series is
+	// off or the job was served from cache.
+	SeriesPoints int64 `json:"series_points,omitempty"`
 }
 
 // Summary is the campaign's final report, emitted as both JSON and text.
@@ -48,6 +54,9 @@ type Summary struct {
 	ElapsedP50MS int64 `json:"elapsed_p50_ms"`
 	ElapsedP95MS int64 `json:"elapsed_p95_ms"`
 	ElapsedP99MS int64 `json:"elapsed_p99_ms"`
+	// SeriesPoints totals the per-job series-window counts (telemetry,
+	// excluded from the determinism contract; zero when -series is off).
+	SeriesPoints int64 `json:"series_points,omitempty"`
 }
 
 // fillElapsedPercentiles derives the per-job elapsed percentiles from the
@@ -79,13 +88,24 @@ func (s *Summary) JSON() ([]byte, error) {
 // Text renders the human-readable campaign report: a per-job table plus
 // the fleet totals and failure reasons.
 func (s *Summary) Text() string {
-	t := stats.NewTable("Campaign summary", "job", "status", "attempts", "elapsed", "key")
+	// The series column only appears when a -series collector was live, so
+	// the default report keeps its shape.
+	cols := []string{"job", "status", "attempts", "elapsed", "key"}
+	if s.SeriesPoints > 0 {
+		cols = []string{"job", "status", "attempts", "elapsed", "series", "key"}
+	}
+	t := stats.NewTable("Campaign summary", cols...)
 	for _, r := range s.Jobs {
 		attempts := ""
 		if r.Attempts > 0 {
 			attempts = fmt.Sprint(r.Attempts)
 		}
-		t.AddRow(r.ID, r.Status, attempts, fmt.Sprintf("%dms", r.ElapsedMS), r.Key)
+		row := []string{r.ID, r.Status, attempts, fmt.Sprintf("%dms", r.ElapsedMS), r.Key}
+		if s.SeriesPoints > 0 {
+			row = []string{r.ID, r.Status, attempts, fmt.Sprintf("%dms", r.ElapsedMS),
+				fmt.Sprint(r.SeriesPoints), r.Key}
+		}
+		t.AddRow(row...)
 	}
 	var b strings.Builder
 	b.WriteString(t.String())
@@ -95,6 +115,9 @@ func (s *Summary) Text() string {
 	if s.Executed+s.Failed > 0 {
 		fmt.Fprintf(&b, "per-job elapsed: p50 %dms, p95 %dms, p99 %dms\n",
 			s.ElapsedP50MS, s.ElapsedP95MS, s.ElapsedP99MS)
+	}
+	if s.SeriesPoints > 0 {
+		fmt.Fprintf(&b, "series: %d windows captured across the fleet\n", s.SeriesPoints)
 	}
 	for _, f := range s.Failures {
 		b.WriteString("FAILED " + f + "\n")

@@ -127,6 +127,7 @@ type Client struct {
 	st            state
 	missing       map[int]sim.Time // seq -> recovery deadline (SentAt+Deadline)
 	pendingSwitch sim.Timer
+	pendingSeq    int // seq whose loss planned the pending switch; -1 when none
 	failsafe      sim.Timer
 	lastSecVisit  sim.Time
 
@@ -175,6 +176,7 @@ func New(s *sim.Simulator, cfg Config) *Client {
 		sim:         s,
 		cfg:         cfg,
 		missing:     make(map[int]sim.Time),
+		pendingSeq:  -1,
 		obs:         reg,
 		ctLosses:    reg.Counter("client.losses_detected"),
 		ctRecSwitch: reg.Counter("client.recovery_switches"),
@@ -400,6 +402,7 @@ func (c *Client) planRecovery(seq int) {
 	if switchAt < now {
 		switchAt = now
 	}
+	c.pendingSeq = seq
 	c.pendingSwitch = c.sim.Schedule(switchAt, func() {
 		if c.st == onPrimary && c.anyRecoverable() {
 			c.stats.RecoverySwitches++
@@ -414,11 +417,16 @@ func (c *Client) planRecovery(seq int) {
 func (c *Client) goToSecondary(keepalive bool) {
 	if c.obs.Tracing() {
 		detail := obs.SwitchToSecondary
+		// Recovery switches carry the seq whose loss planned the visit, so
+		// trace analysis can pair the triggering tx-lost/drop with the switch
+		// (detect delay). Keepalives are not packet-specific: seq -1.
+		seq := c.pendingSeq
 		if keepalive {
 			detail = obs.SwitchKeepalive
+			seq = -1
 		}
 		c.obs.Emit(obs.Event{TUS: int64(c.sim.Now()), Ev: obs.EvLinkSwitch, Node: "client",
-			Seq: -1, DurUS: int64(switchCost()), Detail: detail})
+			Seq: seq, DurUS: int64(switchCost()), Detail: detail})
 	}
 	c.st = switchingToSecondary
 	c.absentSince = c.sim.Now()

@@ -102,9 +102,13 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 	reg := obs.NewRegistry()
 	var buf bytes.Buffer
 	reg.SetSink(obs.NewSink(&buf))
+	reg.SetSeries(obs.NewSeries(reg, 1_000_000))
 	sim.ObsProvider = func(seed int64) *obs.Registry { return reg }
 	defer func() { sim.ObsProvider = nil }()
 	obsRun := RunDiversiFi(lossyScenario(21), DiversiFiOptions{Mode: ModeCustomAP})
+	if reg.Series().Points() == 0 {
+		t.Error("series collector captured no windows during the observed run")
+	}
 
 	if base.Client != obsRun.Client {
 		t.Errorf("client stats differ: base %+v vs observed %+v", base.Client, obsRun.Client)

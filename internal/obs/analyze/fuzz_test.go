@@ -1,0 +1,77 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzAnalyze feeds arbitrary JSONL to the analyzer and asserts two
+// invariants: it never panics, and its decode-kind violations identify
+// exactly the non-blank lines obs.DecodeEvent rejects — no silent
+// acceptance of malformed lines, no spurious rejection of valid ones.
+func FuzzAnalyze(f *testing.F) {
+	var sample [][]byte
+	for _, ev := range obs.SampleEvents() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sample = append(sample, line)
+	}
+	f.Add(bytes.Join(sample, []byte("\n")))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte("not json\n" + `{"t_us":1,"ev":"warp","seq":-1}` + "\n"))
+	f.Add([]byte(`{"t_us":100,"ev":"link-switch","node":"c","seq":1,"detail":"to-secondary"}` + "\n" +
+		`{"t_us":200,"ev":"retrieve-from-secondary","node":"c","seq":1,"dur_us":100}`))
+	f.Add([]byte(`{"t_us":9223372036854775807,"ev":"playout-miss","node":"c","seq":0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Analyze(bytes.NewReader(data),
+			Options{MaxViolations: -1, KeepEpisodes: true, WindowUS: 1000})
+		if err != nil {
+			// Only a reader failure reaches here; bytes.Reader cannot fail
+			// short of a line exceeding the scanner limit.
+			if len(data) < 4*1024*1024 {
+				t.Fatalf("Analyze error on small input: %v", err)
+			}
+			return
+		}
+		decodeViol := make(map[int64]bool)
+		for _, v := range rep.Violations {
+			if v.Kind == VDecode {
+				if decodeViol[v.Line] {
+					t.Errorf("duplicate decode violation for line %d", v.Line)
+				}
+				decodeViol[v.Line] = true
+			}
+		}
+		lines := bytes.Split(data, []byte("\n"))
+		// A trailing newline yields a final empty fragment the scanner
+		// never sees as a line.
+		if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+			lines = lines[:n-1]
+		}
+		for i, line := range lines {
+			ln := int64(i + 1)
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) == 0 {
+				if decodeViol[ln] {
+					t.Errorf("line %d: blank line flagged as decode violation", ln)
+				}
+				continue
+			}
+			_, derr := obs.DecodeEvent(trimmed)
+			if (derr != nil) != decodeViol[ln] {
+				t.Errorf("line %d: DecodeEvent err=%v but decode violation=%v (line %q)",
+					ln, derr, decodeViol[ln], trimmed)
+			}
+		}
+		if int64(len(lines)) != rep.Lines {
+			t.Errorf("lines = %d, report says %d", len(lines), rep.Lines)
+		}
+	})
+}

@@ -82,6 +82,25 @@ type Event struct {
 	Detail  string `json:"detail,omitempty"`
 }
 
+// SampleEvents returns one well-formed event of every type — the worked
+// examples documented in docs/OBSERVABILITY.md — ordered as a coherent
+// trace fragment (per-node timestamps non-decreasing, causes before
+// effects), so it doubles as a seed corpus for trace tooling
+// (internal/obs/analyze). The contract tests assert the events encode,
+// decode, and validate exactly as documented. The slice is freshly
+// allocated; callers may mutate it.
+func SampleEvents() []Event {
+	return []Event{
+		{TUS: 1_020_113, Ev: EvRetry, Run: "s42", Node: "prim", Seq: -1, Attempt: 1, Detail: "rate=39.0Mbps"},
+		{TUS: 1_023_456, Ev: EvTx, Run: "s42", Node: "prim", Seq: 51, Attempt: 2, DurUS: 652, Detail: TxDelivered},
+		{TUS: 1_031_870, Ev: EvDrop, Run: "s42", Node: "prim", Seq: -1, Attempt: 7, Detail: "retry-limit"},
+		{TUS: 2_400_000, Ev: EvHeadDrop, Run: "s42", Node: "sec", Seq: 117, Detail: DropEvictOldest},
+		{TUS: 2_460_000, Ev: EvLinkSwitch, Run: "s42", Node: "client", Seq: 123, DurUS: 2800, Detail: SwitchToSecondary},
+		{TUS: 2_471_300, Ev: EvRetrieve, Run: "s42", Node: "client", Seq: 123, DurUS: 11_300},
+		{TUS: 2_650_000, Ev: EvPlayoutMiss, Run: "s42", Node: "client", Seq: 124},
+	}
+}
+
 // Validate checks ev against the documented schema: a known type, a
 // non-negative timestamp, and the per-type required fields. It returns nil
 // for conforming events.

@@ -9,16 +9,9 @@ import (
 )
 
 // sampleEvents holds one well-formed event of every type — the same worked
-// examples documented in docs/OBSERVABILITY.md.
-var sampleEvents = []Event{
-	{TUS: 1_023_456, Ev: EvTx, Run: "s42", Node: "prim", Seq: 51, Attempt: 2, DurUS: 652, Detail: TxDelivered},
-	{TUS: 1_020_113, Ev: EvRetry, Run: "s42", Node: "prim", Seq: -1, Attempt: 1, Detail: "rate=39.0Mbps"},
-	{TUS: 1_031_870, Ev: EvDrop, Run: "s42", Node: "prim", Seq: -1, Attempt: 7, Detail: "retry-limit"},
-	{TUS: 2_400_000, Ev: EvHeadDrop, Run: "s42", Node: "sec", Seq: 117, Detail: DropEvictOldest},
-	{TUS: 2_460_000, Ev: EvLinkSwitch, Run: "s42", Node: "client", Seq: -1, DurUS: 2800, Detail: SwitchToSecondary},
-	{TUS: 2_471_300, Ev: EvRetrieve, Run: "s42", Node: "client", Seq: 123, DurUS: 11_300},
-	{TUS: 2_650_000, Ev: EvPlayoutMiss, Run: "s42", Node: "client", Seq: 124},
-}
+// examples documented in docs/OBSERVABILITY.md, exported via SampleEvents
+// for trace tooling to seed from.
+var sampleEvents = SampleEvents()
 
 // TestTraceJSONLRoundTrip writes every sample event through a Sink and
 // decodes the JSONL back with the strict decoder: each event must survive

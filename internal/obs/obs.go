@@ -110,13 +110,15 @@ func (g *Gauge) Max() int64 {
 }
 
 // regCore is the shared state behind one Registry and all of its WithRun
-// views: the instrument tables and the optional trace sink.
+// views: the instrument tables, the optional trace sink, and the optional
+// time-windowed series collector.
 type regCore struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	sink     atomic.Pointer[Sink]
+	series   atomic.Pointer[Series]
 }
 
 // Registry is the root of the observability layer: a named-instrument
@@ -244,6 +246,25 @@ func (r *Registry) Sink() *Sink {
 		return nil
 	}
 	return r.core.sink.Load()
+}
+
+// SetSeries installs the time-windowed series collector (nil removes it).
+// Like SetSink, install it before constructing simulators: the engine
+// caches the series pointer when a registry is attached.
+func (r *Registry) SetSeries(se *Series) {
+	if r == nil {
+		return
+	}
+	r.core.series.Store(se)
+}
+
+// Series returns the installed series collector, or nil (also on a nil
+// registry). The Series API is itself nil-safe.
+func (r *Registry) Series() *Series {
+	if r == nil {
+		return nil
+	}
+	return r.core.series.Load()
 }
 
 // Tracing reports whether a trace sink is installed. Hot paths use it to

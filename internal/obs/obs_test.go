@@ -124,11 +124,27 @@ func TestNilSafety(t *testing.T) {
 	}
 	var s *Sink
 	s.Write(Event{})
-	if s.Written() != 0 || s.Errored() != 0 {
+	if s.Written() != 0 || s.Errored() != 0 || s.FirstErr() != nil {
 		t.Error("nil sink should read 0")
 	}
 	if s.Flush() != nil || s.Close() != nil {
 		t.Error("nil sink Flush/Close should be nil")
+	}
+	var se *Series
+	se.Tick(1)
+	se.Flush()
+	if se.Points() != 0 || se.WindowUS() != 0 {
+		t.Error("nil series should read 0")
+	}
+	if d := se.Snapshot(); len(d.Points) != 0 {
+		t.Error("nil series snapshot should be empty")
+	}
+	if NewSeries(nil, 1) != nil {
+		t.Error("NewSeries on a nil registry should return nil")
+	}
+	r.SetSeries(nil)
+	if r.Series() != nil {
+		t.Error("nil registry Series should be nil")
 	}
 }
 
@@ -139,17 +155,38 @@ func TestDisabledPathAllocs(t *testing.T) {
 	c := r.Counter("x")
 	g := r.Gauge("y")
 	h := r.Histogram("z", nil)
+	se := r.Series() // nil: no series installed on a nil registry
+	var now int64
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(2)
 		g.Set(3)
 		h.Observe(4)
+		now++
+		se.Tick(now)
 		if r.Tracing() {
 			r.Emit(Event{Ev: EvTx})
 		}
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSeriesInWindowTickAllocs: even with a series installed, ticks that
+// stay inside the open window must not allocate — the capture cost is paid
+// only at window boundaries.
+func TestSeriesInWindowTickAllocs(t *testing.T) {
+	r := NewRegistry()
+	se := NewSeries(r, 1_000_000)
+	r.SetSeries(se)
+	var now int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++ // stays far below the first 1 s boundary
+		se.Tick(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("in-window tick allocates %.1f per op, want 0", allocs)
 	}
 }
 

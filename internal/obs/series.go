@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSeriesWindowUS is the window width a Series uses when the caller
+// does not specify one: one simulated second.
+const DefaultSeriesWindowUS = 1_000_000
+
+// Series turns a Registry's cumulative instruments into a time-resolved
+// sequence of fixed simulated-time windows. Each captured SeriesPoint holds
+// the counter *deltas*, gauge values, and histogram sub-snapshots for one
+// window, so a long campaign run yields a metric timeline instead of a
+// single terminal snapshot.
+//
+// The simulation engine drives a Series through Tick(nowUS): every executed
+// event reports the virtual clock, and when the clock first reaches a
+// window boundary the window is closed and its deltas captured. The fast
+// path (clock still inside the current window) is one atomic load and a
+// compare — no allocation, no lock — and a nil *Series ignores Tick
+// entirely, preserving the package's nil-safe zero-cost contract.
+//
+// When several simulators share one registry (a parallel corpus or
+// campaign), they also share the Series: the virtual-time frontier advances
+// with the furthest-ahead simulator and each window holds fleet-aggregate
+// deltas. Windows are exact per-call slices only for single-simulation
+// runs; see docs/OBSERVABILITY.md.
+type Series struct {
+	reg    *Registry
+	window int64 // µs, > 0
+
+	// frontier is the virtual time at which the current window closes;
+	// Tick's fast path is a single load-and-compare against it.
+	frontier atomic.Int64
+	// maxSeen tracks the highest clock value observed, labelling the final
+	// partial window Flush emits. The update is racy by design: it is a
+	// label, and a lock here would serialize every simulator in the fleet.
+	maxSeen atomic.Int64
+
+	mu     sync.Mutex
+	lastUS int64 // start of the open window (last capture point)
+	points []SeriesPoint
+	npts   atomic.Int64
+	// Previous cumulative values, for delta computation.
+	lastCtr  map[string]int64
+	lastHist map[string]histCumulative
+}
+
+// histCumulative is the cumulative histogram state a Series remembers
+// between windows so it can difference bucket counts.
+type histCumulative struct {
+	counts []int64
+	count  int64
+	sum    int64
+}
+
+// SeriesPoint is one captured window: [StartUS, EndUS) in simulated
+// microseconds, counter deltas (zero deltas omitted), gauge values at
+// capture time, and histogram sub-snapshots over the window.
+type SeriesPoint struct {
+	StartUS    int64                 `json:"start_us"`
+	EndUS      int64                 `json:"end_us"`
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]int64      `json:"gauges,omitempty"`
+	Histograms map[string]SeriesHist `json:"histograms,omitempty"`
+}
+
+// SeriesHist is a histogram's sub-snapshot over one window, derived by
+// differencing cumulative bucket counts. Quantiles are interpolated on the
+// bucket edges of the window's observations; unlike full HistSummary they
+// carry no observed min/max (cumulative min/max cannot be windowed).
+type SeriesHist struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// NewSeries creates a Series over reg with the given window width in
+// simulated microseconds (<= 0 selects DefaultSeriesWindowUS). Returns nil
+// on a nil registry — a valid no-op series. Install it with SetSeries
+// before constructing simulators, alongside SetSink.
+func NewSeries(reg *Registry, windowUS int64) *Series {
+	if reg == nil {
+		return nil
+	}
+	if windowUS <= 0 {
+		windowUS = DefaultSeriesWindowUS
+	}
+	se := &Series{
+		reg:      reg,
+		window:   windowUS,
+		lastCtr:  make(map[string]int64),
+		lastHist: make(map[string]histCumulative),
+	}
+	se.frontier.Store(windowUS)
+	return se
+}
+
+// WindowUS returns the configured window width in microseconds.
+func (se *Series) WindowUS() int64 {
+	if se == nil {
+		return 0
+	}
+	return se.window
+}
+
+// Points returns the number of windows captured so far.
+func (se *Series) Points() int64 {
+	if se == nil {
+		return 0
+	}
+	return se.npts.Load()
+}
+
+// Tick reports the virtual clock to the series. The engine calls it once
+// per executed event; when nowUS first reaches the current window boundary
+// the elapsed window(s) are captured as one point. A nil series, or a tick
+// inside the open window, costs one atomic load and no allocation.
+func (se *Series) Tick(nowUS int64) {
+	if se == nil {
+		return
+	}
+	// Track the clock high-water mark even inside a window, so Flush can
+	// label the final partial point accurately. Racy-monotone by design:
+	// it is a label, and a lock here would serialize the fleet.
+	if m := se.maxSeen.Load(); nowUS > m {
+		se.maxSeen.Store(nowUS)
+	}
+	if nowUS < se.frontier.Load() {
+		return
+	}
+	se.mu.Lock()
+	// Recheck under the lock: another simulator may have closed the window.
+	if b := (nowUS / se.window) * se.window; b > se.lastUS {
+		se.captureLocked(b)
+		se.frontier.Store(b + se.window)
+	}
+	se.mu.Unlock()
+}
+
+// Flush captures whatever accumulated since the last window boundary as a
+// final, partial point (its EndUS is the highest clock value ticked, not a
+// window multiple). Call it once at the end of a run, before Snapshot.
+func (se *Series) Flush() {
+	if se == nil {
+		return
+	}
+	se.mu.Lock()
+	end := se.maxSeen.Load()
+	if end <= se.lastUS {
+		end = se.lastUS + 1 // degenerate label for an unticked series
+	}
+	se.captureLocked(end)
+	se.mu.Unlock()
+}
+
+// captureLocked differences the registry's instruments against the last
+// capture and appends the point for [se.lastUS, endUS). Empty windows (no
+// instrument moved) are still recorded, so gaps in activity stay visible.
+func (se *Series) captureLocked(endUS int64) {
+	p := SeriesPoint{StartUS: se.lastUS, EndUS: endUS}
+	c := se.reg.core
+	c.mu.RLock()
+	for name, ctr := range c.counters {
+		cur := ctr.Value()
+		if d := cur - se.lastCtr[name]; d != 0 {
+			if p.Counters == nil {
+				p.Counters = make(map[string]int64)
+			}
+			p.Counters[name] = d
+		}
+		se.lastCtr[name] = cur
+	}
+	for name, g := range c.gauges {
+		if p.Gauges == nil {
+			p.Gauges = make(map[string]int64)
+		}
+		p.Gauges[name] = g.Value()
+	}
+	for name, h := range c.hists {
+		cum := histCumulative{
+			counts: make([]int64, len(h.counts)),
+			count:  h.count.Load(),
+			sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			cum.counts[i] = h.counts[i].Load()
+		}
+		prev := se.lastHist[name]
+		if n := cum.count - prev.count; n > 0 {
+			delta := make([]int64, len(cum.counts))
+			for i := range delta {
+				delta[i] = cum.counts[i]
+				if i < len(prev.counts) {
+					delta[i] -= prev.counts[i]
+				}
+			}
+			if p.Histograms == nil {
+				p.Histograms = make(map[string]SeriesHist)
+			}
+			p.Histograms[name] = SeriesHist{
+				Count: n,
+				Mean:  float64(cum.sum-prev.sum) / float64(n),
+				P50:   quantileFromBuckets(h.bounds, delta, n, 0.50),
+				P95:   quantileFromBuckets(h.bounds, delta, n, 0.95),
+				P99:   quantileFromBuckets(h.bounds, delta, n, 0.99),
+			}
+		}
+		se.lastHist[name] = cum
+	}
+	c.mu.RUnlock()
+	se.lastUS = endUS
+	se.points = append(se.points, p)
+	se.npts.Add(1)
+}
+
+// quantileFromBuckets interpolates the q-th quantile over one window's
+// bucket-count deltas. The overflow bucket is attributed to the last bound
+// (a window has no observed max to clamp to).
+func quantileFromBuckets(bounds, counts []int64, total int64, q float64) int64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if cum+float64(n) >= rank {
+			var lo, hi int64
+			switch {
+			case i == 0:
+				lo, hi = 0, bounds[0]
+			case i >= len(bounds):
+				lo, hi = bounds[len(bounds)-1], bounds[len(bounds)-1]
+			default:
+				lo, hi = bounds[i-1], bounds[i]
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += float64(n)
+	}
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
+// SeriesDump is the exported form of a Series: the window width and every
+// captured point, in time order.
+type SeriesDump struct {
+	Schema   string        `json:"schema"`
+	WindowUS int64         `json:"window_us"`
+	Points   []SeriesPoint `json:"points"`
+}
+
+// SeriesSchema versions the SeriesDump encoding.
+const SeriesSchema = "obs-series-v1"
+
+// Snapshot copies the captured points. A nil series yields an empty dump.
+func (se *Series) Snapshot() *SeriesDump {
+	d := &SeriesDump{Schema: SeriesSchema, Points: []SeriesPoint{}}
+	if se == nil {
+		return d
+	}
+	d.WindowUS = se.window
+	se.mu.Lock()
+	d.Points = append(d.Points, se.points...)
+	se.mu.Unlock()
+	return d
+}
+
+// JSON renders the dump as one indented JSON document.
+func (d *SeriesDump) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// JSONL renders the dump as one JSON object per line: a header line with
+// the schema and window, then one line per point.
+func (d *SeriesDump) JSONL() ([]byte, error) {
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(struct {
+		Schema   string `json:"schema"`
+		WindowUS int64  `json:"window_us"`
+	}{d.Schema, d.WindowUS})
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for _, p := range d.Points {
+		line, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// Text renders the dump as an aligned, human-readable timeline: one line
+// per window listing its non-zero counter deltas in name order.
+func (d *SeriesDump) Text() string {
+	if len(d.Points) == 0 {
+		return "(no series points captured)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "series: %d windows of %.0fms\n", len(d.Points), float64(d.WindowUS)/1e3)
+	for _, p := range d.Points {
+		fmt.Fprintf(&b, "  [%10.1fms %10.1fms)", float64(p.StartUS)/1e3, float64(p.EndUS)/1e3)
+		if len(p.Counters) == 0 {
+			b.WriteString(" (idle)")
+		}
+		for _, name := range sortedKeys(p.Counters) {
+			fmt.Fprintf(&b, " %s=%d", name, p.Counters[name])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -19,6 +19,9 @@ type Sink struct {
 	closer  io.Closer
 	written atomic.Int64
 	errored atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
 }
 
 // NewSink wraps w in a buffered JSONL sink. If w is also an io.Closer,
@@ -39,7 +42,7 @@ func (s *Sink) Write(ev Event) {
 	}
 	data, err := json.Marshal(ev)
 	if err != nil {
-		s.errored.Add(1)
+		s.noteErr(err)
 		return
 	}
 	s.mu.Lock()
@@ -49,10 +52,32 @@ func (s *Sink) Write(ev Event) {
 	}
 	s.mu.Unlock()
 	if werr != nil {
-		s.errored.Add(1)
+		s.noteErr(werr)
 		return
 	}
 	s.written.Add(1)
+}
+
+// noteErr counts one dropped event and remembers the first cause, so a CLI
+// can report "N events lost (first error: ...)" at exit instead of silently
+// truncating the trace.
+func (s *Sink) noteErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+	s.errored.Add(1)
+}
+
+// FirstErr returns the error behind the first dropped event, or nil.
+func (s *Sink) FirstErr() error {
+	if s == nil {
+		return nil
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
 }
 
 // Written returns the number of events successfully serialized.

@@ -1,19 +1,23 @@
 // Package obsflag wires the observability layer (internal/obs) into a CLI:
-// it registers the shared -metrics / -trace / -pprof flags, builds the root
-// registry and trace sink they request, installs sim.ObsProvider so every
-// simulator constructed anywhere in the process is instrumented, and writes
-// all outputs on Close. Both cmd/experiments and cmd/campaign use it, so
-// the flags behave identically across drivers.
+// it registers the shared -metrics / -trace / -series / -pprof flags, builds
+// the root registry, trace sink, and time-series collector they request,
+// installs sim.ObsProvider so every simulator constructed anywhere in the
+// process is instrumented, and writes all outputs on Close. Both
+// cmd/experiments and cmd/campaign use it, so the flags behave identically
+// across drivers.
 package obsflag
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -28,23 +32,50 @@ type Flags struct {
 	// Trace is the JSONL event-trace output path ("" disables). The line
 	// schema is documented in docs/OBSERVABILITY.md.
 	Trace string
+	// Series is "PATH" or "PATH,WINDOW": write a time-windowed metrics
+	// series (obs.Series) to PATH on exit, bucketed by WINDOW of simulated
+	// time (a Go duration, default 1s). "-" writes text to stderr, *.json
+	// writes one JSON document, *.jsonl writes a header line plus one line
+	// per window, anything else text.
+	Series string
 	// Pprof is a directory for cpu.pprof and heap.pprof ("" disables).
 	Pprof string
 }
 
-// Register installs -metrics, -trace, and -pprof on fs (typically
+// Register installs -metrics, -trace, -series, and -pprof on fs (typically
 // flag.CommandLine) and returns the struct their values land in.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics snapshot on exit ("-" = stderr as text, *.json = JSON, else text file)`)
 	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this file (schema: docs/OBSERVABILITY.md)")
+	fs.StringVar(&f.Series, "series", "", `write a time-windowed metrics series on exit: PATH[,WINDOW] (WINDOW = Go duration of simulated time, default 1s; "-" = stderr, *.json = JSON, *.jsonl = JSONL, else text)`)
 	fs.StringVar(&f.Pprof, "pprof", "", "write cpu.pprof and heap.pprof to this directory")
 	return f
 }
 
 // Enabled reports whether any simulator instrumentation was requested.
 // Profiling alone does not need a registry.
-func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" }
+func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" || f.Series != "" }
+
+// parseSeriesSpec splits a -series value into its output path and window.
+// The window is the suffix after the last comma when that suffix parses as a
+// positive Go duration; otherwise the whole spec is the path and the window
+// defaults to one simulated second.
+func parseSeriesSpec(spec string) (path string, windowUS int64, err error) {
+	windowUS = obs.DefaultSeriesWindowUS
+	i := strings.LastIndexByte(spec, ',')
+	if i < 0 {
+		return spec, windowUS, nil
+	}
+	d, derr := time.ParseDuration(spec[i+1:])
+	if derr != nil {
+		return "", 0, fmt.Errorf("series: bad window %q: %w", spec[i+1:], derr)
+	}
+	if d <= 0 {
+		return "", 0, fmt.Errorf("series: non-positive window %q", spec[i+1:])
+	}
+	return spec[:i], d.Microseconds(), nil
+}
 
 // Session is the live observability state of one CLI run. Callers must
 // Close it before exiting — including error paths — or trace lines and
@@ -53,16 +84,22 @@ func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" }
 type Session struct {
 	// Reg is the root registry (nil when no instrumentation was requested;
 	// the obs API is nil-safe, so callers may use it unconditionally).
-	Reg     *obs.Registry
-	flags   *Flags
-	cpuFile *os.File
-	closed  bool
+	Reg *obs.Registry
+	// Stderr receives the "-" renderings and the trace-loss report at
+	// Close; nil selects os.Stderr. Tests inject a buffer here.
+	Stderr     io.Writer
+	flags      *Flags
+	series     *obs.Series
+	seriesPath string
+	cpuFile    *os.File
+	closed     bool
 }
 
 // Setup builds what the flags ask for: a registry (with a trace sink when
-// -trace is set) published through sim.ObsProvider with per-simulation
-// "s<seed>" run labels, and a started CPU profile when -pprof is set. With
-// no flags set it returns an inert session whose Close is a no-op.
+// -trace is set and a series collector when -series is set) published
+// through sim.ObsProvider with per-simulation "s<seed>" run labels, and a
+// started CPU profile when -pprof is set. With no flags set it returns an
+// inert session whose Close is a no-op.
 func (f *Flags) Setup() (*Session, error) {
 	s := &Session{flags: f}
 	if f.Enabled() {
@@ -77,14 +114,42 @@ func (f *Flags) Setup() (*Session, error) {
 			}
 			reg.SetSink(obs.NewSink(file))
 		}
+		if f.Series != "" {
+			path, windowUS, err := parseSeriesSpec(f.Series)
+			if err != nil {
+				return nil, err
+			}
+			if path != "-" {
+				if err := ensureDir(path); err != nil {
+					return nil, fmt.Errorf("series: %w", err)
+				}
+			}
+			s.series = obs.NewSeries(reg, windowUS)
+			s.seriesPath = path
+			reg.SetSeries(s.series)
+		}
 		if f.Metrics != "" && f.Metrics != "-" {
 			if err := ensureDir(f.Metrics); err != nil {
 				return nil, fmt.Errorf("metrics: %w", err)
 			}
 		}
 		s.Reg = reg
+		// One experiment may run several simulations with the same seed
+		// (paired strategy comparisons reuse the seed on purpose), but a run
+		// label must denote ONE simulation or trace consumers would see two
+		// interleaved causal histories under one key. Disambiguate repeat
+		// instances with an instance suffix: s42, s42#2, s42#3, …
+		var mu sync.Mutex
+		instances := make(map[int64]int)
 		sim.ObsProvider = func(seed int64) *obs.Registry {
-			return reg.WithRun(fmt.Sprintf("s%d", seed))
+			mu.Lock()
+			instances[seed]++
+			n := instances[seed]
+			mu.Unlock()
+			if n == 1 {
+				return reg.WithRun(fmt.Sprintf("s%d", seed))
+			}
+			return reg.WithRun(fmt.Sprintf("s%d#%d", seed, n))
 		}
 	}
 	if f.Pprof != "" {
@@ -104,6 +169,15 @@ func (f *Flags) Setup() (*Session, error) {
 	return s, nil
 }
 
+// Series returns the session's series collector (nil unless -series was
+// set; the obs.Series API is nil-safe).
+func (s *Session) Series() *obs.Series {
+	if s == nil {
+		return nil
+	}
+	return s.series
+}
+
 // ensureDir creates the parent directory of path if it is missing.
 func ensureDir(path string) error {
 	if dir := filepath.Dir(path); dir != "." {
@@ -112,10 +186,19 @@ func ensureDir(path string) error {
 	return nil
 }
 
-// Close uninstalls sim.ObsProvider, flushes and closes the trace sink,
-// writes the metrics snapshot, and finalizes the CPU/heap profiles. It is
-// idempotent and safe on a nil session (so `defer sess.Close()` composes
-// with an explicit error-checked Close), returning the first error.
+// stderr returns the session's error stream.
+func (s *Session) stderr() io.Writer {
+	if s.Stderr != nil {
+		return s.Stderr
+	}
+	return os.Stderr
+}
+
+// Close uninstalls sim.ObsProvider, flushes and closes the trace sink
+// (reporting any events it had to drop), writes the metrics snapshot and
+// the series dump, and finalizes the CPU/heap profiles. It is idempotent
+// and safe on a nil session (so `defer sess.Close()` composes with an
+// explicit error-checked Close), returning the first error.
 func (s *Session) Close() error {
 	if s == nil || s.closed {
 		return nil
@@ -129,13 +212,23 @@ func (s *Session) Close() error {
 	}
 	if s.Reg != nil {
 		sim.ObsProvider = nil
-		keep(s.Reg.Sink().Close())
+		sink := s.Reg.Sink()
+		closeErr := sink.Close()
+		// A sink drops events rather than aborting a simulation; surface
+		// the loss here so a truncated trace never goes unnoticed. The loss
+		// report subsumes a flush error at Close, so it takes priority.
+		if n := sink.Errored(); n > 0 {
+			err := fmt.Errorf("trace: %d events lost (first error: %w)", n, sink.FirstErr())
+			fmt.Fprintln(s.stderr(), "obsflag:", err)
+			keep(err)
+		}
+		keep(closeErr)
 	}
 	if s.flags.Metrics != "" && s.Reg != nil {
 		snap := s.Reg.Snapshot()
 		switch {
 		case s.flags.Metrics == "-":
-			fmt.Fprint(os.Stderr, snap.Text())
+			fmt.Fprint(s.stderr(), snap.Text())
 		case strings.HasSuffix(s.flags.Metrics, ".json"):
 			data, err := snap.JSON()
 			if err == nil {
@@ -144,6 +237,28 @@ func (s *Session) Close() error {
 			keep(err)
 		default:
 			keep(os.WriteFile(s.flags.Metrics, []byte(snap.Text()), 0o644))
+		}
+	}
+	if s.series != nil {
+		s.series.Flush()
+		dump := s.series.Snapshot()
+		switch {
+		case s.seriesPath == "-":
+			fmt.Fprint(s.stderr(), dump.Text())
+		case strings.HasSuffix(s.seriesPath, ".jsonl"):
+			data, err := dump.JSONL()
+			if err == nil {
+				err = os.WriteFile(s.seriesPath, data, 0o644)
+			}
+			keep(err)
+		case strings.HasSuffix(s.seriesPath, ".json"):
+			data, err := dump.JSON()
+			if err == nil {
+				err = os.WriteFile(s.seriesPath, data, 0o644)
+			}
+			keep(err)
+		default:
+			keep(os.WriteFile(s.seriesPath, []byte(dump.Text()), 0o644))
 		}
 	}
 	if s.cpuFile != nil {

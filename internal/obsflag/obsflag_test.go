@@ -3,6 +3,8 @@ package obsflag
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -16,18 +18,48 @@ import (
 func TestRegisterBindsFlags(t *testing.T) {
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	f := Register(fs)
-	err := fs.Parse([]string{"-metrics", "m.txt", "-trace", "t.jsonl", "-pprof", "prof"})
+	err := fs.Parse([]string{"-metrics", "m.txt", "-trace", "t.jsonl", "-series", "s.json,500ms", "-pprof", "prof"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Metrics != "m.txt" || f.Trace != "t.jsonl" || f.Pprof != "prof" {
+	if f.Metrics != "m.txt" || f.Trace != "t.jsonl" || f.Series != "s.json,500ms" || f.Pprof != "prof" {
 		t.Fatalf("parsed flags: %+v", f)
 	}
 	if !f.Enabled() {
 		t.Fatal("Enabled() = false with metrics+trace set")
 	}
+	if !(&Flags{Series: "s.json"}).Enabled() {
+		t.Fatal("Enabled() = false for series-only flags")
+	}
 	if (&Flags{Pprof: "p"}).Enabled() {
 		t.Fatal("Enabled() = true for pprof-only flags")
+	}
+}
+
+func TestParseSeriesSpec(t *testing.T) {
+	cases := []struct {
+		spec     string
+		path     string
+		windowUS int64
+		wantErr  bool
+	}{
+		{"out.json", "out.json", obs.DefaultSeriesWindowUS, false},
+		{"out.json,250ms", "out.json", 250_000, false},
+		{"out,2s", "out", 2_000_000, false},
+		{"-,100ms", "-", 100_000, false},
+		{"out.json,nonsense", "", 0, true},
+		{"out.json,0s", "", 0, true},
+		{"out.json,-1s", "", 0, true},
+	}
+	for _, c := range cases {
+		path, windowUS, err := parseSeriesSpec(c.spec)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%q: err = %v, wantErr %v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err == nil && (path != c.path || windowUS != c.windowUS) {
+			t.Errorf("%q: parsed (%q, %d), want (%q, %d)", c.spec, path, windowUS, c.path, c.windowUS)
+		}
 	}
 }
 
@@ -102,6 +134,217 @@ func TestSetupInstrumentsSimulators(t *testing.T) {
 			t.Errorf("%s: %v", name, err)
 		} else if st.Size() == 0 {
 			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// runInstrumented drives one tiny simulation under the session so counters
+// advance and the series collector sees the clock cross window boundaries.
+func runInstrumented(t *testing.T) {
+	t.Helper()
+	s := sim.New(3)
+	if s.Obs() == nil {
+		t.Fatal("sim.New did not receive a registry from ObsProvider")
+	}
+	s.Schedule(0, func() {})
+	s.Schedule(150_000, func() {})
+	s.Schedule(250_000, func() {})
+	s.RunAll()
+}
+
+func TestSeriesSessionOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		file string // output file name, "" for stderr
+	}{
+		{"json", "series.json"},
+		{"jsonl", "series.jsonl"},
+		{"text", "series.txt"},
+		{"stderr", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := "-"
+			if c.file != "" {
+				path = filepath.Join(dir, c.file)
+			}
+			f := &Flags{Series: path + ",100ms"}
+			sess, err := f.Setup()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var errBuf bytes.Buffer
+			sess.Stderr = &errBuf
+			if sess.Series() == nil {
+				t.Fatal("Series() = nil with -series set")
+			}
+			runInstrumented(t)
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if pts := sess.Series().Points(); pts < 2 {
+				t.Errorf("Points() = %d, want >= 2 (ticks at 0/150ms/250ms with 100ms windows)", pts)
+			}
+
+			var data []byte
+			if c.file == "" {
+				data = errBuf.Bytes()
+			} else {
+				data, err = os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			switch c.name {
+			case "json":
+				var dump obs.SeriesDump
+				if err := json.Unmarshal(data, &dump); err != nil {
+					t.Fatalf("series output is not a SeriesDump: %v", err)
+				}
+				if dump.Schema != obs.SeriesSchema || dump.WindowUS != 100_000 {
+					t.Errorf("dump schema/window = %q/%d, want %q/100000", dump.Schema, dump.WindowUS, obs.SeriesSchema)
+				}
+				if len(dump.Points) < 2 {
+					t.Errorf("dump has %d points, want >= 2", len(dump.Points))
+				}
+			case "jsonl":
+				lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+				if len(lines) < 3 {
+					t.Fatalf("JSONL output has %d lines, want header + >= 2 points:\n%s", len(lines), data)
+				}
+				if !bytes.Contains(lines[0], []byte(`"schema"`)) {
+					t.Errorf("JSONL header line missing schema: %s", lines[0])
+				}
+			default: // text flavours
+				if !strings.Contains(string(data), "windows of") {
+					t.Errorf("text series output missing header:\n%s", data)
+				}
+			}
+		})
+	}
+}
+
+func TestMetricsPathDispatch(t *testing.T) {
+	// "-" renders the text snapshot to the session's Stderr.
+	f := &Flags{Metrics: "-"}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBuf bytes.Buffer
+	sess.Stderr = &errBuf
+	runInstrumented(t)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := errBuf.String(); !strings.Contains(got, "counters:") || !strings.Contains(got, "sim.events_executed") {
+		t.Errorf("stderr metrics output missing text snapshot:\n%s", got)
+	}
+
+	// A *.json path gets the JSON encoding, anything else the text table.
+	dir := t.TempDir()
+	for _, c := range []struct {
+		path string
+		want string
+	}{
+		{filepath.Join(dir, "m.json"), `"sim.events_executed"`},
+		{filepath.Join(dir, "m.txt"), "counters:"},
+	} {
+		f := &Flags{Metrics: c.path}
+		sess, err := f.Setup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runInstrumented(t)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), c.want) {
+			t.Errorf("%s: output missing %q:\n%s", c.path, c.want, data)
+		}
+	}
+}
+
+// TestRepeatSeedRunLabels pins the uniqueness of run labels: paired
+// comparisons reuse a seed across simulations, and each instance must get
+// its own label or their trace histories would interleave under one key.
+func TestRepeatSeedRunLabels(t *testing.T) {
+	sess, err := (&Flags{Metrics: "-"}).Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Stderr = &bytes.Buffer{}
+	defer sess.Close()
+	want := []string{"s7", "s7#2", "s7#3"}
+	for i, w := range want {
+		if got := sim.New(7).Obs().Run(); got != w {
+			t.Fatalf("instance %d of seed 7: run label %q, want %q", i+1, got, w)
+		}
+	}
+	if got := sim.New(8).Obs().Run(); got != "s8" {
+		t.Errorf("first instance of seed 8: run label %q, want s8", got)
+	}
+}
+
+func TestSetupRejectsBadSeriesSpec(t *testing.T) {
+	if _, err := (&Flags{Series: "out.json,banana"}).Setup(); err == nil {
+		t.Error("Setup accepted an unparsable series window")
+	}
+	if _, err := (&Flags{Series: "out.json,-5ms"}).Setup(); err == nil {
+		t.Error("Setup accepted a negative series window")
+	}
+}
+
+// failWriter fails every write, standing in for a full or yanked disk.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk gone") }
+
+// TestCloseSurfacesSinkErrors pins the contract that trace-write failures,
+// which the sink absorbs during a run, become a loud report and a non-nil
+// Close error so a truncated trace never looks like success.
+func TestCloseSurfacesSinkErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetSink(obs.NewSink(failWriter{}))
+	// Push enough events through the 64 KiB buffer that flushes start failing
+	// before Close.
+	for i := 0; i < 3000; i++ {
+		reg.Emit(obs.Event{TUS: int64(i), Ev: obs.EvPlayoutMiss, Node: "client", Seq: i})
+	}
+	var errBuf bytes.Buffer
+	sess := &Session{Reg: reg, Stderr: &errBuf, flags: &Flags{}}
+	err := sess.Close()
+	if err == nil || !strings.Contains(err.Error(), "events lost") {
+		t.Fatalf("Close error = %v, want trace-loss report", err)
+	}
+	if !strings.Contains(err.Error(), "disk gone") {
+		t.Errorf("Close error does not carry the first write error: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "events lost") {
+		t.Errorf("stderr missing the trace-loss report: %q", errBuf.String())
+	}
+}
+
+func TestCloseSurfacesOutputWriteErrors(t *testing.T) {
+	// Pointing an output flag at an existing directory makes the final
+	// WriteFile fail; Close must return that error.
+	dir := t.TempDir()
+	for _, f := range []*Flags{
+		{Metrics: dir},
+		{Series: dir},
+	} {
+		sess, err := f.Setup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runInstrumented(t)
+		if err := sess.Close(); err == nil {
+			t.Errorf("Close with flags %+v wrote to a directory without error", f)
 		}
 	}
 }

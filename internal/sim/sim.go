@@ -149,6 +149,7 @@ type Simulator struct {
 	// built on this simulator (nil = disabled; all hooks become no-ops).
 	obs     *obs.Registry
 	evCount *obs.Counter // cached "sim.events_executed" counter
+	series  *obs.Series  // cached time-series collector (nil = disabled)
 }
 
 // ObsProvider, when non-nil, supplies the observability registry attached
@@ -178,6 +179,7 @@ func New(seed int64) *Simulator {
 func (s *Simulator) SetObs(r *obs.Registry) {
 	s.obs = r
 	s.evCount = r.Counter("sim.events_executed")
+	s.series = r.Series()
 }
 
 // Obs returns the attached observability registry (possibly nil; the obs
@@ -325,6 +327,9 @@ func (s *Simulator) head() (heapEntry, *slot, bool) {
 func (s *Simulator) runHead(e heapEntry, sl *slot) {
 	s.heapPop()
 	s.now = e.at
+	// Report the clock advance before running the callback, so a window
+	// [A, B) captures exactly the effects of events with t < B.
+	s.series.Tick(int64(e.at))
 	fn := sl.fn
 	s.freeSlot(e.idx)
 	s.live--
