@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchKey identifies one benchmark across documents. Run-set labels are
+// deliberately not part of the key: labels name the circumstances of a run
+// (sim/e2e, before/after), and the same benchmark should compare across
+// differently-labelled runs of different dates.
+type benchKey struct {
+	Pkg  string
+	Name string
+}
+
+func (k benchKey) String() string {
+	if k.Pkg == "" {
+		return k.Name
+	}
+	// Print only the last path element; every benchmark in one repo shares
+	// the module prefix.
+	pkg := k.Pkg
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "/" + k.Name
+}
+
+// runDiff implements `benchjson diff [-metric M] [-threshold F] OLD NEW`:
+// load two BENCH_<date>.json documents, compare the chosen metric for every
+// benchmark present in both, and exit 1 when any regresses past the
+// threshold. Exit 2 is reserved for usage and input errors so scripts can
+// tell "the numbers got worse" from "the comparison never ran".
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	threshold := fs.Float64("threshold", 0.10, "regression tolerance as a fraction (0.10 = 10%)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchjson diff [-metric M] [-threshold F] OLD NEW\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintf(stderr, "benchjson diff: threshold must be >= 0, got %v\n", *threshold)
+		return 2
+	}
+
+	oldDoc, err := loadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson diff: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson diff: %v\n", err)
+		return 2
+	}
+
+	report, regressions := diffDocs(oldDoc, newDoc, *metric, *threshold)
+	io.WriteString(stdout, report)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if len(doc.Runs) == 0 {
+		return nil, fmt.Errorf("%s contains no benchmark runs", path)
+	}
+	return &doc, nil
+}
+
+// flattenMetric collapses a document to one value per benchmark. Later run
+// sets override earlier ones, so the before/after documents that store the
+// tuned run last resolve to their tuned numbers.
+func flattenMetric(doc *File, metric string) map[benchKey]float64 {
+	out := map[benchKey]float64{}
+	for _, rs := range doc.Runs {
+		for _, b := range rs.Benchmarks {
+			if v, ok := b.Metrics[metric]; ok {
+				out[benchKey{Pkg: b.Pkg, Name: b.Name}] = v
+			}
+		}
+	}
+	return out
+}
+
+// higherIsBetter reports the improvement direction for a metric: throughput
+// units (events/sec, ops/sec) improve upward, everything else (ns/op, B/op,
+// allocs/op) improves downward.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec") || strings.HasSuffix(metric, "/s")
+}
+
+// diffDocs renders the comparison table and counts regressions beyond the
+// threshold fraction.
+func diffDocs(oldDoc, newDoc *File, metric string, threshold float64) (string, int) {
+	oldVals := flattenMetric(oldDoc, metric)
+	newVals := flattenMetric(newDoc, metric)
+	higher := higherIsBetter(metric)
+
+	keys := make([]benchKey, 0, len(oldVals))
+	for k := range oldVals {
+		if _, ok := newVals[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		return keys[i].Name < keys[j].Name
+	})
+
+	var b strings.Builder
+	direction := "lower is better"
+	if higher {
+		direction = "higher is better"
+	}
+	fmt.Fprintf(&b, "benchjson diff: %s (%s), threshold %.0f%% (%s -> %s)\n\n",
+		metric, direction, threshold*100, oldDoc.Date, newDoc.Date)
+
+	regressions := 0
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "  benchmark\told\tnew\tdelta\t\n")
+	for _, k := range keys {
+		ov, nv := oldVals[k], newVals[k]
+		delta, sign := deltaPct(ov, nv)
+		bad := nv > ov
+		if higher {
+			bad = nv < ov
+		}
+		mark := ""
+		if bad && regressed(ov, nv, threshold) {
+			mark = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\n", k, formatValue(ov), formatValue(nv), sign+delta, mark)
+	}
+	tw.Flush()
+
+	for _, line := range missing(newVals, oldVals, "added") {
+		b.WriteString(line)
+	}
+	for _, line := range missing(oldVals, newVals, "removed") {
+		b.WriteString(line)
+	}
+
+	fmt.Fprintf(&b, "\n%d compared, %d regressed beyond %.0f%%\n", len(keys), regressions, threshold*100)
+	return b.String(), regressions
+}
+
+// regressed reports whether the relative change from ov to nv exceeds the
+// tolerance, regardless of direction (the caller has already established
+// the change points the wrong way).
+func regressed(ov, nv, threshold float64) bool {
+	if ov == 0 {
+		return nv != 0
+	}
+	return math.Abs(nv-ov)/math.Abs(ov) > threshold
+}
+
+// deltaPct renders the relative change as a signed percentage. The sign
+// prefix is split out so callers can align on it.
+func deltaPct(ov, nv float64) (pct, sign string) {
+	if ov == 0 {
+		if nv == 0 {
+			return "0.0%", ""
+		}
+		return "inf%", "+"
+	}
+	d := (nv - ov) / math.Abs(ov) * 100
+	sign = "+"
+	if d < 0 {
+		sign = "-"
+		d = -d
+	}
+	return fmt.Sprintf("%.1f%%", d), sign
+}
+
+// formatValue prints a metric value compactly: integers without decimals,
+// everything else with enough precision to see small moves.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// missing lists benchmarks present in a but not in b, one line each.
+func missing(a, b map[benchKey]float64, what string) []string {
+	var keys []benchKey
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("  %s: %s\n", what, k))
+	}
+	return out
+}

@@ -1,17 +1,27 @@
 // Command benchjson converts `go test -bench` text output into the
 // machine-readable BENCH_<date>.json format the repository checks in to
-// track simulator performance over time (see docs/PERFORMANCE.md).
+// track simulator performance over time (see docs/PERFORMANCE.md), and
+// compares two such documents for regressions.
 //
-// Each input is one benchmark run, given as label=file; "-" as the file
-// reads stdin. All standard testing metrics are kept (ns/op, B/op,
-// allocs/op) along with any custom b.ReportMetric units (the scheduler
-// benchmarks report events/sec); ops/sec is derived from ns/op for
-// benchmarks that do not report a throughput of their own.
+// Each input to the converter is one benchmark run, given as label=file;
+// "-" as the file reads stdin. All standard testing metrics are kept
+// (ns/op, B/op, allocs/op) along with any custom b.ReportMetric units (the
+// scheduler benchmarks report events/sec); ops/sec is derived from ns/op
+// for benchmarks that do not report a throughput of their own.
+//
+// `benchjson diff OLD NEW` compares two documents benchmark-by-benchmark
+// on one metric (default ns/op) and exits nonzero when any benchmark
+// regresses by more than the threshold. Benchmarks are matched by package
+// and name across all run sets; when a name appears in several run sets of
+// one file (the before/after documents the optimization PRs check in), the
+// last occurrence wins, so a before/after document compares as its tuned
+// numbers.
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/sim > run.txt
 //	go run ./cmd/benchjson -date 2026-08-06 -o BENCH_2026-08-06.json current=run.txt
+//	go run ./cmd/benchjson diff BENCH_2026-08-06.json BENCH_2026-09-01.json
 package main
 
 import (
@@ -49,63 +59,82 @@ type File struct {
 }
 
 func main() {
-	date := flag.String("date", "", "date stamp for the output document (required)")
-	out := flag.String("o", "", "output path (default stdout)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchjson -date YYYY-MM-DD [-o out.json] label=file [label=file...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:], stdout, stderr)
 	}
-	flag.Parse()
-	if *date == "" || flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	return runConvert(args, stdin, stdout, stderr)
+}
+
+// runConvert is the original mode: parse labelled bench outputs into one
+// JSON document.
+func runConvert(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	date := fs.String("date", "", "date stamp for the output document (required)")
+	out := fs.String("o", "", "output path (default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchjson -date YYYY-MM-DD [-o out.json] label=file [label=file...]\n")
+		fmt.Fprintf(stderr, "       benchjson diff [-metric M] [-threshold F] OLD NEW\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *date == "" || fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	doc := File{Date: *date}
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		label, path, ok := strings.Cut(arg, "=")
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: argument %q is not label=file\n", arg)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchjson: argument %q is not label=file\n", arg)
+			return 2
 		}
 		var r io.Reader
 		if path == "-" {
-			r = os.Stdin
+			r = stdin
 		} else {
 			f, err := os.Open(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "benchjson: %v\n", err)
+				return 1
 			}
 			defer f.Close()
 			r = f
 		}
 		rs, err := parseRun(label, r)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchjson: parse %s: %v\n", path, err)
+			return 1
 		}
 		if len(rs.Benchmarks) == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s contains no benchmark lines\n", path)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchjson: %s contains no benchmark lines\n", path)
+			return 1
 		}
 		doc.Runs = append(doc.Runs, rs)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
-		return
+		stdout.Write(data)
+		return 0
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 // parseRun reads one `go test -bench` output stream.

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI entry point and captures its streams.
+func exec(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+const sampleBenchText = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleChain-8   	14817850	        86.06 ns/op	  11620362 events/sec	      56 B/op	       2 allocs/op
+BenchmarkScheduleCancel-8  	 6039205	       207.2 ns/op	      56 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/sim	4.2s
+`
+
+func TestConvertStdin(t *testing.T) {
+	code, out, errOut := exec(t, sampleBenchText, "-date", "2026-08-06", "current=-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var doc File
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Date != "2026-08-06" || len(doc.Runs) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	rs := doc.Runs[0]
+	if rs.Label != "current" || rs.Goos != "linux" || len(rs.Benchmarks) != 2 {
+		t.Fatalf("run set = %+v", rs)
+	}
+	chain := rs.Benchmarks[0]
+	if chain.Name != "ScheduleChain" || chain.Pkg != "repro/internal/sim" ||
+		chain.Metrics["ns/op"] != 86.06 || chain.Metrics["events/sec"] != 11620362 {
+		t.Errorf("ScheduleChain = %+v", chain)
+	}
+	// ops/sec is derived only when no native throughput was reported.
+	if _, has := chain.Metrics["ops/sec"]; has {
+		t.Error("ScheduleChain has derived ops/sec despite reporting events/sec")
+	}
+	if rs.Benchmarks[1].Metrics["ops/sec"] == 0 {
+		t.Error("ScheduleCancel missing derived ops/sec")
+	}
+}
+
+func TestConvertUsageErrors(t *testing.T) {
+	if code, _, _ := exec(t, "", "current=-"); code != 2 {
+		t.Errorf("missing -date: exit %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "", "-date", "2026-08-06"); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code, _, stderr := exec(t, "", "-date", "2026-08-06", "noequals"); code != 2 ||
+		!strings.Contains(stderr, "label=file") {
+		t.Errorf("bad arg: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := exec(t, "", "-date", "2026-08-06", "x=/no/such/file"); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code, _, stderr := exec(t, "PASS\n", "-date", "2026-08-06", "x=-"); code != 1 ||
+		!strings.Contains(stderr, "no benchmark lines") {
+		t.Errorf("empty input: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// writeDoc marshals a File into a temp path for diff tests.
+func writeDoc(t *testing.T, doc File) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Pkg: "repro/internal/sim", Runs: 100, Metrics: metrics}
+}
+
+func TestDiffCleanAndRegression(t *testing.T) {
+	oldPath := writeDoc(t, File{Date: "2026-08-01", Runs: []RunSet{{
+		Label: "sim",
+		Benchmarks: []Benchmark{
+			bench("Stable", map[string]float64{"ns/op": 100}),
+			bench("Slower", map[string]float64{"ns/op": 100}),
+			bench("Gone", map[string]float64{"ns/op": 50}),
+		},
+	}}})
+	newPath := writeDoc(t, File{Date: "2026-08-06", Runs: []RunSet{{
+		Label: "sim",
+		Benchmarks: []Benchmark{
+			bench("Stable", map[string]float64{"ns/op": 104}),
+			bench("Slower", map[string]float64{"ns/op": 130}),
+			bench("Fresh", map[string]float64{"ns/op": 10}),
+		},
+	}}})
+
+	code, out, _ := exec(t, "", "diff", oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (regression present)\n%s", code, out)
+	}
+	for _, want := range []string{
+		"ns/op (lower is better)",
+		"2026-08-01 -> 2026-08-06",
+		"sim/Slower", "+30.0%", "REGRESSION",
+		"sim/Stable", "+4.0%",
+		"added: sim/Fresh",
+		"removed: sim/Gone",
+		"2 compared, 1 regressed beyond 10%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The within-threshold drift must not be flagged.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Stable") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("Stable flagged as regression: %s", line)
+		}
+	}
+
+	// A looser threshold accepts the same pair.
+	if code, out, _ := exec(t, "", "diff", "-threshold", "0.5", oldPath, newPath); code != 0 {
+		t.Errorf("threshold 0.5: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestDiffHigherIsBetterMetric(t *testing.T) {
+	oldPath := writeDoc(t, File{Date: "a", Runs: []RunSet{{
+		Label:      "sim",
+		Benchmarks: []Benchmark{bench("Chain", map[string]float64{"events/sec": 1000})},
+	}}})
+	faster := writeDoc(t, File{Date: "b", Runs: []RunSet{{
+		Label:      "sim",
+		Benchmarks: []Benchmark{bench("Chain", map[string]float64{"events/sec": 2000})},
+	}}})
+	slower := writeDoc(t, File{Date: "c", Runs: []RunSet{{
+		Label:      "sim",
+		Benchmarks: []Benchmark{bench("Chain", map[string]float64{"events/sec": 500})},
+	}}})
+
+	if code, out, _ := exec(t, "", "diff", "-metric", "events/sec", oldPath, faster); code != 0 ||
+		!strings.Contains(out, "higher is better") {
+		t.Errorf("throughput doubling flagged: exit %d\n%s", code, out)
+	}
+	if code, out, _ := exec(t, "", "diff", "-metric", "events/sec", oldPath, slower); code != 1 {
+		t.Errorf("throughput halving not flagged: exit %d\n%s", code, out)
+	}
+}
+
+// TestDiffLaterRunSetWins pins the before/after semantics: when one file
+// holds the same benchmark in several run sets, the last occurrence is the
+// one compared.
+func TestDiffLaterRunSetWins(t *testing.T) {
+	oldPath := writeDoc(t, File{Date: "a", Runs: []RunSet{
+		{Label: "sim-before", Benchmarks: []Benchmark{bench("Chain", map[string]float64{"ns/op": 500})}},
+		{Label: "sim-after", Benchmarks: []Benchmark{bench("Chain", map[string]float64{"ns/op": 100})}},
+	}})
+	newPath := writeDoc(t, File{Date: "b", Runs: []RunSet{
+		{Label: "sim", Benchmarks: []Benchmark{bench("Chain", map[string]float64{"ns/op": 105})}},
+	}})
+	code, out, _ := exec(t, "", "diff", oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (105 vs tuned 100 is within 10%%)\n%s", code, out)
+	}
+	if !strings.Contains(out, "+5.0%") {
+		t.Errorf("delta should be against the tuned (last) run set:\n%s", out)
+	}
+}
+
+func TestDiffAgainstCheckedInBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_2026-08-06.json")
+	code, out, errOut := exec(t, "", "diff", baseline, baseline)
+	if code != 0 {
+		t.Fatalf("self-diff of the checked-in baseline: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0 regressed") || strings.Contains(out, "added:") {
+		t.Errorf("self-diff should be clean:\n%s", out)
+	}
+}
+
+func TestDiffUsageAndIOErrors(t *testing.T) {
+	good := writeDoc(t, File{Date: "a", Runs: []RunSet{{
+		Label: "sim", Benchmarks: []Benchmark{bench("X", map[string]float64{"ns/op": 1})},
+	}}})
+	if code, _, _ := exec(t, "", "diff", good); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "", "diff", good, good, good); code != 2 {
+		t.Errorf("three args: exit %d, want 2", code)
+	}
+	if code, _, stderr := exec(t, "", "diff", "/no/such.json", good); code != 2 || stderr == "" {
+		t.Errorf("missing old: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := exec(t, "", "diff", "-threshold", "-1", good, good); code != 2 {
+		t.Errorf("negative threshold: exit %d, want 2", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"date":"a","runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := exec(t, "", "diff", empty, good); code != 2 ||
+		!strings.Contains(stderr, "no benchmark runs") {
+		t.Errorf("empty doc: exit %d, stderr %q", code, stderr)
+	}
+}

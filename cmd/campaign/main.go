@@ -7,7 +7,8 @@
 //	         [-timeout D] [-cache DIR] [-no-cache] [-out DIR]
 //	         [-summary FILE] [-json] [-quiet] [-list]
 //	         [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]]
-//	         [-pprof DIR]
+//	         [-pprof DIR] [-http ADDR]
+//	campaign watch [-interval D] [-once] [-no-clear] ADDR
 //
 // Every experiment registered in exp.Registry() is a job addressed by
 // (id, seed, n, config hash). Completed jobs persist their results under
@@ -15,10 +16,13 @@
 // interrupted campaign resumes from where it stopped. The process exits
 // nonzero if any job failed, but a failing job never aborts the fleet.
 //
-// The observability flags (-metrics, -trace, -series, -pprof) are shared
-// with cmd/experiments; see docs/OBSERVABILITY.md. Jobs run concurrently, so
-// simulator-level metrics aggregate across the fleet, with trace lines
-// distinguished by their per-simulation run label.
+// The observability flags (-metrics, -trace, -series, -pprof, -http) are
+// shared with cmd/experiments; see docs/OBSERVABILITY.md. Jobs run
+// concurrently, so simulator-level metrics aggregate across the fleet, with
+// trace lines distinguished by their per-simulation run label. With -http
+// set the driver additionally serves the live fleet view at
+// /campaign/status, which `campaign watch ADDR` renders as a refreshing
+// terminal table.
 package main
 
 import (
@@ -37,6 +41,9 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		return runWatch(os.Args[2:], os.Stdout, os.Stderr)
+	}
 	jobsSel := flag.String("jobs", "all", "fleet selector: all, a kind (table, figure, scaling, ablation, extension, calibration), or a comma-separated id list")
 	seed := flag.Int64("seed", 42, "root random seed")
 	n := flag.Int("n", 0, "corpus size override (0 = each experiment's paper size)")
@@ -99,6 +106,12 @@ func run() int {
 		}
 	}
 
+	var status *campaign.Status
+	if srv := sess.HTTP(); srv != nil {
+		status = campaign.NewStatus()
+		srv.Handle("/campaign/status", status)
+	}
+
 	sum := campaign.Run(campaign.Options{
 		Jobs:     jobs,
 		Workers:  *workers,
@@ -108,6 +121,7 @@ func run() int {
 		Progress: progress,
 		OnResult: onResult,
 		Obs:      sess.Reg,
+		Status:   status,
 	})
 
 	if *summaryPath != "" {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// runWatch implements `campaign watch [flags] ADDR`: poll a running
+// campaign's /campaign/status endpoint (served when the driver was started
+// with -http) and redraw its fleet table in the terminal until the
+// campaign finishes. ADDR is the driver's listen address as announced on
+// its stderr (host:port, with or without the http:// scheme).
+func runWatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	interval := fs.Duration("interval", 2*time.Second, "polling interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	noClear := fs.Bool("no-clear", false, "append frames instead of clearing the screen")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: campaign watch [-interval D] [-once] [-no-clear] ADDR")
+		return 2
+	}
+	url := fs.Arg(0)
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/campaign/status"
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	const maxFailures = 3
+	failures := 0
+	sawRunning := false
+	for {
+		snap, err := fetchStatus(client, url)
+		switch {
+		case err != nil:
+			failures++
+			if failures >= maxFailures {
+				fmt.Fprintf(stderr, "campaign watch: %v (%d consecutive failures)\n", err, failures)
+				return 1
+			}
+		default:
+			failures = 0
+			if !*noClear && !*once {
+				fmt.Fprint(stdout, "\x1b[H\x1b[2J") // cursor home + clear screen
+			}
+			fmt.Fprint(stdout, snap.Text())
+			if *once {
+				return 0
+			}
+			if snap.Running {
+				sawRunning = true
+			} else if sawRunning || (snap.Total > 0 && snap.Done >= snap.Total) {
+				fmt.Fprintln(stdout, "campaign finished.")
+				return 0
+			}
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchStatus pulls and decodes one fleet snapshot.
+func fetchStatus(client *http.Client, url string) (*campaign.StatusSnapshot, error) {
+	res, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, res.Status)
+	}
+	var snap campaign.StatusSnapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	if snap.Schema != campaign.StatusSchema {
+		return nil, fmt.Errorf("%s: unexpected schema %q (want %q)", url, snap.Schema, campaign.StatusSchema)
+	}
+	return &snap, nil
+}

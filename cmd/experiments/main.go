@@ -4,17 +4,19 @@
 // Usage:
 //
 //	experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE]
-//	            [-series PATH[,WINDOW]] [-pprof DIR] <experiment>|all
+//	            [-series PATH[,WINDOW]] [-pprof DIR] [-http ADDR]
+//	            <experiment>|all
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
 // regenerates everything except the calibration sweeps, which are
 // diagnostic. Run `experiments list` for the full inventory.
 //
-// The observability flags (-metrics, -trace, -series, -pprof) are shared
-// with cmd/campaign; see docs/OBSERVABILITY.md for the metric names, the
-// JSONL trace schema, and the time-series dump they produce. Traces can
-// be analyzed offline with cmd/tracetool.
+// The observability flags (-metrics, -trace, -series, -pprof, -http) are
+// shared with cmd/campaign; see docs/OBSERVABILITY.md for the metric names,
+// the JSONL trace schema, the time-series dump, and the live HTTP
+// endpoints they produce. Traces can be analyzed offline with
+// cmd/tracetool.
 package main
 
 import (

@@ -1,0 +1,130 @@
+// Command promcheck validates Prometheus text exposition without external
+// tooling: a promtool-style `check metrics` that depends only on this
+// repository, so CI can assert the live /metrics endpoint
+// (internal/obs/expose) really speaks the format scrapers expect.
+//
+// The source is a file path, "-" for stdin, or an http(s) URL. URLs are
+// fetched with retries, which lets scripts point promcheck at a server
+// that is still starting up. With -expect-body the response must instead
+// equal the given string exactly after trimming trailing whitespace — the
+// health-check mode scripts/http-smoke.sh uses against /healthz.
+//
+// Usage:
+//
+//	promcheck /tmp/metrics.txt
+//	promcheck http://127.0.0.1:9090/metrics
+//	promcheck -retry 20 -interval 100ms -expect-body ok http://127.0.0.1:9090/healthz
+//
+// Exit status: 0 when the source validates, 1 when it cannot be read or
+// fails validation, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs/expose"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	retry := fs.Int("retry", 1, "attempts before giving up (URLs and -expect-body sources)")
+	interval := fs.Duration("interval", 500*time.Millisecond, "delay between attempts")
+	expectBody := fs.String("expect-body", "", "require this exact body (trailing whitespace ignored) instead of validating exposition")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: promcheck [-retry N] [-interval D] [-expect-body S] FILE|URL|-\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	if *retry < 1 {
+		fmt.Fprintf(stderr, "promcheck: -retry must be >= 1, got %d\n", *retry)
+		return 2
+	}
+	source := fs.Arg(0)
+
+	var lastErr error
+	for attempt := 1; attempt <= *retry; attempt++ {
+		if attempt > 1 {
+			time.Sleep(*interval)
+		}
+		data, err := fetch(source, stdin)
+		if err == nil {
+			err = check(data, *expectBody)
+		}
+		if err == nil {
+			report(stdout, source, data, *expectBody)
+			return 0
+		}
+		lastErr = err
+		if source == "-" {
+			break // stdin cannot be re-read
+		}
+	}
+	fmt.Fprintf(stderr, "promcheck: %s: %v\n", source, lastErr)
+	return 1
+}
+
+// fetch reads the source: stdin, an HTTP URL, or a file.
+func fetch(source string, stdin io.Reader) ([]byte, error) {
+	switch {
+	case source == "-":
+		return io.ReadAll(stdin)
+	case strings.HasPrefix(source, "http://"), strings.HasPrefix(source, "https://"):
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(source)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		return data, nil
+	default:
+		return os.ReadFile(source)
+	}
+}
+
+// check validates the payload: exact-body mode when expect is set,
+// exposition validation otherwise.
+func check(data []byte, expect string) error {
+	if expect != "" {
+		if got := strings.TrimRight(string(data), " \t\r\n"); got != expect {
+			return fmt.Errorf("body %q, want %q", got, expect)
+		}
+		return nil
+	}
+	_, err := expose.ValidateExposition(data)
+	return err
+}
+
+// report prints the one-line success summary.
+func report(w io.Writer, source string, data []byte, expect string) {
+	if expect != "" {
+		fmt.Fprintf(w, "promcheck: %s: body matches %q\n", source, expect)
+		return
+	}
+	st, _ := expose.ValidateExposition(data)
+	fmt.Fprintf(w, "promcheck: %s: valid exposition, %d families, %d samples\n",
+		source, st.Families, st.Samples)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+const validExposition = `# HELP sim_events_executed DiversiFi counter sim.events_executed
+# TYPE sim_events_executed counter
+sim_events_executed 5000
+# HELP ap_queue_depth DiversiFi gauge ap.queue_depth
+# TYPE ap_queue_depth gauge
+ap_queue_depth 3
+ap_queue_depth_max 9
+`
+
+func exec(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestCheckFileAndStdin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := os.WriteFile(path, []byte(validExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := exec(t, "", path)
+	// The gauge's _max companion sample is its own (untyped) family.
+	if code != 0 || !strings.Contains(out, "3 families, 3 samples") {
+		t.Errorf("file: code %d, stdout %q, stderr %q", code, out, errOut)
+	}
+	code, out, _ = exec(t, validExposition, "-")
+	if code != 0 || !strings.Contains(out, "valid exposition") {
+		t.Errorf("stdin: code %d, stdout %q", code, out)
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	code, _, errOut := exec(t, "1bad name{ 5\n", "-")
+	if code != 1 || !strings.Contains(errOut, "promcheck: -:") {
+		t.Errorf("invalid stdin: code %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := exec(t, "", filepath.Join(t.TempDir(), "nope.txt")); code != 1 {
+		t.Errorf("missing file: code %d, want 1", code)
+	}
+}
+
+func TestCheckURL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/metrics":
+			w.Write([]byte(validExposition))
+		case "/healthz":
+			w.Write([]byte("ok\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	if code, out, errOut := exec(t, "", srv.URL+"/metrics"); code != 0 ||
+		!strings.Contains(out, "valid exposition") {
+		t.Errorf("url: code %d, stdout %q, stderr %q", code, out, errOut)
+	}
+	if code, out, _ := exec(t, "", "-expect-body", "ok", srv.URL+"/healthz"); code != 0 ||
+		!strings.Contains(out, `body matches "ok"`) {
+		t.Errorf("healthz: code %d, stdout %q", code, out)
+	}
+	if code, _, errOut := exec(t, "", "-expect-body", "ok", srv.URL+"/metrics"); code != 1 ||
+		!strings.Contains(errOut, "want") {
+		t.Errorf("body mismatch: code %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := exec(t, "", srv.URL+"/missing"); code != 1 ||
+		!strings.Contains(errOut, "404") {
+		t.Errorf("404: code %d, stderr %q", code, errOut)
+	}
+}
+
+// TestRetryUntilUp simulates a server that starts answering only on the
+// third request — the scripts/http-smoke.sh startup race.
+func TestRetryUntilUp(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	code, _, errOut := exec(t, "", "-retry", "10", "-interval", "1ms", "-expect-body", "ok", srv.URL)
+	if code != 0 {
+		t.Errorf("retry: code %d, stderr %q", code, errOut)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hit %d times, want 3", got)
+	}
+
+	hits.Store(-1000)
+	if code, _, _ := exec(t, "", "-retry", "2", "-interval", "1ms", "-expect-body", "ok", srv.URL); code != 1 {
+		t.Errorf("exhausted retries: code %d, want 1", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := exec(t, ""); code != 2 {
+		t.Errorf("no args: code %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "", "a", "b"); code != 2 {
+		t.Errorf("two sources: code %d, want 2", code)
+	}
+	if code, _, _ := exec(t, "", "-retry", "0", "-"); code != 2 {
+		t.Errorf("retry 0: code %d, want 2", code)
+	}
+}

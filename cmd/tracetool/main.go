@@ -8,6 +8,7 @@
 //	tracetool episodes [-json] FILE...
 //	tracetool series [-json] [-window DUR] FILE...
 //	tracetool summary [-json] FILE...
+//	tracetool export [-format chrome] [-o FILE] FILE
 //
 // lint checks every line against the trace contract — strict schema decode,
 // per-(run, node) timestamp ordering, episode well-formedness, and
@@ -25,6 +26,12 @@
 //
 // summary prints per-trace totals: events by type, per-link transmit
 // outcomes and loss-burst structure, episode counts, and lint status.
+//
+// export converts a trace into another tool's format. The only format so
+// far is chrome: Chrome trace-event JSON loadable in chrome://tracing or
+// https://ui.perfetto.dev, with one track per (run, node) and each
+// recovery episode rendered as a span plus its detect/switch/retrieve
+// phase slices.
 //
 // FILE may be "-" for stdin. All subcommands accept -json for
 // machine-readable output.
@@ -51,6 +58,7 @@ func usage(w io.Writer) {
   tracetool episodes [-json] FILE...
   tracetool series [-json] [-window DUR] FILE...
   tracetool summary [-json] FILE...
+  tracetool export [-format chrome] [-o FILE] FILE
 
 FILE may be "-" for stdin. See docs/OBSERVABILITY.md for the trace schema.
 `)
@@ -73,6 +81,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdSeries(rest, stdin, stdout, stderr)
 	case "summary":
 		return cmdSummary(rest, stdin, stdout, stderr)
+	case "export":
+		return cmdExport(rest, stdin, stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -297,6 +307,59 @@ func cmdSummary(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 					rep.TotalViolations, path)
 			}
 		})
+}
+
+func cmdExport(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "chrome", "output format (chrome)")
+	outPath := fs.String("o", "", "write to this file instead of stdout")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	if *format != "chrome" {
+		fmt.Fprintf(stderr, "tracetool: unknown export format %q (supported: chrome)\n", *format)
+		return 2
+	}
+	in := stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	out := stdout
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	if err := analyze.ChromeTrace(in, out); err != nil {
+		fmt.Fprintln(stderr, "tracetool:", err)
+		if outFile != nil {
+			outFile.Close()
+		}
+		return 1
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // orDash renders v, with the analyzer's -1 "not determined" sentinel as "-".

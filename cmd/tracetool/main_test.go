@@ -32,6 +32,9 @@ func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
 func TestGoldenOutputs(t *testing.T) {
 	sample := filepath.Join("testdata", "sample.trace.jsonl")
 	dirty := filepath.Join("testdata", "dirty.trace.jsonl")
+	// A real simulation trace, pinned by the simtest golden harness: the
+	// chrome export of a byte-stable input must itself be byte-stable.
+	simtrace := filepath.Join("..", "..", "internal", "simtest", "testdata", "head-drop-recovery.trace.jsonl")
 	cases := []struct {
 		golden   string
 		args     []string
@@ -43,6 +46,8 @@ func TestGoldenOutputs(t *testing.T) {
 		{"summary.json", []string{"summary", "-json", sample}, 0},
 		{"series.txt", []string{"series", "-window", "50ms", sample}, 0},
 		{"lint.txt", []string{"lint", sample, dirty}, 1},
+		{"chrome.json", []string{"export", "-format", "chrome", sample}, 0},
+		{"chrome-head-drop.json", []string{"export", simtrace}, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {
@@ -99,6 +104,38 @@ func TestStdinInput(t *testing.T) {
 	code := run([]string{"lint", "-"}, bytes.NewReader(data), &out, &out)
 	if code != 0 || !strings.Contains(out.String(), "clean") {
 		t.Fatalf("lint over stdin: code %d, out %q", code, out.String())
+	}
+}
+
+func TestExportToFileAndErrors(t *testing.T) {
+	sample := filepath.Join("testdata", "sample.trace.jsonl")
+	outPath := filepath.Join(t.TempDir(), "trace.json")
+	code, stdout, stderr := exec(t, "export", "-o", outPath, sample)
+	if code != 0 || stdout != "" {
+		t.Fatalf("export -o: code %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "chrome.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(written, golden) {
+		t.Error("export -o output differs from stdout golden")
+	}
+
+	if code, _, stderr := exec(t, "export", "-format", "svg", sample); code != 2 ||
+		!strings.Contains(stderr, "unknown export format") {
+		t.Errorf("bad format: code %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := exec(t, "export", sample, sample); code != 2 {
+		t.Errorf("two files: code %d, want usage error", code)
+	}
+	if code, _, stderr := exec(t, "export", filepath.Join("testdata", "no-such.jsonl")); code != 1 ||
+		stderr == "" {
+		t.Errorf("missing file: code %d, stderr %q", code, stderr)
 	}
 }
 

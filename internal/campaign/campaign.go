@@ -122,6 +122,11 @@ type Options struct {
 	// executed) in completion order, under a lock — it need not be
 	// goroutine-safe.
 	OnResult func(Job, *exp.Result)
+	// Status, when non-nil, tracks the fleet live for the /campaign/status
+	// introspection endpoint (see internal/obs/expose): per-job start/finish
+	// transitions, retries, and derived throughput/ETA. Nil disables
+	// tracking at the cost of one nil check per job.
+	Status *Status
 	// Obs, when non-nil, receives scheduler-level metrics (see
 	// docs/OBSERVABILITY.md): campaign.jobs_executed / jobs_cached /
 	// jobs_failed / job_retries counters and the campaign.job_elapsed_ms
@@ -166,8 +171,11 @@ func Run(opts Options) *Summary {
 	done := 0
 
 	ins := newInstruments(opts.Obs)
+	opts.Status.begin(total, workers)
+	defer opts.Status.finish()
 	records := par.MapN(opts.Jobs, workers, func(j Job) JobRecord {
 		rec, res := runOne(j, opts, ins)
+		opts.Status.jobFinished(rec)
 		mu.Lock()
 		done++
 		if opts.Progress != nil {
@@ -227,6 +235,7 @@ func sortFailuresFirst(s *Summary) {
 func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 	rec := JobRecord{ID: j.ID, Key: j.Key(), Seed: j.Seed, N: j.effN}
 	jobStart := time.Now()
+	opts.Status.jobStarted(j, rec.Key)
 	if opts.Cache != nil {
 		if res, ok := opts.Cache.Load(rec.Key); ok {
 			rec.Status = StatusCached
@@ -248,6 +257,7 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 			break
 		}
 		ins.retries.Inc()
+		opts.Status.jobRetried()
 	}
 	rec.SeriesPoints = series.Points() - pointsBefore
 	rec.ElapsedMS = time.Since(jobStart).Milliseconds()

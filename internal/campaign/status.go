@@ -1,0 +1,289 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// StatusSchema versions the /campaign/status JSON document.
+const StatusSchema = "campaign-status-v1"
+
+// Status is the live fleet tracker behind the /campaign/status endpoint: a
+// concurrency-safe view of a Run in flight — which jobs are active on which
+// workers, what finished with which outcome, and the same throughput/ETA
+// numbers the progress log prints, as one scrapeable document.
+//
+// Create one with NewStatus, point Options.Status at it, and mount it on
+// the introspection server (it implements http.Handler, serving its
+// Snapshot as JSON). All methods are safe on a nil *Status, so the
+// scheduler calls them unconditionally — the untracked path costs one nil
+// check per job.
+type Status struct {
+	mu       sync.Mutex
+	running  bool
+	workers  int
+	total    int
+	done     int
+	executed int
+	cached   int
+	failed   int
+	retries  int
+	start    time.Time
+	active   map[string]ActiveJob // by job key
+	recent   []JobRecord          // most recent first, capped
+	elapsed  []float64            // finished non-cached job wall clocks (ms)
+}
+
+// ActiveJob is one in-flight job in a StatusSnapshot.
+type ActiveJob struct {
+	ID        string `json:"id"`
+	Seed      int64  `json:"seed"`
+	N         int    `json:"n"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// StatusSnapshot is the JSON document Status serves: fleet totals,
+// in-flight jobs, recently finished jobs, and derived throughput. Schema
+// documented in docs/OBSERVABILITY.md ("Live endpoints").
+type StatusSnapshot struct {
+	Schema  string `json:"schema"`
+	Running bool   `json:"running"`
+	Workers int    `json:"workers"`
+
+	Total    int `json:"total"`
+	Done     int `json:"done"`
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+	Failed   int `json:"failed"`
+	Retries  int `json:"retries"`
+
+	// Active jobs, longest-running first. Recent holds the last finished
+	// jobs, most recent first (capped at recentCap).
+	Active []ActiveJob `json:"active,omitempty"`
+	Recent []JobRecord `json:"recent,omitempty"`
+
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// ETAMS extrapolates the remaining wall clock from the finish rate so
+	// far; -1 before the first job finishes.
+	ETAMS int64 `json:"eta_ms"`
+	// Per-job wall-clock percentiles over finished non-cached jobs (zero
+	// until one finishes), mirroring the summary fields.
+	ElapsedP50MS int64 `json:"elapsed_p50_ms"`
+	ElapsedP95MS int64 `json:"elapsed_p95_ms"`
+	ElapsedP99MS int64 `json:"elapsed_p99_ms"`
+}
+
+// recentCap bounds the finished-job ring the snapshot reports.
+const recentCap = 16
+
+// NewStatus returns an empty tracker, ready to hand to Options.Status and
+// to mount on an introspection server.
+func NewStatus() *Status {
+	return &Status{active: map[string]ActiveJob{}}
+}
+
+// begin marks the start of a Run over total jobs on the given worker count.
+func (st *Status) begin(total, workers int) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.running = true
+	st.workers = workers
+	st.total = total
+	st.done, st.executed, st.cached, st.failed, st.retries = 0, 0, 0, 0, 0
+	st.start = time.Now()
+	st.active = map[string]ActiveJob{}
+	st.recent = nil
+	st.elapsed = nil
+	st.mu.Unlock()
+}
+
+// jobStarted records a job entering a worker.
+func (st *Status) jobStarted(j Job, key string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.active[key] = ActiveJob{ID: j.ID, Seed: j.Seed, N: j.effN,
+		ElapsedMS: -time.Now().UnixMilli()} // sign flag: started-at, fixed in Snapshot
+	st.mu.Unlock()
+}
+
+// jobRetried counts one retry attempt.
+func (st *Status) jobRetried() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.retries++
+	st.mu.Unlock()
+}
+
+// jobFinished records a job's outcome.
+func (st *Status) jobFinished(rec JobRecord) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	delete(st.active, rec.Key)
+	st.done++
+	switch rec.Status {
+	case StatusOK:
+		st.executed++
+	case StatusCached:
+		st.cached++
+	default:
+		st.failed++
+	}
+	if rec.Status != StatusCached {
+		st.elapsed = append(st.elapsed, float64(rec.ElapsedMS))
+	}
+	st.recent = append([]JobRecord{rec}, st.recent...)
+	if len(st.recent) > recentCap {
+		st.recent = st.recent[:recentCap]
+	}
+	st.mu.Unlock()
+}
+
+// finish marks the Run complete.
+func (st *Status) finish() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.running = false
+	st.mu.Unlock()
+}
+
+// Snapshot assembles the current fleet view. Safe on a nil tracker (returns
+// an empty, non-running snapshot).
+func (st *Status) Snapshot() *StatusSnapshot {
+	snap := &StatusSnapshot{Schema: StatusSchema, ETAMS: -1}
+	if st == nil {
+		return snap
+	}
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap.Running = st.running
+	snap.Workers = st.workers
+	snap.Total = st.total
+	snap.Done = st.done
+	snap.Executed = st.executed
+	snap.Cached = st.cached
+	snap.Failed = st.failed
+	snap.Retries = st.retries
+	if !st.start.IsZero() {
+		snap.ElapsedMS = now.Sub(st.start).Milliseconds()
+	}
+	for _, a := range st.active {
+		// jobStarted stores the negated start time; convert to elapsed.
+		a.ElapsedMS = now.UnixMilli() + a.ElapsedMS
+		if a.ElapsedMS < 0 {
+			a.ElapsedMS = 0
+		}
+		snap.Active = append(snap.Active, a)
+	}
+	sort.Slice(snap.Active, func(i, j int) bool {
+		if snap.Active[i].ElapsedMS != snap.Active[j].ElapsedMS {
+			return snap.Active[i].ElapsedMS > snap.Active[j].ElapsedMS
+		}
+		return snap.Active[i].ID < snap.Active[j].ID
+	})
+	snap.Recent = append(snap.Recent, st.recent...)
+	if secs := float64(snap.ElapsedMS) / 1000; secs > 0 && st.done > 0 {
+		snap.JobsPerSec = float64(st.done) / secs
+		snap.ETAMS = int64(float64(st.total-st.done) / snap.JobsPerSec * 1000)
+	}
+	if len(st.elapsed) > 0 {
+		xs := append([]float64(nil), st.elapsed...)
+		snap.ElapsedP50MS = int64(stats.Percentile(xs, 50))
+		snap.ElapsedP95MS = int64(stats.Percentile(xs, 95))
+		snap.ElapsedP99MS = int64(stats.Percentile(xs, 99))
+	}
+	return snap
+}
+
+// ServeHTTP serves the snapshot as indented JSON, making a *Status
+// mountable directly on the introspection server.
+func (st *Status) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	data, err := json.MarshalIndent(st.Snapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// Text renders a snapshot as the terminal table `campaign watch` draws.
+func (snap *StatusSnapshot) Text() string {
+	t := stats.NewTable("Campaign fleet", "metric", "value")
+	state := "running"
+	if !snap.Running {
+		state = "finished"
+	}
+	t.AddRow("state", state)
+	t.AddRow("progress", progressBar(snap.Done, snap.Total))
+	t.AddRow("executed / cached / failed", fmt.Sprintf("%d / %d / %d", snap.Executed, snap.Cached, snap.Failed))
+	t.AddRow("retries", fmt.Sprintf("%d", snap.Retries))
+	t.AddRow("workers", fmt.Sprintf("%d", snap.Workers))
+	t.AddRow("elapsed", (time.Duration(snap.ElapsedMS) * time.Millisecond).Round(time.Second).String())
+	t.AddRow("jobs/sec", fmt.Sprintf("%.2f", snap.JobsPerSec))
+	eta := "n/a"
+	if snap.ETAMS >= 0 {
+		eta = (time.Duration(snap.ETAMS) * time.Millisecond).Round(time.Second).String()
+	}
+	t.AddRow("eta", eta)
+	if snap.Executed+snap.Failed > 0 {
+		t.AddRow("job elapsed p50/p95/p99", fmt.Sprintf("%dms / %dms / %dms",
+			snap.ElapsedP50MS, snap.ElapsedP95MS, snap.ElapsedP99MS))
+	}
+	out := t.String()
+	if len(snap.Active) > 0 {
+		a := stats.NewTable("Active jobs", "job", "seed", "n", "running for")
+		for _, j := range snap.Active {
+			a.AddRow(j.ID, fmt.Sprintf("%d", j.Seed), fmt.Sprintf("%d", j.N),
+				(time.Duration(j.ElapsedMS) * time.Millisecond).Round(time.Millisecond).String())
+		}
+		out += "\n" + a.String()
+	}
+	if len(snap.Recent) > 0 {
+		r := stats.NewTable("Recently finished", "job", "status", "elapsed")
+		for _, j := range snap.Recent {
+			r.AddRow(j.ID, j.Status, fmt.Sprintf("%dms", j.ElapsedMS))
+		}
+		out += "\n" + r.String()
+	}
+	return out
+}
+
+// progressBar renders done/total as a fixed-width ASCII bar.
+func progressBar(done, total int) string {
+	const width = 24
+	if total <= 0 {
+		return "(no jobs)"
+	}
+	fill := done * width / total
+	return fmt.Sprintf("[%s%s] %d/%d", repeatRune('#', fill), repeatRune('.', width-fill), done, total)
+}
+
+func repeatRune(c byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,165 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// recoveryTrace is a minimal closed recovery episode: a lost tx triggers a
+// switch to the secondary, one retrieval, and a switch back.
+func recoveryTrace(t *testing.T) string {
+	t.Helper()
+	events := []obs.Event{
+		{TUS: 1_000_000, Ev: obs.EvTx, Run: "s7", Node: "prim", Seq: 10, Attempt: 1, DurUS: 500, Detail: obs.TxLost},
+		{TUS: 1_050_000, Ev: obs.EvLinkSwitch, Run: "s7", Node: "client", Seq: 10, DurUS: 2_000, Detail: obs.SwitchToSecondary},
+		{TUS: 1_060_000, Ev: obs.EvRetrieve, Run: "s7", Node: "client", Seq: 10, DurUS: 10_000},
+		{TUS: 1_070_000, Ev: obs.EvLinkSwitch, Run: "s7", Node: "client", Seq: -1, DurUS: 2_000, Detail: obs.SwitchToPrimary},
+	}
+	var b strings.Builder
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func exportChrome(t *testing.T, trace string) (*chromeDoc, string) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := ChromeTrace(strings.NewReader(trace), &out); err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	return &doc, out.String()
+}
+
+func findEvents(doc *chromeDoc, name string) []chromeEvent {
+	var out []chromeEvent
+	for _, e := range doc.TraceEvents {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestChromeTraceLayout(t *testing.T) {
+	doc, _ := exportChrome(t, recoveryTrace(t))
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Metadata: one process per run, one thread per track, episode tracks
+	// included.
+	procs := findEvents(doc, "process_name")
+	if len(procs) != 1 || procs[0].Args.Name != "run s7" {
+		t.Fatalf("process metadata = %+v", procs)
+	}
+	var threadNames []string
+	for _, e := range findEvents(doc, "thread_name") {
+		threadNames = append(threadNames, e.Args.Name)
+	}
+	for _, want := range []string{"prim", "client", chromeEpisodeTrack, chromePhaseTrack} {
+		found := false
+		for _, n := range threadNames {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no thread named %q (have %v)", want, threadNames)
+		}
+	}
+
+	// The lost tx is a duration slice whose span ends at its timestamp.
+	txs := findEvents(doc, "tx seq 10")
+	if len(txs) != 1 || txs[0].Ph != "X" || txs[0].TS != 999_500 || *txs[0].Dur != 500 {
+		t.Fatalf("tx slice = %+v", txs)
+	}
+	if txs[0].Args.Detail != obs.TxLost || *txs[0].Args.Seq != 10 {
+		t.Errorf("tx args = %+v", txs[0].Args)
+	}
+
+	// The closed episode spans switch-out to switch-back on its own track.
+	spans := findEvents(doc, "recovery visit")
+	if len(spans) != 1 {
+		t.Fatalf("episode spans = %+v", spans)
+	}
+	if spans[0].TS != 1_050_000 || *spans[0].Dur != 20_000 {
+		t.Errorf("episode span [%d +%d], want [1050000 +20000]", spans[0].TS, *spans[0].Dur)
+	}
+	if *spans[0].Args.TriggerSeq != 10 || *spans[0].Args.Retrieved != 1 {
+		t.Errorf("episode args = %+v", spans[0].Args)
+	}
+
+	// Phase slices: detect from the loss to the switch, then switch and
+	// retrieve back-to-back.
+	for _, c := range []struct {
+		name    string
+		ts, dur int64
+	}{
+		{"detect", 1_000_000, 50_000},
+		{"switch", 1_050_000, 2_000},
+		{"retrieve", 1_052_000, 8_000},
+	} {
+		evs := findEvents(doc, c.name)
+		if len(evs) != 1 {
+			t.Errorf("%s: %d slices, want 1", c.name, len(evs))
+			continue
+		}
+		if evs[0].TS != c.ts || *evs[0].Dur != c.dur {
+			t.Errorf("%s slice [%d +%d], want [%d +%d]", c.name, evs[0].TS, *evs[0].Dur, c.ts, c.dur)
+		}
+	}
+}
+
+func TestChromeTraceInstantAndUnclosed(t *testing.T) {
+	// SampleEvents contains instants (drop, playout-miss) and a secondary
+	// visit that never closes.
+	var b strings.Builder
+	for _, ev := range obs.SampleEvents() {
+		line, _ := json.Marshal(ev)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	doc, _ := exportChrome(t, b.String())
+
+	misses := findEvents(doc, "playout-miss seq 124")
+	if len(misses) != 1 || misses[0].Ph != "i" || misses[0].S != "t" {
+		t.Fatalf("instant = %+v", misses)
+	}
+	spans := findEvents(doc, "recovery visit")
+	if len(spans) != 1 || *spans[0].Dur != 0 {
+		t.Errorf("unclosed episode should be a zero-length marker: %+v", spans)
+	}
+}
+
+func TestChromeTraceDeterministicAndSkipsJunk(t *testing.T) {
+	trace := "not json\n\n" + recoveryTrace(t) + "{\"ev\":\"mystery\"}\n"
+	_, out1 := exportChrome(t, trace)
+	_, out2 := exportChrome(t, trace)
+	if out1 != out2 {
+		t.Error("export is not deterministic")
+	}
+	if strings.Contains(out1, "mystery") {
+		t.Error("undecodable line leaked into the export")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	doc, out := exportChrome(t, "")
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace produced events: %s", out)
+	}
+}

@@ -1,0 +1,90 @@
+package expose
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a live obs.Registry.
+//
+// The mapping from the metrics contract (docs/OBSERVABILITY.md) is:
+//
+//   - metric names are sanitized for Prometheus: every character outside
+//     [a-zA-Z0-9_:] becomes '_' ("client.recovery_delay_us" →
+//     "client_recovery_delay_us"); the HELP line keeps the original name,
+//   - counters render as-is (# TYPE counter),
+//   - gauges render as two gauge samples: the value under the metric name
+//     and the high-water mark under <name>_max,
+//   - histograms render in cumulative form — one <name>_bucket{le="B"}
+//     sample per bound plus le="+Inf", then <name>_sum and <name>_count —
+//     derived from the fixed-bucket obs.HistSnapshot via Cumulative(), the
+//     same audited conversion obs.Series uses for window differencing.
+//
+// Reading the registry costs one atomic load per value under the registry's
+// read lock; nothing is written, so a concurrent scrape never perturbs a
+// running simulation (asserted by the simtest live perturbation test).
+
+// WriteExposition renders every instrument of reg to w. A nil registry
+// produces an empty (valid) exposition. The returned error is w's, if any.
+func WriteExposition(w io.Writer, reg *obs.Registry) error {
+	var err error
+	keep := func(_ int, werr error) {
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}
+	reg.Visit(obs.Visitor{
+		Counter: func(name string, v int64) {
+			p := promName(name)
+			keep(fmt.Fprintf(w, "# HELP %s DiversiFi counter %s\n# TYPE %s counter\n%s %d\n",
+				p, name, p, p, v))
+		},
+		Gauge: func(name string, g obs.GaugeValue) {
+			p := promName(name)
+			keep(fmt.Fprintf(w, "# HELP %s DiversiFi gauge %s\n# TYPE %s gauge\n%s %d\n",
+				p, name, p, p, g.Value))
+			keep(fmt.Fprintf(w, "# HELP %s_max High-water mark of %s\n# TYPE %s_max gauge\n%s_max %d\n",
+				p, name, p, p, g.Max))
+		},
+		Histogram: func(name string, h obs.HistSnapshot) {
+			p := promName(name)
+			keep(fmt.Fprintf(w, "# HELP %s DiversiFi histogram %s\n# TYPE %s histogram\n",
+				p, name, p))
+			cum := h.Cumulative()
+			for i, b := range h.Bounds {
+				keep(fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", p, b, cum[i]))
+			}
+			keep(fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count))
+			keep(fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", p, h.Sum, p, h.Count))
+		},
+	})
+	return err
+}
+
+// promName sanitizes an obs metric name into a valid Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, with every other byte mapped to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

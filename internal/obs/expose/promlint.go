@@ -1,0 +1,413 @@
+package expose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionStats summarizes a validated exposition document.
+type ExpositionStats struct {
+	Families int
+	Samples  int
+}
+
+// family accumulates per-family validation state.
+type family struct {
+	name    string
+	typ     string
+	hasHelp bool
+	samples int
+	// histogram accounting keyed by the sample's non-le label signature
+	hist map[string]*histFamily
+}
+
+type histFamily struct {
+	les     []float64
+	counts  []float64
+	infSeen bool
+	inf     float64
+	count   float64
+	hasCnt  bool
+	hasSum  bool
+}
+
+// ValidateExposition is the in-repo, dependency-free counterpart of
+// `promtool check metrics`: it parses data as Prometheus text exposition
+// (format version 0.0.4) and returns an error describing the first
+// violation, or the family/sample totals when the document is valid.
+//
+// Checks enforced:
+//
+//   - every line is blank, a # HELP / # TYPE comment, or a sample
+//     `name{labels} value [timestamp]`,
+//   - metric and label names match the Prometheus grammar; label values use
+//     only the \\, \", \n escapes; sample values parse as Go floats
+//     (+Inf/-Inf/NaN allowed),
+//   - at most one HELP and one TYPE per family, both before its samples,
+//     with a known type keyword; all samples of a family are consecutive,
+//   - counter samples are non-negative and use the family name exactly;
+//     histogram samples use only <f>_bucket/<f>_sum/<f>_count,
+//   - per histogram label set: every _bucket has a float-parsable le, the
+//     le="+Inf" bucket is present, cumulative counts are non-decreasing in
+//     ascending le order, and _count equals the +Inf bucket.
+func ValidateExposition(data []byte) (ExpositionStats, error) {
+	var st ExpositionStats
+	seen := map[string]bool{} // families already closed (grouping check)
+	var cur *family
+
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.finishHistograms(); err != nil {
+			return err
+		}
+		seen[cur.name] = true
+		st.Families++
+		cur = nil
+		return nil
+	}
+	open := func(name string, line int) error {
+		if cur != nil && cur.name == name {
+			return nil
+		}
+		if err := finish(); err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("line %d: family %q reappears after other families (samples must be grouped)", line, name)
+		}
+		cur = &family{name: name, hist: map[string]*histFamily{}}
+		return nil
+	}
+
+	for i, line := range strings.Split(string(data), "\n") {
+		n := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, arg, err := parseComment(line)
+			if err != nil {
+				return st, fmt.Errorf("line %d: %v", n, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			if err := open(name, n); err != nil {
+				return st, err
+			}
+			switch kind {
+			case "HELP":
+				if cur.hasHelp {
+					return st, fmt.Errorf("line %d: second HELP for family %q", n, name)
+				}
+				cur.hasHelp = true
+			case "TYPE":
+				if cur.typ != "" {
+					return st, fmt.Errorf("line %d: second TYPE for family %q", n, name)
+				}
+				if cur.samples > 0 {
+					return st, fmt.Errorf("line %d: TYPE for family %q after its samples", n, name)
+				}
+				switch arg {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					cur.typ = arg
+				default:
+					return st, fmt.Errorf("line %d: unknown TYPE %q for family %q", n, arg, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", n, err)
+		}
+		fam := name
+		suffix := ""
+		if cur != nil && cur.typ == "histogram" && strings.HasPrefix(name, cur.name+"_") {
+			fam, suffix = cur.name, name[len(cur.name):]
+		} else if cur != nil && cur.typ == "summary" && strings.HasPrefix(name, cur.name+"_") {
+			fam, suffix = cur.name, name[len(cur.name):]
+		}
+		if err := open(fam, n); err != nil {
+			return st, err
+		}
+		st.Samples++
+		switch cur.typ {
+		case "histogram":
+			if err := cur.histSample(suffix, labels, value); err != nil {
+				return st, fmt.Errorf("line %d: family %q: %v", n, cur.name, err)
+			}
+		case "counter":
+			if suffix != "" {
+				return st, fmt.Errorf("line %d: counter family %q has sample %q", n, cur.name, name)
+			}
+			if value < 0 {
+				return st, fmt.Errorf("line %d: counter %q has negative value %g", n, name, value)
+			}
+		}
+		cur.samples++
+	}
+	if err := finish(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// histSample accounts one sample of a histogram family.
+func (f *family) histSample(suffix string, labels map[string]string, value float64) error {
+	sig := labelSig(labels, "le")
+	h := f.hist[sig]
+	if h == nil {
+		h = &histFamily{}
+		f.hist[sig] = h
+	}
+	switch suffix {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("_bucket sample missing le label")
+		}
+		if le == "+Inf" {
+			h.infSeen = true
+			h.inf = value
+			return nil
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("unparsable le %q", le)
+		}
+		h.les = append(h.les, b)
+		h.counts = append(h.counts, value)
+	case "_sum":
+		h.hasSum = true
+	case "_count":
+		h.hasCnt = true
+		h.count = value
+	case "":
+		return fmt.Errorf("bare sample in histogram family (want _bucket/_sum/_count)")
+	default:
+		return fmt.Errorf("unexpected histogram sample suffix %q", suffix)
+	}
+	return nil
+}
+
+// finishHistograms runs the cross-sample histogram checks once the family
+// is complete.
+func (f *family) finishHistograms() error {
+	if f.typ != "histogram" {
+		return nil
+	}
+	for sig, h := range f.hist {
+		where := f.name
+		if sig != "" {
+			where += "{" + sig + "}"
+		}
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", where)
+		}
+		// Ascending le order with non-decreasing cumulative counts.
+		idx := make([]int, len(h.les))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return h.les[idx[a]] < h.les[idx[b]] })
+		prev := -1.0
+		for _, i := range idx {
+			if h.counts[i] < prev {
+				return fmt.Errorf("histogram %s buckets not cumulative at le=%g (%g < %g)",
+					where, h.les[i], h.counts[i], prev)
+			}
+			prev = h.counts[i]
+		}
+		if prev > h.inf {
+			return fmt.Errorf("histogram %s le=\"+Inf\" bucket %g below last bound's %g", where, h.inf, prev)
+		}
+		if h.hasCnt && h.count != h.inf {
+			return fmt.Errorf("histogram %s _count %g != +Inf bucket %g", where, h.count, h.inf)
+		}
+		if !h.hasCnt || !h.hasSum {
+			return fmt.Errorf("histogram %s missing _sum or _count", where)
+		}
+	}
+	return nil
+}
+
+// labelSig renders labels (minus the excluded key) as a canonical signature.
+func labelSig(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseComment splits a # line into ("HELP"|"TYPE"|"", name, rest).
+func parseComment(line string) (kind, name, arg string, err error) {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " ")
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if fields[0] == "" || !validName(fields[0]) {
+			return "", "", "", fmt.Errorf("HELP with invalid metric name %q", fields[0])
+		}
+		return "HELP", fields[0], "", nil
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 || !validName(fields[0]) {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		return "TYPE", fields[0], fields[1], nil
+	default:
+		return "", "", "", nil // free-form comment, ignored
+	}
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if rest[0] == '{' {
+		end, lerr := parseLabels(rest, labels)
+		if lerr != nil {
+			return "", nil, 0, lerr
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q needs `value [timestamp]` after the name", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("unparsable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{', filling
+// into and returning the index one past the closing brace.
+func parseLabels(s string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		// Allow {} and trailing commas like {a="1",}.
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("malformed label block %q", s)
+		}
+		lname := s[i : i+eq]
+		if !validLabelName(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value for %q", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], lname)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[lname] = val.String()
+	}
+}
+
+// parseValue parses a sample value, accepting the Prometheus spellings of
+// the special floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

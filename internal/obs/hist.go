@@ -156,6 +156,60 @@ func (h *Histogram) bucketRange(i int) (lo, hi int64) {
 	return lo, hi
 }
 
+// HistSnapshot is a point-in-time copy of a histogram's raw bucket state:
+// the bounds, the per-bucket counts (len(Bounds)+1; the last entry is the
+// overflow bucket), and the running count/sum/min/max. It is the shared
+// source for every consumer that needs bucket-level data — the Prometheus
+// exposition in internal/obs/expose renders it in cumulative form via
+// Cumulative, and obs.Series differences consecutive snapshots to produce
+// per-window sub-histograms — so there is exactly one audited copy loop.
+//
+// Count is the sum of the copied bucket counts, so a snapshot is always
+// internally consistent even when observations race the copy; Sum, Min, and
+// Max are read from their own atomics and may trail the buckets by the
+// observations in flight. Min and Max are only meaningful when Count > 0.
+type HistSnapshot struct {
+	Bounds []int64
+	Counts []int64
+	Count  int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Snapshot copies the histogram's current bucket state. A nil histogram
+// yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds, // immutable after construction; safe to share
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Min:    h.min.Load(),
+		Max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Cumulative converts the per-bucket counts to Prometheus-style cumulative
+// form: element i is the number of observations <= Bounds[i], and the last
+// element (the "+Inf" bucket) equals Count. The slice is freshly allocated.
+func (s HistSnapshot) Cumulative() []int64 {
+	out := make([]int64, len(s.Counts))
+	var cum int64
+	for i, n := range s.Counts {
+		cum += n
+		out[i] = cum
+	}
+	return out
+}
+
 // HistSummary is the exported snapshot form of a histogram: the p50/p95/p99
 // summaries every metrics dump reports.
 type HistSummary struct {
@@ -185,5 +239,25 @@ func (h *Histogram) Summary() HistSummary {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+	}
+}
+
+// Summary condenses a snapshot into HistSummary form. Quantiles are
+// interpolated on the snapshot's bucket counts (overflow attributed to the
+// last bound, since a snapshot's Max may trail its buckets), so a consumer
+// holding only a snapshot — the live /statusz view — gets the same shape
+// every metrics dump reports.
+func (s HistSnapshot) Summary() HistSummary {
+	if s.Count == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: s.Count,
+		Min:   s.Min,
+		Max:   s.Max,
+		Mean:  float64(s.Sum) / float64(s.Count),
+		P50:   quantileFromBuckets(s.Bounds, s.Counts, s.Count, 0.50),
+		P95:   quantileFromBuckets(s.Bounds, s.Counts, s.Count, 0.95),
+		P99:   quantileFromBuckets(s.Bounds, s.Counts, s.Count, 0.99),
 	}
 }

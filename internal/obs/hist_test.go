@@ -130,3 +130,63 @@ func TestHistogramBadBoundsPanic(t *testing.T) {
 	}()
 	NewRegistry().Histogram("bad", []int64{10, 10})
 }
+
+// TestHistSnapshotCumulative is the audited-conversion contract: the
+// cumulative form element i counts observations <= Bounds[i], the +Inf
+// element equals Count, and the sequence is non-decreasing — exactly what
+// the Prometheus exposition renders as _bucket/_count.
+func TestHistSnapshotCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", []int64{10, 20, 30})
+	for _, v := range []int64{5, 10, 11, 25, 31, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []int64{2, 1, 1, 2}; len(s.Counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	} else {
+		for i := range want {
+			if s.Counts[i] != want[i] {
+				t.Fatalf("counts = %v, want %v", s.Counts, want)
+			}
+		}
+	}
+	cum := s.Cumulative()
+	want := []int64{2, 3, 4, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if cum[len(cum)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != Count %d", cum[len(cum)-1], s.Count)
+	}
+	if s.Sum != 5+10+11+25+31+1000 || s.Min != 5 || s.Max != 1000 {
+		t.Fatalf("sum/min/max = %d/%d/%d", s.Sum, s.Min, s.Max)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone: %v", cum)
+		}
+	}
+}
+
+// TestHistSnapshotNil checks the nil-receiver and empty-histogram paths.
+func TestHistSnapshotNil(t *testing.T) {
+	var h *Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Counts) != 0 {
+		t.Fatalf("nil snapshot not zero: %+v", s)
+	}
+	if cum := s.Cumulative(); len(cum) != 0 {
+		t.Fatalf("nil cumulative = %v, want empty", cum)
+	}
+	r := NewRegistry()
+	empty := r.Histogram("e", []int64{1, 2}).Snapshot()
+	if empty.Count != 0 {
+		t.Fatalf("empty histogram Count = %d", empty.Count)
+	}
+	if cum := empty.Cumulative(); cum[len(cum)-1] != 0 {
+		t.Fatalf("empty cumulative = %v", cum)
+	}
+}

@@ -290,6 +290,46 @@ func (r *Registry) Emit(ev Event) {
 	s.Write(ev)
 }
 
+// Visitor receives one callback per instrument during Registry.Visit. Any
+// callback may be nil to skip that instrument kind. Callbacks run under the
+// registry's read lock, so they must not create instruments on the same
+// registry (and should not block).
+type Visitor struct {
+	Counter   func(name string, value int64)
+	Gauge     func(name string, g GaugeValue)
+	Histogram func(name string, h HistSnapshot)
+}
+
+// Visit walks every instrument in ascending name order, one kind at a time
+// (counters, then gauges, then histograms). It is the enumeration primitive
+// behind live exposition (internal/obs/expose): values are read with the
+// same atomic loads Snapshot uses, so a concurrent Visit never perturbs a
+// running simulation. A nil registry visits nothing.
+func (r *Registry) Visit(v Visitor) {
+	if r == nil {
+		return
+	}
+	c := r.core
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if v.Counter != nil {
+		for _, name := range sortedKeys(c.counters) {
+			v.Counter(name, c.counters[name].Value())
+		}
+	}
+	if v.Gauge != nil {
+		for _, name := range sortedKeys(c.gauges) {
+			g := c.gauges[name]
+			v.Gauge(name, GaugeValue{Value: g.Value(), Max: g.Max()})
+		}
+	}
+	if v.Histogram != nil {
+		for _, name := range sortedKeys(c.hists) {
+			v.Histogram(name, c.hists[name].Snapshot())
+		}
+	}
+}
+
 // sortedKeys returns a map's keys in ascending order, for deterministic
 // snapshot rendering.
 func sortedKeys[V any](m map[string]V) []string {

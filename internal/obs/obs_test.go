@@ -258,3 +258,46 @@ func TestEmitStampsRunLabel(t *testing.T) {
 		t.Fatalf("run label = %q, want s7", ev.Run)
 	}
 }
+
+// TestVisitOrderAndValues checks the exposition enumeration primitive:
+// instruments arrive kind-by-kind in ascending name order with the same
+// values a Snapshot would report, and a nil registry visits nothing.
+func TestVisitOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.ctr").Add(2)
+	r.Counter("a.ctr").Inc()
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []int64{10}).Observe(4)
+
+	var names []string
+	var ctrVals []int64
+	var gv GaugeValue
+	var hs HistSnapshot
+	r.Visit(Visitor{
+		Counter:   func(name string, v int64) { names = append(names, name); ctrVals = append(ctrVals, v) },
+		Gauge:     func(name string, g GaugeValue) { names = append(names, name); gv = g },
+		Histogram: func(name string, h HistSnapshot) { names = append(names, name); hs = h },
+	})
+	want := []string{"a.ctr", "b.ctr", "g", "h"}
+	if len(names) != len(want) {
+		t.Fatalf("visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("visited %v, want %v", names, want)
+		}
+	}
+	if ctrVals[0] != 1 || ctrVals[1] != 2 {
+		t.Fatalf("counter values %v", ctrVals)
+	}
+	if gv.Value != 3 || gv.Max != 7 {
+		t.Fatalf("gauge = %+v", gv)
+	}
+	if hs.Count != 1 || hs.Counts[0] != 1 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+
+	var nilReg *Registry
+	nilReg.Visit(Visitor{Counter: func(string, int64) { t.Fatal("nil registry visited an instrument") }})
+}

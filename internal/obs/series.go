@@ -13,6 +13,14 @@ import (
 // does not specify one: one simulated second.
 const DefaultSeriesWindowUS = 1_000_000
 
+// ClockOnlyWindowUS is a window width so far past any simulation horizon
+// that a Series configured with it never captures a point: it only tracks
+// the virtual-clock high-water mark (ClockUS). The live introspection
+// server uses such a series to report the simulated clock on /statusz when
+// no real -series collector is attached, at the Tick fast path's usual
+// zero-allocation cost.
+const ClockOnlyWindowUS = int64(1) << 60
+
 // Series turns a Registry's cumulative instruments into a time-resolved
 // sequence of fixed simulated-time windows. Each captured SeriesPoint holds
 // the counter *deltas*, gauge values, and histogram sub-snapshots for one
@@ -47,17 +55,12 @@ type Series struct {
 	lastUS int64 // start of the open window (last capture point)
 	points []SeriesPoint
 	npts   atomic.Int64
-	// Previous cumulative values, for delta computation.
+	// Previous cumulative values, for delta computation. Histograms are
+	// remembered as HistSnapshots — the same audited bucket copy the
+	// Prometheus exposition renders — so sub-snapshot differencing and
+	// exposition share one conversion path.
 	lastCtr  map[string]int64
-	lastHist map[string]histCumulative
-}
-
-// histCumulative is the cumulative histogram state a Series remembers
-// between windows so it can difference bucket counts.
-type histCumulative struct {
-	counts []int64
-	count  int64
-	sum    int64
+	lastHist map[string]HistSnapshot
 }
 
 // SeriesPoint is one captured window: [StartUS, EndUS) in simulated
@@ -98,7 +101,7 @@ func NewSeries(reg *Registry, windowUS int64) *Series {
 		reg:      reg,
 		window:   windowUS,
 		lastCtr:  make(map[string]int64),
-		lastHist: make(map[string]histCumulative),
+		lastHist: make(map[string]HistSnapshot),
 	}
 	se.frontier.Store(windowUS)
 	return se
@@ -110,6 +113,17 @@ func (se *Series) WindowUS() int64 {
 		return 0
 	}
 	return se.window
+}
+
+// ClockUS returns the highest simulated-clock value ticked so far, in
+// microseconds — the live "how far has the fleet simulated" reading the
+// introspection server reports. Racy-monotone like maxSeen itself; returns
+// 0 on a nil series or before the first tick.
+func (se *Series) ClockUS() int64 {
+	if se == nil {
+		return 0
+	}
+	return se.maxSeen.Load()
 }
 
 // Points returns the number of windows captured so far.
@@ -186,21 +200,14 @@ func (se *Series) captureLocked(endUS int64) {
 		p.Gauges[name] = g.Value()
 	}
 	for name, h := range c.hists {
-		cum := histCumulative{
-			counts: make([]int64, len(h.counts)),
-			count:  h.count.Load(),
-			sum:    h.sum.Load(),
-		}
-		for i := range h.counts {
-			cum.counts[i] = h.counts[i].Load()
-		}
+		snap := h.Snapshot()
 		prev := se.lastHist[name]
-		if n := cum.count - prev.count; n > 0 {
-			delta := make([]int64, len(cum.counts))
+		if n := snap.Count - prev.Count; n > 0 {
+			delta := make([]int64, len(snap.Counts))
 			for i := range delta {
-				delta[i] = cum.counts[i]
-				if i < len(prev.counts) {
-					delta[i] -= prev.counts[i]
+				delta[i] = snap.Counts[i]
+				if i < len(prev.Counts) {
+					delta[i] -= prev.Counts[i]
 				}
 			}
 			if p.Histograms == nil {
@@ -208,13 +215,13 @@ func (se *Series) captureLocked(endUS int64) {
 			}
 			p.Histograms[name] = SeriesHist{
 				Count: n,
-				Mean:  float64(cum.sum-prev.sum) / float64(n),
-				P50:   quantileFromBuckets(h.bounds, delta, n, 0.50),
-				P95:   quantileFromBuckets(h.bounds, delta, n, 0.95),
-				P99:   quantileFromBuckets(h.bounds, delta, n, 0.99),
+				Mean:  float64(snap.Sum-prev.Sum) / float64(n),
+				P50:   quantileFromBuckets(snap.Bounds, delta, n, 0.50),
+				P95:   quantileFromBuckets(snap.Bounds, delta, n, 0.95),
+				P99:   quantileFromBuckets(snap.Bounds, delta, n, 0.99),
 			}
 		}
-		se.lastHist[name] = cum
+		se.lastHist[name] = snap
 	}
 	c.mu.RUnlock()
 	se.lastUS = endUS

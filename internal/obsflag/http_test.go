@@ -1,0 +1,135 @@
+package obsflag
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/expose"
+	"repro/internal/sim"
+)
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return res.StatusCode, string(body)
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	f := &Flags{HTTP: "127.0.0.1:0"}
+	if !f.Enabled() {
+		t.Fatal("Enabled() = false with -http set")
+	}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer sess.Close()
+
+	addr := sess.HTTPAddr()
+	if addr == "" || sess.HTTP() == nil {
+		t.Fatalf("HTTPAddr = %q, HTTP = %v", addr, sess.HTTP())
+	}
+	base := "http://" + addr
+
+	if code, body := fetch(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// Exercise a simulated workload mid-session, then scrape it live.
+	reg := sim.ObsProvider(7)
+	reg.Counter("sim.events_executed").Add(42)
+	reg.Series().Tick(1_000_000)
+
+	code, body := fetch(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if _, err := expose.ValidateExposition([]byte(body)); err != nil {
+		t.Errorf("/metrics invalid mid-run: %v", err)
+	}
+	if !strings.Contains(body, "sim_events_executed 42") {
+		t.Errorf("/metrics misses live counter:\n%s", body)
+	}
+
+	if code, body := fetch(t, base+"/statusz?format=json"); code != 200 ||
+		!strings.Contains(body, `"sim_clock_us": 1000000`) {
+		t.Errorf("/statusz = %d %s", code, body)
+	}
+
+	// The clock-only series must never capture points (job SeriesPoints
+	// telemetry stays zero without -series).
+	if n := reg.Series().Points(); n != 0 {
+		t.Errorf("clock-only series captured %d points", n)
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+	if sim.ObsProvider != nil {
+		t.Error("ObsProvider still installed after Close")
+	}
+}
+
+func TestHTTPPortInUseSurfaces(t *testing.T) {
+	f1 := &Flags{HTTP: "127.0.0.1:0"}
+	s1, err := f1.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	sim.ObsProvider = nil // second Setup would reinstall over it anyway
+
+	f2 := &Flags{HTTP: s1.HTTPAddr()}
+	if _, err := f2.Setup(); err == nil {
+		t.Fatal("Setup on a busy port succeeded, want error")
+	} else if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("busy-port error %q does not mention listen", err)
+	}
+}
+
+func TestHTTPWithSeriesKeepsRealCollector(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{HTTP: "127.0.0.1:0", Series: dir + "/series.json,1s"}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Reg.Series() != sess.Series() {
+		t.Error("-http replaced the -series collector with a clock-only one")
+	}
+	if sess.Reg.Series().WindowUS() != 1_000_000 {
+		t.Errorf("series window = %d, want 1s", sess.Reg.Series().WindowUS())
+	}
+}
+
+func TestInertSessionHasNoHTTP(t *testing.T) {
+	f := &Flags{}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.HTTP() != nil || sess.HTTPAddr() != "" {
+		t.Errorf("inert session exposes HTTP: %q", sess.HTTPAddr())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSess *Session
+	if nilSess.HTTP() != nil || nilSess.HTTPAddr() != "" {
+		t.Error("nil session HTTP accessors not nil-safe")
+	}
+}

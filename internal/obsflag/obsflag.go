@@ -1,6 +1,7 @@
 // Package obsflag wires the observability layer (internal/obs) into a CLI:
-// it registers the shared -metrics / -trace / -series / -pprof flags, builds
-// the root registry, trace sink, and time-series collector they request,
+// it registers the shared -metrics / -trace / -series / -pprof / -http
+// flags, builds the root registry, trace sink, time-series collector, and
+// live introspection server they request,
 // installs sim.ObsProvider so every simulator constructed anywhere in the
 // process is instrumented, and writes all outputs on Close. Both
 // cmd/experiments and cmd/campaign use it, so the flags behave identically
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/expose"
 	"repro/internal/sim"
 )
 
@@ -40,22 +42,29 @@ type Flags struct {
 	Series string
 	// Pprof is a directory for cpu.pprof and heap.pprof ("" disables).
 	Pprof string
+	// HTTP is a listen address (e.g. "127.0.0.1:6060" or ":0") for the live
+	// introspection server (internal/obs/expose): /metrics, /statusz,
+	// /healthz, /debug/pprof/. "" disables.
+	HTTP string
 }
 
-// Register installs -metrics, -trace, -series, and -pprof on fs (typically
-// flag.CommandLine) and returns the struct their values land in.
+// Register installs -metrics, -trace, -series, -pprof, and -http on fs
+// (typically flag.CommandLine) and returns the struct their values land in.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics snapshot on exit ("-" = stderr as text, *.json = JSON, else text file)`)
 	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this file (schema: docs/OBSERVABILITY.md)")
 	fs.StringVar(&f.Series, "series", "", `write a time-windowed metrics series on exit: PATH[,WINDOW] (WINDOW = Go duration of simulated time, default 1s; "-" = stderr, *.json = JSON, *.jsonl = JSONL, else text)`)
 	fs.StringVar(&f.Pprof, "pprof", "", "write cpu.pprof and heap.pprof to this directory")
+	fs.StringVar(&f.HTTP, "http", "", `serve live introspection (/metrics, /statusz, /healthz, /debug/pprof/) on this address (e.g. "127.0.0.1:6060"; ":0" picks a free port)`)
 	return f
 }
 
 // Enabled reports whether any simulator instrumentation was requested.
-// Profiling alone does not need a registry.
-func (f *Flags) Enabled() bool { return f.Metrics != "" || f.Trace != "" || f.Series != "" }
+// Profiling alone does not need a registry; a live HTTP endpoint does.
+func (f *Flags) Enabled() bool {
+	return f.Metrics != "" || f.Trace != "" || f.Series != "" || f.HTTP != ""
+}
 
 // parseSeriesSpec splits a -series value into its output path and window.
 // The window is the suffix after the last comma when that suffix parses as a
@@ -91,6 +100,7 @@ type Session struct {
 	flags      *Flags
 	series     *obs.Series
 	seriesPath string
+	http       *expose.Server
 	cpuFile    *os.File
 	closed     bool
 }
@@ -132,6 +142,22 @@ func (f *Flags) Setup() (*Session, error) {
 			if err := ensureDir(f.Metrics); err != nil {
 				return nil, fmt.Errorf("metrics: %w", err)
 			}
+		}
+		if f.HTTP != "" {
+			if s.series == nil {
+				// No -series collector, but /statusz still wants the simulated
+				// clock: install a clock-only series (its window is beyond any
+				// horizon, so it never captures a point and job SeriesPoints
+				// stay zero) purely for its high-water mark.
+				reg.SetSeries(obs.NewSeries(reg, obs.ClockOnlyWindowUS))
+			}
+			srv := expose.New(reg)
+			if err := srv.Start(f.HTTP); err != nil {
+				return nil, err
+			}
+			s.http = srv
+			// Announced on stderr so scripts can discover a ":0" port.
+			fmt.Fprintf(s.stderr(), "obsflag: live endpoints on http://%s (/metrics /statusz /healthz /debug/pprof/)\n", srv.Addr())
 		}
 		s.Reg = reg
 		// One experiment may run several simulations with the same seed
@@ -178,6 +204,25 @@ func (s *Session) Series() *obs.Series {
 	return s.series
 }
 
+// HTTP returns the live introspection server (nil unless -http was set).
+// Drivers use it to mount their own views (e.g. /campaign/status) before
+// the fleet starts.
+func (s *Session) HTTP() *expose.Server {
+	if s == nil {
+		return nil
+	}
+	return s.http
+}
+
+// HTTPAddr returns the introspection server's bound address ("" when -http
+// is unset), letting a driver report the resolved ":0" port.
+func (s *Session) HTTPAddr() string {
+	if s == nil || s.http == nil {
+		return ""
+	}
+	return s.http.Addr()
+}
+
 // ensureDir creates the parent directory of path if it is missing.
 func ensureDir(path string) error {
 	if dir := filepath.Dir(path); dir != "." {
@@ -210,6 +255,9 @@ func (s *Session) Close() error {
 			firstErr = err
 		}
 	}
+	// Stop serving before tearing down what the handlers read.
+	keep(s.http.Close())
+	s.http = nil
 	if s.Reg != nil {
 		sim.ObsProvider = nil
 		sink := s.Reg.Sink()

@@ -1,0 +1,109 @@
+package simtest
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/expose"
+)
+
+// TestLiveScrapingDoesNotPerturb is the "observer effect" gate for the
+// live control plane: it attaches the HTTP exposition server to a scenario
+// while the simulation is running, hammers /metrics and /statusz from
+// concurrent goroutines the whole time, and then requires the final metric
+// snapshot and trace to be byte-identical to the checked-in golden
+// fixtures. Under -race (CI) this also proves scraping is data-race-free
+// against the hot path.
+func TestLiveScrapingDoesNotPerturb(t *testing.T) {
+	// head-drop-recovery exercises the most machinery (fading, switches,
+	// head-drop queue, retrievals) — the scenario most worth watching live.
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "head-drop-recovery" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("head-drop-recovery scenario missing from the suite")
+	}
+
+	var scrapes atomic.Int64
+	cap := sc.RunLive(sc.Name, func(reg *obs.Registry) func() {
+		srv := expose.New(reg)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+					if rec.Code != 200 {
+						t.Errorf("GET %s: status %d", path, rec.Code)
+						return
+					}
+					if path == "/metrics" {
+						if _, err := expose.ValidateExposition(rec.Body.Bytes()); err != nil {
+							t.Errorf("mid-run exposition invalid: %v", err)
+							return
+						}
+					}
+					scrapes.Add(1)
+				}
+			}([]string{"/metrics", "/metrics", "/statusz?format=json", "/statusz"}[i])
+		}
+		return func() {
+			close(done)
+			wg.Wait()
+		}
+	})
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed while the scenario ran")
+	}
+	t.Logf("%d scrapes served during the run", scrapes.Load())
+
+	metrics, err := cap.Metrics.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics = append(metrics, '\n')
+	for _, c := range []struct {
+		path string
+		got  []byte
+	}{
+		{filepath.Join("testdata", sc.Name+".metrics.json"), metrics},
+		{filepath.Join("testdata", sc.Name+".trace.jsonl"), cap.Trace},
+	} {
+		want, err := os.ReadFile(c.path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		if !bytes.Equal(c.got, want) {
+			t.Errorf("%s: scraped run differs from golden fixture — scraping perturbed the simulation\n%s",
+				c.path, firstDiff(c.got, want))
+		}
+	}
+}
+
+// TestRunLiveNilObserver pins the delegation: Run and RunLive(nil) are the
+// same execution.
+func TestRunLiveNilObserver(t *testing.T) {
+	sc := Scenarios()[0]
+	c1 := sc.Run(sc.Name)
+	c2 := sc.RunLive(sc.Name, nil)
+	if !bytes.Equal(c1.Trace, c2.Trace) {
+		t.Error("RunLive(nil) trace differs from Run")
+	}
+}

@@ -102,7 +102,17 @@ func simRNG(seed int64) *rng.Stream { return sim.New(seed).RNG("simtest/corpus")
 // (run label = label) and returns the captured metrics and trace. It
 // temporarily installs sim.ObsProvider, so concurrent Run calls from the
 // same process would race; the harness runs scenarios sequentially.
-func (s Scenario) Run(label string) *Capture {
+func (s Scenario) Run(label string) *Capture { return s.RunLive(label, nil) }
+
+// RunLive is Run with an observer attached while the simulation executes:
+// during (if non-nil) is called with the live registry right before the
+// scenario starts and may return a stop function, which is called after
+// the run completes and before the snapshot is taken. It exists so tests
+// can point live readers — the HTTP exposition server, concurrent scrape
+// loops — at an in-flight scenario and then prove, byte-for-byte against
+// the golden fixtures, that being watched never changes what the
+// simulation produced.
+func (s Scenario) RunLive(label string, during func(reg *obs.Registry) (stop func())) *Capture {
 	reg := obs.NewRegistry()
 	var buf bytes.Buffer
 	sink := obs.NewSink(&buf)
@@ -112,7 +122,14 @@ func (s Scenario) Run(label string) *Capture {
 	sim.ObsProvider = func(int64) *obs.Registry { return reg.WithRun(label) }
 	defer func() { sim.ObsProvider = prev }()
 
+	var stop func()
+	if during != nil {
+		stop = during(reg)
+	}
 	s.run()
+	if stop != nil {
+		stop()
+	}
 	if err := sink.Flush(); err != nil {
 		panic(fmt.Sprintf("simtest: flush trace sink: %v", err))
 	}

@@ -6,11 +6,34 @@
 #   scripts/bench.sh           full run: 2s per benchmark, writes BENCH_<date>.json
 #   scripts/bench.sh smoke     CI regression smoke: enforce the scheduling
 #                              alloc ceilings and run every benchmark once
+#   scripts/bench.sh diff      quick scheduler run, compared against the newest
+#                              checked-in BENCH_*.json with `benchjson diff`;
+#                              exits nonzero on a ns/op regression beyond
+#                              BENCH_DIFF_THRESHOLD (default 0.5 — CI machines
+#                              are noisy, so the gate is advisory there)
 #
 # BENCH_DATE overrides the date stamp (useful for reproducible artifacts).
 # POSIX sh; depends only on the Go toolchain.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "diff" ]; then
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+    if [ -z "$baseline" ]; then
+        echo "bench.sh diff: no BENCH_*.json baseline checked in" >&2
+        exit 2
+    fi
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    # Short scheduler-only pass: the micro-benchmarks settle fast enough for
+    # a trend signal; the end-to-end benchmarks need the full 2s run.
+    go test -bench . -benchmem -benchtime 0.3s -run '^$' \
+        ./internal/sim ./internal/sim/rng >"$tmp/sim.txt"
+    go run ./cmd/benchjson -date "$(date +%F)" -o "$tmp/current.json" sim="$tmp/sim.txt"
+    go run ./cmd/benchjson diff -threshold "${BENCH_DIFF_THRESHOLD:-0.5}" \
+        "$baseline" "$tmp/current.json"
+    exit $?
+fi
 
 if [ "${1:-}" = "smoke" ]; then
     # The alloc-ceiling test is the hard regression gate: scheduling hot

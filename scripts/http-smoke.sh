@@ -1,0 +1,82 @@
+#!/bin/sh
+# http-smoke.sh — end-to-end check of the live control plane: launch a real
+# campaign fleet with -http, scrape /healthz, /metrics, and /campaign/status
+# while the fleet is running, and validate the exposition with the in-repo
+# promcheck (no external promtool needed). CI runs this on every push.
+#
+# The campaign binds 127.0.0.1:0 and announces the picked port on stderr
+# ("obsflag: live endpoints on http://ADDR ..."); the script parses that
+# line, so it also exercises the announce contract scripts are told to rely
+# on in docs/OBSERVABILITY.md.
+#
+# POSIX sh; depends only on the Go toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+campaign_pid=""
+cleanup() {
+    [ -n "$campaign_pid" ] && kill "$campaign_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# Prebuild so the scrape window starts when the process does, not after an
+# in-band compile.
+go build -o "$tmp/campaign" ./cmd/campaign
+go build -o "$tmp/promcheck" ./cmd/promcheck
+
+# Two full-size figure fleets give a multi-second window; -no-cache keeps
+# the window open on warm CI caches.
+"$tmp/campaign" -jobs fig2a,fig2b -no-cache -quiet -workers 2 \
+    -cache "$tmp/cache" -http 127.0.0.1:0 >"$tmp/stdout" 2>"$tmp/stderr" &
+campaign_pid=$!
+
+# Wait for the announce line and extract the bound address.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#^obsflag: live endpoints on http://\([^ ]*\).*#\1#p' "$tmp/stderr")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$campaign_pid" 2>/dev/null; then
+        echo "http-smoke: campaign exited before announcing its endpoint" >&2
+        cat "$tmp/stderr" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "http-smoke: no announce line within 10s" >&2
+    cat "$tmp/stderr" >&2
+    exit 1
+fi
+echo "http-smoke: scraping http://$addr"
+
+# Mid-run scrapes. promcheck retries cover the race between the announce
+# and the listener accepting.
+"$tmp/promcheck" -retry 20 -interval 100ms -expect-body ok "http://$addr/healthz"
+"$tmp/promcheck" -retry 5 -interval 100ms "http://$addr/metrics"
+
+# The fleet view must be served and carry its schema marker.
+status=$(curl -fsS --max-time 5 "http://$addr/campaign/status" 2>/dev/null) || {
+    echo "http-smoke: GET /campaign/status failed" >&2
+    exit 1
+}
+case "$status" in
+*campaign-status-v1*) ;;
+*)
+    echo "http-smoke: /campaign/status missing schema marker:" >&2
+    echo "$status" >&2
+    exit 1
+    ;;
+esac
+
+# The fleet itself must finish cleanly with the scrapers attached.
+if ! wait "$campaign_pid"; then
+    echo "http-smoke: campaign exited nonzero" >&2
+    cat "$tmp/stderr" >&2
+    exit 1
+fi
+campaign_pid=""
+echo "http-smoke: ok"
