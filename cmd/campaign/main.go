@@ -9,6 +9,13 @@
 //	         [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]]
 //	         [-pprof DIR] [-http ADDR]
 //	campaign watch [-interval D] [-once] [-no-clear] ADDR
+//	campaign sweep [-local N] [-parallel N] [-batch N] [-ttl D]
+//	         [-cache DIR] [-no-cache] [-summary FILE] [-json] [-quiet]
+//	         [-http ADDR] SPEC.json
+//	campaign sweep expand [-n N] SPEC.json
+//	campaign worker -connect ADDR [-name NAME] [-parallel N] [-batch N]
+//	         [-cache DIR] [-no-cache] [-quiet]
+//	campaign cache stat|gc [-cache DIR] [-max-age D] [-max-bytes N]
 //
 // Every experiment registered in exp.Registry() is a job addressed by
 // (id, seed, n, config hash). Completed jobs persist their results under
@@ -23,6 +30,12 @@
 // set the driver additionally serves the live fleet view at
 // /campaign/status, which `campaign watch ADDR` renders as a refreshing
 // terminal table.
+//
+// The sweep subcommands drive the fleet sweep engine (internal/sweep, see
+// docs/FLEET.md): `sweep` runs a declarative grid spec to a merged
+// sketch-backed summary, `sweep expand` previews the lazy job stream,
+// `worker` joins a remote coordinator's sweep over its control plane, and
+// `cache` inspects or prunes the shared content-addressed result cache.
 package main
 
 import (
@@ -41,8 +54,17 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
-	if len(os.Args) > 1 && os.Args[1] == "watch" {
-		return runWatch(os.Args[2:], os.Stdout, os.Stderr)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "watch":
+			return runWatch(os.Args[2:], os.Stdout, os.Stderr)
+		case "sweep":
+			return runSweep(os.Args[2:], os.Stdout, os.Stderr)
+		case "worker":
+			return runWorkerCmd(os.Args[2:], os.Stdout, os.Stderr)
+		case "cache":
+			return runCacheCmd(os.Args[2:], os.Stdout, os.Stderr)
+		}
 	}
 	jobsSel := flag.String("jobs", "all", "fleet selector: all, a kind (table, figure, scaling, ablation, extension, calibration), or a comma-separated id list")
 	seed := flag.Int64("seed", 42, "root random seed")

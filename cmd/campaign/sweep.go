@@ -1,0 +1,314 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obsflag"
+	"repro/internal/sweep"
+)
+
+// runSweep is `campaign sweep [expand] ...`: the fleet sweep driver. The
+// plain form runs a spec to completion — in-process workers, optional HTTP
+// control plane for remote `campaign worker` processes — and prints the
+// merged Table-1-style summary. The expand form previews the job stream
+// without running anything.
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "expand" {
+		return runSweepExpand(args[1:], stdout, stderr)
+	}
+	fs := flag.NewFlagSet("campaign sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	local := fs.Int("local", 1, "in-process workers (0 = serve remote workers only, requires -http)")
+	parallel := fs.Int("parallel", 0, "job concurrency per in-process worker (0 = NumCPU)")
+	batch := fs.Int64("batch", 64, "max jobs per lease")
+	ttl := fs.Duration("ttl", 30*time.Second, "lease TTL; a worker silent this long forfeits its span")
+	cacheDir := fs.String("cache", campaign.DefaultCacheDir, "shared result cache directory")
+	noCache := fs.Bool("no-cache", false, "bypass the result cache entirely")
+	summaryPath := fs.String("summary", "", "write the summary JSON to this file")
+	asJSON := fs.Bool("json", false, "print the summary as JSON instead of text")
+	quiet := fs.Bool("quiet", false, "suppress per-lease progress lines")
+	obsFlags := obsflag.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: campaign sweep [flags] SPEC.json")
+		fmt.Fprintln(stderr, "       campaign sweep expand [-n N] SPEC.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	spec, err := sweep.LoadSpec(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 2
+	}
+	if *local <= 0 && obsFlags.HTTP == "" {
+		fmt.Fprintln(stderr, "campaign: -local 0 needs -http (nobody would run the jobs)")
+		return 2
+	}
+
+	var cache *campaign.Cache
+	if !*noCache {
+		cache, err = campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+	}
+
+	sess, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	defer sess.Close()
+
+	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{Batch: *batch, TTL: *ttl})
+	if srv := sess.HTTP(); srv != nil {
+		coord.Routes(srv)
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "sweep %q: %d cells × %d seeds = %d jobs (spec %s)\n",
+			spec.Name, spec.CellCount(), spec.Seeds.Count, spec.Total(), spec.Hash())
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = stderr
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, *local)
+	for w := 0; w < *local; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			_, errs[n] = sweep.RunWorker(sweep.LocalTransport{C: coord},
+				&sweep.Runner{Cache: cache},
+				sweep.WorkerOptions{
+					Name:     fmt.Sprintf("local%d", n),
+					Parallel: *parallel,
+					Progress: progress,
+				})
+		}(w)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			fmt.Fprintln(stderr, "campaign:", werr)
+			return 1
+		}
+	}
+	// With -local 0 every job runs on remote workers; block on the
+	// coordinator instead of the (empty) local pool.
+	<-coord.Finished()
+
+	sum := coord.Summary()
+	if *summaryPath != "" {
+		data, jerr := sum.JSON()
+		if jerr == nil {
+			jerr = os.WriteFile(*summaryPath, data, 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintln(stderr, "campaign: write summary:", jerr)
+			return 1
+		}
+	}
+	if *asJSON {
+		data, jerr := sum.JSON()
+		if jerr != nil {
+			fmt.Fprintln(stderr, "campaign:", jerr)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		fmt.Fprint(stdout, sum.Text())
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	if sum.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSweepExpand is `campaign sweep expand`: count a spec's job stream and
+// preview its first jobs without running anything. The stream is lazy, so
+// this is instant even for a million-job spec.
+func runSweepExpand(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign sweep expand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int64("n", 0, "also list the first N jobs (0 = just the count)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: campaign sweep expand [-n N] SPEC.json")
+		return 2
+	}
+	spec, err := sweep.LoadSpec(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "sweep %q (spec %s): %d cells × %d seeds = %d jobs\n",
+		spec.Name, spec.Hash(), spec.CellCount(), spec.Seeds.Count, spec.Total())
+	limit := *n
+	if limit > spec.Total() {
+		limit = spec.Total()
+	}
+	for i := int64(0); i < limit; i++ {
+		j, err := spec.JobAt(i)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%8d  %-32s seed %-8d key %s\n", j.Index, j.CellKey(), j.Seed, j.Key())
+	}
+	return 0
+}
+
+// runWorkerCmd is `campaign worker -connect ADDR`: one sharded sweep worker.
+// It pulls job leases from a coordinator's control plane, runs them through
+// the shared cache, and reports merged sketches until the sweep completes.
+func runWorkerCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	connect := fs.String("connect", "", "coordinator address (host:port or http://host:port) — required")
+	name := fs.String("name", "", "worker name in the fleet view (default host:pid)")
+	parallel := fs.Int("parallel", 0, "job concurrency (0 = NumCPU)")
+	batch := fs.Int64("batch", 0, "max jobs per lease (0 = coordinator's cap)")
+	cacheDir := fs.String("cache", campaign.DefaultCacheDir, "shared result cache directory")
+	noCache := fs.Bool("no-cache", false, "bypass the result cache entirely")
+	quiet := fs.Bool("quiet", false, "suppress per-lease progress lines")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: campaign worker -connect ADDR [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *connect == "" || fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	var cache *campaign.Cache
+	if !*noCache {
+		var err error
+		cache, err = campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = stderr
+	}
+	stats, err := sweep.RunWorker(sweep.NewHTTPTransport(*connect),
+		&sweep.Runner{Cache: cache},
+		sweep.WorkerOptions{Name: *name, Parallel: *parallel, Batch: *batch, Progress: progress})
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: sweep done — %d leases, %d jobs (%d executed, %d cached, %d failed, %d expired)\n",
+		*name, stats.Leases, stats.Jobs, stats.Executed, stats.Cached, stats.Failed, stats.Ignored)
+	if stats.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCacheCmd is `campaign cache stat|gc`: inspect and prune the shared
+// content-addressed result cache.
+func runCacheCmd(args []string, stdout, stderr io.Writer) int {
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: campaign cache stat [-cache DIR]")
+		fmt.Fprintln(stderr, "       campaign cache gc [-cache DIR] [-max-age D] [-max-bytes N]")
+	}
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("campaign cache "+sub, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cacheDir := fs.String("cache", campaign.DefaultCacheDir, "result cache directory")
+	maxAge := fs.Duration("max-age", 0, "gc: drop entries older than this (0 = no age rule)")
+	maxBytes := fs.Int64("max-bytes", 0, "gc: then drop oldest entries until the cache fits this budget (0 = no size rule)")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		usage()
+		return 2
+	}
+	cache, err := campaign.OpenCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	switch sub {
+	case "stat":
+		st, err := cache.Stat()
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cache %s: %d entries, %s\n", st.Dir, st.Entries, fmtBytes(st.Bytes))
+		if st.Entries > 0 {
+			fmt.Fprintf(stdout, "oldest %s, newest %s\n",
+				(time.Duration(st.OldestAgeMS) * time.Millisecond).Round(time.Second),
+				(time.Duration(st.NewestAgeMS) * time.Millisecond).Round(time.Second))
+		}
+		return 0
+	case "gc":
+		if *maxAge == 0 && *maxBytes == 0 {
+			fmt.Fprintln(stderr, "campaign: gc needs -max-age and/or -max-bytes (refusing to guess)")
+			return 2
+		}
+		res, err := cache.GC(*maxAge, *maxBytes)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "gc %s: removed %d entries (%s), kept %d (%s)\n",
+			cache.Dir(), res.Removed, fmtBytes(res.RemovedBytes), res.Kept, fmtBytes(res.KeptBytes))
+		return 0
+	default:
+		usage()
+		return 2
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// writeSpec drops a sweep spec file into a temp dir.
+func writeSpec(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tinySpec is small enough to run real simulator calls in a unit test:
+// 1 cell × 2 seeds of a 5-second call.
+const tinySpec = `{"name":"tiny","seeds":{"start":7,"count":2},"duration_s":5,
+	"impairments":["weak-link"],"device_classes":["pc"],"ap_densities":["typical"]}`
+
+func TestSweepExpandPreview(t *testing.T) {
+	path := writeSpec(t, `{"name":"preview","seeds":{"count":1000000}}`)
+	var out, errOut bytes.Buffer
+	if code := runSweep([]string{"expand", "-n", "3", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "30 cells × 1000000 seeds = 30000000 jobs") {
+		t.Errorf("missing count line:\n%s", text)
+	}
+	if got := strings.Count(text, "key "); got != 3 {
+		t.Errorf("previewed %d jobs, want 3:\n%s", got, text)
+	}
+}
+
+func TestSweepExpandRejectsBadSpec(t *testing.T) {
+	path := writeSpec(t, `{"name":"bad","seeds":{"count":1},"impairments":["warp"]}`)
+	var out, errOut bytes.Buffer
+	if code := runSweep([]string{"expand", path}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown impairment") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+var fingerprintRe = regexp.MustCompile(`fingerprint ([0-9a-f]{32})`)
+
+// TestSweepRunsRealJobs drives `campaign sweep` end to end on the real
+// simulator twice over a shared cache: the second run must be all cache
+// hits and report the identical fingerprint.
+func TestSweepRunsRealJobs(t *testing.T) {
+	spec := writeSpec(t, tinySpec)
+	cache := filepath.Join(t.TempDir(), "cache")
+
+	var out1, err1 bytes.Buffer
+	if code := runSweep([]string{"-cache", cache, "-quiet", spec}, &out1, &err1); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, err1.String())
+	}
+	text := out1.String()
+	if !strings.Contains(text, "Fleet sweep") || !strings.Contains(text, "weak-link") {
+		t.Errorf("summary:\n%s", text)
+	}
+	fp1 := fingerprintRe.FindStringSubmatch(text)
+	if fp1 == nil {
+		t.Fatalf("no fingerprint line:\n%s", text)
+	}
+
+	sumPath := filepath.Join(t.TempDir(), "sum.json")
+	var out2, err2 bytes.Buffer
+	if code := runSweep([]string{"-cache", cache, "-quiet", "-json", "-summary", sumPath, spec}, &out2, &err2); code != 0 {
+		t.Fatalf("second run exit %d, stderr %q", code, err2.String())
+	}
+	var sum sweep.Summary
+	if err := json.Unmarshal(out2.Bytes(), &sum); err != nil {
+		t.Fatalf("-json output: %v", err)
+	}
+	if sum.Schema != sweep.SummarySchema {
+		t.Errorf("schema %q", sum.Schema)
+	}
+	if sum.Fingerprint != fp1[1] {
+		t.Errorf("warm fingerprint %s != cold %s", sum.Fingerprint, fp1[1])
+	}
+	if sum.Cached != 2 || sum.Executed != 0 {
+		t.Errorf("warm run executed=%d cached=%d, want all cached", sum.Executed, sum.Cached)
+	}
+	if _, err := os.Stat(sumPath); err != nil {
+		t.Errorf("-summary file: %v", err)
+	}
+}
+
+func TestSweepUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runSweep(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestSweepServeOnlyNeedsHTTP(t *testing.T) {
+	spec := writeSpec(t, tinySpec)
+	var out, errOut bytes.Buffer
+	if code := runSweep([]string{"-local", "0", spec}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-http") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestWorkerCmdUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runWorkerCmd(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-connect") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestCacheStatAndGC(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	cache, err := campaign.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cache.StoreRaw(strings.Repeat("ab", 8)+string(rune('a'+i)), bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out, errOut bytes.Buffer
+	if code := runCacheCmd([]string{"stat", "-cache", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("stat exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "5 entries") {
+		t.Errorf("stat output: %q", out.String())
+	}
+
+	// gc with no rules must refuse.
+	out.Reset()
+	errOut.Reset()
+	if code := runCacheCmd([]string{"gc", "-cache", dir}, &out, &errOut); code != 2 {
+		t.Fatalf("ruleless gc exit %d", code)
+	}
+
+	// Size-rule gc drops oldest entries down to the budget.
+	out.Reset()
+	errOut.Reset()
+	if code := runCacheCmd([]string{"gc", "-cache", dir, "-max-bytes", "250"}, &out, &errOut); code != 0 {
+		t.Fatalf("gc exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "removed 3") || !strings.Contains(out.String(), "kept 2") {
+		t.Errorf("gc output: %q", out.String())
+	}
+
+	st, err := cache.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Bytes != 200 {
+		t.Errorf("after gc: %d entries, %d bytes", st.Entries, st.Bytes)
+	}
+}
+
+func TestCacheCmdUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runCacheCmd(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if code := runCacheCmd([]string{"defrag"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown subcommand exit %d", code)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -90,4 +92,134 @@ func (c *Cache) Len() int {
 		}
 	}
 	return n
+}
+
+// LoadRaw returns the raw bytes cached under key, or ok=false on a miss.
+// Raw entries share the directory and key space with Result entries; the
+// caller owns the encoding (the sweep engine stores per-job metric records
+// this way, so sweep workers share one content-addressed cache).
+func (c *Cache) LoadRaw(key string) ([]byte, bool) {
+	data, err := os.ReadFile(c.Path(key))
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// StoreRaw persists raw bytes under key atomically (temp file + rename,
+// like Store).
+func (c *Cache) StoreRaw(key string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.Path(key))
+}
+
+// RemoveRaw deletes the entry stored under key (missing entries are fine).
+func (c *Cache) RemoveRaw(key string) { os.Remove(c.Path(key)) }
+
+// CacheStat summarizes a cache directory for `campaign cache stat`.
+type CacheStat struct {
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	// OldestAgeMS / NewestAgeMS are entry ages relative to now (0 when
+	// the cache is empty).
+	OldestAgeMS int64 `json:"oldest_age_ms"`
+	NewestAgeMS int64 `json:"newest_age_ms"`
+}
+
+// Stat scans the cache and reports entry count, total bytes, and age range.
+func (c *Cache) Stat() (CacheStat, error) {
+	st := CacheStat{Dir: c.dir}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return st, err
+	}
+	now := time.Now()
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+		age := now.Sub(info.ModTime()).Milliseconds()
+		if age > st.OldestAgeMS {
+			st.OldestAgeMS = age
+		}
+		if st.Entries == 1 || age < st.NewestAgeMS {
+			st.NewestAgeMS = age
+		}
+	}
+	return st, nil
+}
+
+// GCResult reports what a GC pass removed and what remains.
+type GCResult struct {
+	Removed      int   `json:"removed"`
+	RemovedBytes int64 `json:"removed_bytes"`
+	Kept         int   `json:"kept"`
+	KeptBytes    int64 `json:"kept_bytes"`
+}
+
+// GC prunes the cache: every entry older than maxAge goes (maxAge <= 0
+// disables the age rule), then oldest-first until the remainder fits in
+// maxBytes (maxBytes <= 0 disables the size rule). Unbounded cache growth
+// is what kills overnight sweeps, so this is wired into `campaign cache
+// gc`. Removal errors are ignored per entry — a locked file costs one
+// retry on the next pass, not the whole sweep.
+func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
+	var res GCResult
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return res, err
+	}
+	type entry struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var all []entry
+	var total int64
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, entry{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mod.Before(all[j].mod) })
+	cutoff := time.Now().Add(-maxAge)
+	for _, e := range all {
+		evict := (maxAge > 0 && e.mod.Before(cutoff)) || (maxBytes > 0 && total > maxBytes)
+		if evict {
+			if err := os.Remove(filepath.Join(c.dir, e.name)); err == nil {
+				res.Removed++
+				res.RemovedBytes += e.size
+				total -= e.size
+				continue
+			}
+		}
+		res.Kept++
+		res.KeptBytes += e.size
+	}
+	return res, nil
 }

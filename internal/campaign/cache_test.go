@@ -3,6 +3,7 @@ package campaign
 import (
 	"os"
 	"testing"
+	"time"
 )
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -45,5 +46,131 @@ func TestCacheMissAndCorruption(t *testing.T) {
 	}
 	if _, err := os.Stat(c.Path("bad")); !os.IsNotExist(err) {
 		t.Fatal("corrupt entry not removed")
+	}
+}
+
+func TestCacheRawRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadRaw("absent"); ok {
+		t.Fatal("raw miss reported as hit")
+	}
+	if err := c.StoreRaw("r1", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c.LoadRaw("r1")
+	if !ok || string(data) != `{"v":1}` {
+		t.Fatalf("raw round-trip: ok=%v data=%q", ok, data)
+	}
+	c.RemoveRaw("r1")
+	if _, ok := c.LoadRaw("r1"); ok {
+		t.Fatal("removed entry still loads")
+	}
+	c.RemoveRaw("r1") // removing a missing entry is fine
+}
+
+func TestCacheStat(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("empty cache stat: %+v", st)
+	}
+	if err := c.StoreRaw("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreRaw("b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Bytes != 150 {
+		t.Fatalf("stat after stores: %+v", st)
+	}
+	if st.OldestAgeMS < st.NewestAgeMS {
+		t.Errorf("age range inverted: oldest %dms < newest %dms", st.OldestAgeMS, st.NewestAgeMS)
+	}
+}
+
+func TestCacheGCByAge(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"old1", "old2", "new1"} {
+		if err := c.StoreRaw(k, make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate two entries past the age cutoff.
+	past := time.Now().Add(-2 * time.Hour)
+	for _, k := range []string{"old1", "old2"} {
+		if err := os.Chtimes(c.Path(k), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.GC(time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 || res.Kept != 1 || res.RemovedBytes != 20 {
+		t.Fatalf("age gc: %+v", res)
+	}
+	if _, ok := c.LoadRaw("new1"); !ok {
+		t.Error("age gc removed a fresh entry")
+	}
+}
+
+func TestCacheGCBySize(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four entries, oldest first by explicit mtimes so eviction order is
+	// deterministic regardless of write speed.
+	now := time.Now()
+	for i, k := range []string{"e0", "e1", "e2", "e3"} {
+		if err := c.StoreRaw(k, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		mt := now.Add(time.Duration(i-4) * time.Minute)
+		if err := os.Chtimes(c.Path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.GC(0, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 || res.Kept != 2 {
+		t.Fatalf("size gc: %+v", res)
+	}
+	// Oldest-first: e0 and e1 go, e2 and e3 stay.
+	for _, k := range []string{"e0", "e1"} {
+		if _, ok := c.LoadRaw(k); ok {
+			t.Errorf("size gc kept old entry %s", k)
+		}
+	}
+	for _, k := range []string{"e2", "e3"} {
+		if _, ok := c.LoadRaw(k); !ok {
+			t.Errorf("size gc evicted new entry %s", k)
+		}
+	}
+	// A second pass under the same budget is a no-op.
+	res, err = c.GC(0, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 0 || res.Kept != 2 {
+		t.Fatalf("idempotent gc: %+v", res)
 	}
 }

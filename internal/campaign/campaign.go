@@ -180,8 +180,16 @@ func Run(opts Options) *Summary {
 		done++
 		if opts.Progress != nil {
 			elapsed := time.Since(start)
-			rate := float64(done) / elapsed.Seconds()
-			eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+			// Guard the first-job case: a sub-resolution elapsed would make
+			// rate Inf and the ETA NaN (which Duration renders as garbage).
+			rate := 0.0
+			if secs := elapsed.Seconds(); secs > 0 {
+				rate = float64(done) / secs
+			}
+			eta := time.Duration(0)
+			if rate > 0 {
+				eta = time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+			}
 			fmt.Fprintf(opts.Progress, "[%*d/%d] %-24s %-7s %8s  %5.2f jobs/s  eta %s\n",
 				len(fmt.Sprint(total)), done, total, j.ID, rec.Status,
 				time.Duration(rec.ElapsedMS*int64(time.Millisecond)).Round(time.Millisecond),

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sketch"
 	"repro/internal/stats"
 )
 
@@ -37,7 +38,10 @@ type Status struct {
 	start    time.Time
 	active   map[string]ActiveJob // by job key
 	recent   []JobRecord          // most recent first, capped
-	elapsed  []float64            // finished non-cached job wall clocks (ms)
+	// elapsed sketches finished non-cached job wall clocks (ms). A digest
+	// instead of a raw slice keeps the tracker's memory O(compression)
+	// however many jobs a fleet runs (see internal/sketch).
+	elapsed *sketch.Digest
 }
 
 // ActiveJob is one in-flight job in a StatusSnapshot.
@@ -74,10 +78,26 @@ type StatusSnapshot struct {
 	// far; -1 before the first job finishes.
 	ETAMS int64 `json:"eta_ms"`
 	// Per-job wall-clock percentiles over finished non-cached jobs (zero
-	// until one finishes), mirroring the summary fields.
-	ElapsedP50MS int64 `json:"elapsed_p50_ms"`
-	ElapsedP95MS int64 `json:"elapsed_p95_ms"`
-	ElapsedP99MS int64 `json:"elapsed_p99_ms"`
+	// until one finishes), mirroring the summary fields. Sketch-backed
+	// (relative error ≤ 1 %), so they stay cheap at fleet scale.
+	ElapsedP50MS  int64 `json:"elapsed_p50_ms"`
+	ElapsedP95MS  int64 `json:"elapsed_p95_ms"`
+	ElapsedP99MS  int64 `json:"elapsed_p99_ms"`
+	ElapsedP999MS int64 `json:"elapsed_p999_ms,omitempty"`
+
+	// Fleet is the per-worker view of a sharded sweep (empty for
+	// single-process campaigns): lease counts, completed jobs, and
+	// liveness derived from heartbeat recency.
+	Fleet []WorkerStatus `json:"fleet,omitempty"`
+}
+
+// WorkerStatus is one sweep worker's row in the fleet view.
+type WorkerStatus struct {
+	Name       string `json:"name"`
+	JobsDone   int64  `json:"jobs_done"`
+	Leases     int    `json:"active_leases"`
+	LastSeenMS int64  `json:"last_seen_ms"`
+	Alive      bool   `json:"alive"`
 }
 
 // recentCap bounds the finished-job ring the snapshot reports.
@@ -86,7 +106,7 @@ const recentCap = 16
 // NewStatus returns an empty tracker, ready to hand to Options.Status and
 // to mount on an introspection server.
 func NewStatus() *Status {
-	return &Status{active: map[string]ActiveJob{}}
+	return &Status{active: map[string]ActiveJob{}, elapsed: sketch.New()}
 }
 
 // begin marks the start of a Run over total jobs on the given worker count.
@@ -102,7 +122,7 @@ func (st *Status) begin(total, workers int) {
 	st.start = time.Now()
 	st.active = map[string]ActiveJob{}
 	st.recent = nil
-	st.elapsed = nil
+	st.elapsed = sketch.New()
 	st.mu.Unlock()
 }
 
@@ -144,7 +164,7 @@ func (st *Status) jobFinished(rec JobRecord) {
 		st.failed++
 	}
 	if rec.Status != StatusCached {
-		st.elapsed = append(st.elapsed, float64(rec.ElapsedMS))
+		st.elapsed.Add(float64(rec.ElapsedMS))
 	}
 	st.recent = append([]JobRecord{rec}, st.recent...)
 	if len(st.recent) > recentCap {
@@ -201,13 +221,19 @@ func (st *Status) Snapshot() *StatusSnapshot {
 	snap.Recent = append(snap.Recent, st.recent...)
 	if secs := float64(snap.ElapsedMS) / 1000; secs > 0 && st.done > 0 {
 		snap.JobsPerSec = float64(st.done) / secs
-		snap.ETAMS = int64(float64(st.total-st.done) / snap.JobsPerSec * 1000)
+		// Remaining is never negative even if done overshoots total (a
+		// driver bug would otherwise surface here as a negative ETA).
+		if remaining := st.total - st.done; remaining > 0 && snap.JobsPerSec > 0 {
+			snap.ETAMS = int64(float64(remaining) / snap.JobsPerSec * 1000)
+		} else {
+			snap.ETAMS = 0
+		}
 	}
-	if len(st.elapsed) > 0 {
-		xs := append([]float64(nil), st.elapsed...)
-		snap.ElapsedP50MS = int64(stats.Percentile(xs, 50))
-		snap.ElapsedP95MS = int64(stats.Percentile(xs, 95))
-		snap.ElapsedP99MS = int64(stats.Percentile(xs, 99))
+	if st.elapsed != nil && st.elapsed.Count() > 0 {
+		snap.ElapsedP50MS = int64(st.elapsed.Quantile(0.50))
+		snap.ElapsedP95MS = int64(st.elapsed.Quantile(0.95))
+		snap.ElapsedP99MS = int64(st.elapsed.Quantile(0.99))
+		snap.ElapsedP999MS = int64(st.elapsed.Quantile(0.999))
 	}
 	return snap
 }
@@ -245,10 +271,22 @@ func (snap *StatusSnapshot) Text() string {
 	}
 	t.AddRow("eta", eta)
 	if snap.Executed+snap.Failed > 0 {
-		t.AddRow("job elapsed p50/p95/p99", fmt.Sprintf("%dms / %dms / %dms",
-			snap.ElapsedP50MS, snap.ElapsedP95MS, snap.ElapsedP99MS))
+		t.AddRow("job elapsed p50/p95/p99/p999", fmt.Sprintf("%dms / %dms / %dms / %dms",
+			snap.ElapsedP50MS, snap.ElapsedP95MS, snap.ElapsedP99MS, snap.ElapsedP999MS))
 	}
 	out := t.String()
+	if len(snap.Fleet) > 0 {
+		f := stats.NewTable("Fleet workers", "worker", "jobs done", "leases", "last seen", "state")
+		for _, w := range snap.Fleet {
+			state := "alive"
+			if !w.Alive {
+				state = "DEAD"
+			}
+			f.AddRow(w.Name, fmt.Sprintf("%d", w.JobsDone), fmt.Sprintf("%d", w.Leases),
+				(time.Duration(w.LastSeenMS)*time.Millisecond).Round(time.Millisecond).String()+" ago", state)
+		}
+		out += "\n" + f.String()
+	}
 	if len(snap.Active) > 0 {
 		a := stats.NewTable("Active jobs", "job", "seed", "n", "running for")
 		for _, j := range snap.Active {

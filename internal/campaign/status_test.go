@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -145,5 +146,92 @@ func TestStatusSnapshotText(t *testing.T) {
 	empty := (&StatusSnapshot{Schema: StatusSchema, ETAMS: -1}).Text()
 	if !strings.Contains(empty, "(no jobs)") || !strings.Contains(empty, "n/a") {
 		t.Errorf("empty snapshot text:\n%s", empty)
+	}
+}
+
+// TestStatusEmptyFleetEdges pins the divide-by-zero edges: a zero-job
+// fleet and a fleet with nothing completed yet must produce finite
+// throughput numbers (JSON encoding rejects NaN/Inf outright) and the
+// "don't know" ETA sentinel, not garbage.
+func TestStatusEmptyFleetEdges(t *testing.T) {
+	st := NewStatus()
+	st.begin(0, 4)
+	snap := st.Snapshot()
+	if snap.ETAMS != -1 {
+		t.Errorf("empty fleet ETA = %d, want -1", snap.ETAMS)
+	}
+	if snap.JobsPerSec != 0 {
+		t.Errorf("empty fleet jobs/sec = %f", snap.JobsPerSec)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not JSON-encodable (NaN/Inf leak): %v", err)
+	}
+	if !strings.Contains(snap.Text(), "(no jobs)") {
+		t.Error("zero-total progress bar missing placeholder")
+	}
+
+	// In-flight fleet, zero completed: rate unknown, ETA unknown.
+	st2 := NewStatus()
+	st2.begin(10, 2)
+	snap2 := st2.Snapshot()
+	if snap2.ETAMS != -1 || snap2.JobsPerSec != 0 {
+		t.Errorf("zero-completed snapshot: eta=%d rate=%f", snap2.ETAMS, snap2.JobsPerSec)
+	}
+	if snap2.ElapsedP50MS != 0 || snap2.ElapsedP999MS != 0 {
+		t.Errorf("percentiles nonzero with nothing finished: %+v", snap2)
+	}
+	if _, err := json.Marshal(snap2); err != nil {
+		t.Errorf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+// TestStatusAllCachedNoPercentiles: cache hits are excluded from the
+// elapsed sketch, so an all-cached fleet reports zero percentiles (rather
+// than near-zero noise that would read as "suspiciously fast jobs").
+func TestStatusAllCachedNoPercentiles(t *testing.T) {
+	st := NewStatus()
+	st.begin(3, 1)
+	for i := 0; i < 3; i++ {
+		st.jobFinished(JobRecord{ID: fmt.Sprintf("j%d", i), Key: fmt.Sprintf("k%d", i),
+			Status: StatusCached, ElapsedMS: 1})
+	}
+	snap := st.Snapshot()
+	if snap.ElapsedP50MS != 0 || snap.ElapsedP99MS != 0 || snap.ElapsedP999MS != 0 {
+		t.Errorf("cached-only percentiles: %+v", snap)
+	}
+	if snap.Cached != 3 || snap.Done != 3 {
+		t.Errorf("accounting: %+v", snap)
+	}
+}
+
+// TestStatusETANeverNegative: done overshooting total (a driver double-
+// report) must clamp the ETA to zero, not extrapolate a negative one.
+func TestStatusETANeverNegative(t *testing.T) {
+	st := NewStatus()
+	st.begin(1, 1)
+	st.jobFinished(JobRecord{ID: "a", Key: "ka", Status: StatusOK, ElapsedMS: 5})
+	st.jobFinished(JobRecord{ID: "b", Key: "kb", Status: StatusOK, ElapsedMS: 5})
+	time.Sleep(2 * time.Millisecond) // give the run a measurable wall clock
+	snap := st.Snapshot()
+	if snap.ETAMS != 0 {
+		t.Errorf("overshoot ETA = %d, want 0", snap.ETAMS)
+	}
+}
+
+// TestStatusTextFleet renders the per-worker table for sharded sweeps.
+func TestStatusTextFleet(t *testing.T) {
+	snap := &StatusSnapshot{
+		Schema: StatusSchema, Running: true, Total: 100, Done: 40,
+		Executed: 40, ElapsedP50MS: 10, ElapsedP95MS: 20, ElapsedP99MS: 30, ElapsedP999MS: 40,
+		Fleet: []WorkerStatus{
+			{Name: "w0", JobsDone: 30, Leases: 1, LastSeenMS: 100, Alive: true},
+			{Name: "w1", JobsDone: 10, Leases: 0, LastSeenMS: 90000, Alive: false},
+		},
+	}
+	text := snap.Text()
+	for _, want := range []string{"Fleet workers", "w0", "w1", "DEAD", "alive", "p999", "40ms"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet text missing %q:\n%s", want, text)
+		}
 	}
 }

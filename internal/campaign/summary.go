@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/sketch"
 	"repro/internal/stats"
 )
 
@@ -51,9 +52,12 @@ type Summary struct {
 	JobsPerSec float64 `json:"jobs_per_sec"`
 	// Per-job wall-clock percentiles over executed (non-cached) jobs, for
 	// spotting stragglers in large fleets. Zero when nothing executed.
-	ElapsedP50MS int64 `json:"elapsed_p50_ms"`
-	ElapsedP95MS int64 `json:"elapsed_p95_ms"`
-	ElapsedP99MS int64 `json:"elapsed_p99_ms"`
+	// Sketch-derived (relative error ≤ 1 %, see internal/sketch); p999 is
+	// add-only so existing consumers of the v1 schema keep working.
+	ElapsedP50MS  int64 `json:"elapsed_p50_ms"`
+	ElapsedP95MS  int64 `json:"elapsed_p95_ms"`
+	ElapsedP99MS  int64 `json:"elapsed_p99_ms"`
+	ElapsedP999MS int64 `json:"elapsed_p999_ms,omitempty"`
 	// SeriesPoints totals the per-job series-window counts (telemetry,
 	// excluded from the determinism contract; zero when -series is off).
 	SeriesPoints int64 `json:"series_points,omitempty"`
@@ -63,18 +67,19 @@ type Summary struct {
 // job records (executed and failed jobs only — cache hits are near-instant
 // and would drown the signal).
 func (s *Summary) fillElapsedPercentiles() {
-	var xs []float64
+	d := sketch.New()
 	for _, r := range s.Jobs {
 		if r.Status != StatusCached {
-			xs = append(xs, float64(r.ElapsedMS))
+			d.Add(float64(r.ElapsedMS))
 		}
 	}
-	if len(xs) == 0 {
+	if d.Count() == 0 {
 		return
 	}
-	s.ElapsedP50MS = int64(stats.Percentile(xs, 50))
-	s.ElapsedP95MS = int64(stats.Percentile(xs, 95))
-	s.ElapsedP99MS = int64(stats.Percentile(xs, 99))
+	s.ElapsedP50MS = int64(d.Quantile(0.50))
+	s.ElapsedP95MS = int64(d.Quantile(0.95))
+	s.ElapsedP99MS = int64(d.Quantile(0.99))
+	s.ElapsedP999MS = int64(d.Quantile(0.999))
 }
 
 // Total returns the fleet size.
@@ -113,8 +118,8 @@ func (s *Summary) Text() string {
 		s.Total(), s.Executed, s.Cached, s.Failed,
 		float64(s.ElapsedMS)/1000, s.JobsPerSec, s.Workers)
 	if s.Executed+s.Failed > 0 {
-		fmt.Fprintf(&b, "per-job elapsed: p50 %dms, p95 %dms, p99 %dms\n",
-			s.ElapsedP50MS, s.ElapsedP95MS, s.ElapsedP99MS)
+		fmt.Fprintf(&b, "per-job elapsed: p50 %dms, p95 %dms, p99 %dms, p999 %dms\n",
+			s.ElapsedP50MS, s.ElapsedP95MS, s.ElapsedP99MS, s.ElapsedP999MS)
 	}
 	if s.SeriesPoints > 0 {
 		fmt.Fprintf(&b, "series: %d windows captured across the fleet\n", s.SeriesPoints)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/expose"
@@ -65,6 +66,15 @@ func TestLiveScrapingDoesNotPerturb(t *testing.T) {
 			}([]string{"/metrics", "/metrics", "/statusz?format=json", "/statusz"}[i])
 		}
 		return func() {
+			// The simulator hot path is now fast enough that a short
+			// scenario can finish before any scrape completes. Hold the
+			// scrapers open until at least one lands — the golden
+			// comparison below is the actual perturbation gate, this
+			// only guarantees the scrape path really executed.
+			deadline := time.Now().Add(5 * time.Second)
+			for scrapes.Load() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
 			close(done)
 			wg.Wait()
 		}

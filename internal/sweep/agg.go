@@ -1,0 +1,330 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// CellAgg is one grid cell's mergeable aggregate: counters plus one
+// quantile sketch per metric. Memory is O(sketch compression), independent
+// of how many calls the cell absorbed.
+type CellAgg struct {
+	Calls        uint64 `json:"calls"`
+	Failed       uint64 `json:"failed"`
+	StrongerPoor uint64 `json:"stronger_poor"`
+	CrossPoor    uint64 `json:"cross_poor"`
+
+	StrongerMOS   *sketch.Digest `json:"stronger_mos"`
+	CrossMOS      *sketch.Digest `json:"cross_mos"`
+	StrongerWorst *sketch.Digest `json:"stronger_worst"`
+	CrossWorst    *sketch.Digest `json:"cross_worst"`
+	Dup           *sketch.Digest `json:"dup"`
+}
+
+func newCellAgg() *CellAgg {
+	return &CellAgg{
+		StrongerMOS:   sketch.New(),
+		CrossMOS:      sketch.New(),
+		StrongerWorst: sketch.New(),
+		CrossWorst:    sketch.New(),
+		Dup:           sketch.New(),
+	}
+}
+
+func (c *CellAgg) observe(m Metrics) {
+	c.Calls++
+	if m.StrongerPoor {
+		c.StrongerPoor++
+	}
+	if m.CrossPoor {
+		c.CrossPoor++
+	}
+	c.StrongerMOS.Add(m.StrongerMOS)
+	c.CrossMOS.Add(m.CrossMOS)
+	c.StrongerWorst.Add(m.StrongerWorst)
+	c.CrossWorst.Add(m.CrossWorst)
+	c.Dup.Add(m.DupFrac)
+}
+
+func (c *CellAgg) merge(o *CellAgg) error {
+	c.Calls += o.Calls
+	c.Failed += o.Failed
+	c.StrongerPoor += o.StrongerPoor
+	c.CrossPoor += o.CrossPoor
+	for _, pair := range [][2]*sketch.Digest{
+		{c.StrongerMOS, o.StrongerMOS}, {c.CrossMOS, o.CrossMOS},
+		{c.StrongerWorst, o.StrongerWorst}, {c.CrossWorst, o.CrossWorst},
+		{c.Dup, o.Dup},
+	} {
+		if err := pair[0].Merge(pair[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buckets returns the cell's total sketch bucket count (its memory driver).
+func (c *CellAgg) buckets() int {
+	return c.StrongerMOS.Buckets() + c.CrossMOS.Buckets() +
+		c.StrongerWorst.Buckets() + c.CrossWorst.Buckets() + c.Dup.Buckets()
+}
+
+// Aggregate is a mergeable sweep aggregate: one CellAgg per touched grid
+// cell. It is NOT goroutine-safe — the worker engine serializes Observe
+// calls, and the coordinator merges whole worker reports under its lock.
+type Aggregate struct {
+	Cells map[string]*CellAgg `json:"cells"`
+	// Elapsed sketches per-job wall-clock milliseconds (telemetry: it is
+	// excluded from Fingerprint, like every timing field).
+	Elapsed *sketch.Digest `json:"elapsed"`
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{Cells: map[string]*CellAgg{}, Elapsed: sketch.New()}
+}
+
+func (a *Aggregate) cell(key string) *CellAgg {
+	c := a.Cells[key]
+	if c == nil {
+		c = newCellAgg()
+		a.Cells[key] = c
+	}
+	return c
+}
+
+// Observe folds one successful job's metrics into its cell.
+func (a *Aggregate) Observe(cellKey string, m Metrics) { a.cell(cellKey).observe(m) }
+
+// ObserveFailure counts one failed job against its cell.
+func (a *Aggregate) ObserveFailure(cellKey string) { a.cell(cellKey).Failed++ }
+
+// ObserveElapsed records one job's wall clock (telemetry).
+func (a *Aggregate) ObserveElapsed(ms float64) { a.Elapsed.Add(ms) }
+
+// Merge folds other into a. Deterministic and order-independent (sketch
+// merges are bucket-wise addition), which is what makes a sharded sweep's
+// summary equal a single-process run's.
+func (a *Aggregate) Merge(other *Aggregate) error {
+	if other == nil {
+		return nil
+	}
+	for key, oc := range other.Cells {
+		if err := a.cell(key).merge(oc); err != nil {
+			return fmt.Errorf("sweep: merge cell %s: %w", key, err)
+		}
+	}
+	if other.Elapsed != nil {
+		if err := a.Elapsed.Merge(other.Elapsed); err != nil {
+			return fmt.Errorf("sweep: merge elapsed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Jobs returns how many jobs (successful + failed) the aggregate absorbed.
+func (a *Aggregate) Jobs() int64 {
+	var n int64
+	for _, c := range a.Cells {
+		n += int64(c.Calls + c.Failed)
+	}
+	return n
+}
+
+// Footprint estimates the aggregate's memory in bytes from its sketch
+// bucket counts. The bounded-memory regression test asserts this does not
+// scale with job count.
+func (a *Aggregate) Footprint() int {
+	const perBucket = 16 // map entry: int32 key + uint64 count + overhead
+	const perCell = 256  // struct + 5 digest headers
+	n := len(a.Cells)*perCell + a.Elapsed.Buckets()*perBucket
+	for _, c := range a.Cells {
+		n += c.buckets() * perBucket
+	}
+	return n
+}
+
+// Fingerprint hashes the deterministic content: every cell's counters and
+// sketch fingerprints, in sorted cell order. Elapsed (timing telemetry) is
+// excluded.
+func (a *Aggregate) Fingerprint() string {
+	h := sha256.New()
+	keys := make([]string, 0, len(a.Cells))
+	for k := range a.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := a.Cells[k]
+		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%s|%s|%s|%s\n",
+			k, c.Calls, c.Failed, c.StrongerPoor, c.CrossPoor,
+			c.StrongerMOS.Fingerprint(), c.CrossMOS.Fingerprint(),
+			c.StrongerWorst.Fingerprint(), c.CrossWorst.Fingerprint(),
+			c.Dup.Fingerprint())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// SummarySchema versions the sweep summary JSON document.
+const SummarySchema = "sweep-summary-v1"
+
+// CellSummary is one grid cell's row in the final report.
+type CellSummary struct {
+	Cell       string `json:"cell"` // impairment/device/density
+	Impairment string `json:"impairment"`
+	Device     string `json:"device"`
+	Density    string `json:"density"`
+	Calls      uint64 `json:"calls"`
+	Failed     uint64 `json:"failed,omitempty"`
+
+	// Poor-call counts and rates (percent) for the two receivers, and
+	// their ratio (0 when cross-link PCR is zero — infinite improvement).
+	StrongerPoorCalls uint64  `json:"stronger_poor_calls"`
+	CrossPoorCalls    uint64  `json:"cross_poor_calls"`
+	StrongerPCR       float64 `json:"stronger_pcr"`
+	CrossPCR          float64 `json:"cross_pcr"`
+	Improvement       float64 `json:"improvement,omitempty"`
+
+	// Cross-link MOS quantiles from the sketch (relative error ≤ 1 %).
+	CrossMOSP50  float64 `json:"cross_mos_p50"`
+	CrossMOSP95  float64 `json:"cross_mos_p95"`
+	CrossMOSP99  float64 `json:"cross_mos_p99"`
+	CrossMOSP999 float64 `json:"cross_mos_p999"`
+	// Worst-window loss p99 for both receivers (tail badness).
+	StrongerWorstP99 float64 `json:"stronger_worst_p99"`
+	CrossWorstP99    float64 `json:"cross_worst_p99"`
+	// Mean duplication cost (fraction of packets delivered twice).
+	DupMean float64 `json:"dup_mean"`
+}
+
+// Summary is the sweep's final report. Cells, counts, and Fingerprint are
+// deterministic for a fixed spec regardless of worker topology; Executed/
+// Cached and the timing fields are telemetry.
+type Summary struct {
+	Schema      string `json:"schema"`
+	Name        string `json:"name"`
+	SpecHash    string `json:"spec_hash"`
+	Fingerprint string `json:"fingerprint"`
+
+	TotalJobs int64 `json:"total_jobs"`
+	Done      int64 `json:"done"`
+	Executed  int64 `json:"executed"`
+	Cached    int64 `json:"cached"`
+	Failed    int64 `json:"failed"`
+	Workers   int   `json:"workers"`
+
+	Cells []CellSummary `json:"cells"`
+
+	// Timing telemetry.
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	JobP50MS   float64 `json:"job_p50_ms"`
+	JobP95MS   float64 `json:"job_p95_ms"`
+	JobP99MS   float64 `json:"job_p99_ms"`
+	JobP999MS  float64 `json:"job_p999_ms"`
+}
+
+// Summarize renders an aggregate into the final report.
+func Summarize(spec *Spec, agg *Aggregate) *Summary {
+	s := &Summary{
+		Schema:      SummarySchema,
+		Name:        spec.Name,
+		SpecHash:    spec.Hash(),
+		Fingerprint: agg.Fingerprint(),
+		TotalJobs:   spec.Total(),
+	}
+	keys := make([]string, 0, len(agg.Cells))
+	for k := range agg.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := agg.Cells[k]
+		parts := strings.SplitN(k, "/", 3)
+		cs := CellSummary{
+			Cell: k, Calls: c.Calls, Failed: c.Failed,
+			StrongerPoorCalls: c.StrongerPoor,
+			CrossPoorCalls:    c.CrossPoor,
+			CrossMOSP50:       c.CrossMOS.Quantile(0.50),
+			CrossMOSP95:       c.CrossMOS.Quantile(0.95),
+			CrossMOSP99:       c.CrossMOS.Quantile(0.99),
+			CrossMOSP999:      c.CrossMOS.Quantile(0.999),
+			StrongerWorstP99:  c.StrongerWorst.Quantile(0.99),
+			CrossWorstP99:     c.CrossWorst.Quantile(0.99),
+			DupMean:           c.Dup.Mean(),
+		}
+		if len(parts) == 3 {
+			cs.Impairment, cs.Device, cs.Density = parts[0], parts[1], parts[2]
+		}
+		if c.Calls > 0 {
+			cs.StrongerPCR = 100 * float64(c.StrongerPoor) / float64(c.Calls)
+			cs.CrossPCR = 100 * float64(c.CrossPoor) / float64(c.Calls)
+			if cs.CrossPCR > 0 {
+				cs.Improvement = cs.StrongerPCR / cs.CrossPCR
+			}
+		}
+		s.Cells = append(s.Cells, cs)
+		s.Done += int64(c.Calls + c.Failed)
+		s.Failed += int64(c.Failed)
+	}
+	if agg.Elapsed.Count() > 0 {
+		s.JobP50MS = agg.Elapsed.Quantile(0.50)
+		s.JobP95MS = agg.Elapsed.Quantile(0.95)
+		s.JobP99MS = agg.Elapsed.Quantile(0.99)
+		s.JobP999MS = agg.Elapsed.Quantile(0.999)
+	}
+	return s
+}
+
+// JSON renders the summary as indented JSON.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the Table-1-style fleet report: per-cell PCR for both
+// receivers plus the sketch-backed quality tails.
+func (s *Summary) Text() string {
+	t := stats.NewTable(fmt.Sprintf("Fleet sweep %q: PCR by cell (%d/%d jobs)", s.Name, s.Done, s.TotalJobs),
+		"impairment", "device", "density", "calls",
+		"stronger PCR %", "cross PCR %", "improve",
+		"cross MOS p50/p99", "dup cost")
+	var totCalls, totSPoor, totCPoor uint64
+	for _, c := range s.Cells {
+		improve := "-"
+		if c.Improvement > 0 {
+			improve = fmt.Sprintf("%.1fx", c.Improvement)
+		} else if c.StrongerPCR > 0 && c.CrossPCR == 0 {
+			improve = "inf"
+		}
+		t.AddRow(c.Impairment, c.Device, c.Density, fmt.Sprint(c.Calls),
+			fmt.Sprintf("%.2f", c.StrongerPCR),
+			fmt.Sprintf("%.2f", c.CrossPCR),
+			improve,
+			fmt.Sprintf("%.2f / %.2f", c.CrossMOSP50, c.CrossMOSP99),
+			fmt.Sprintf("%.2f", c.DupMean))
+		totCalls += c.Calls
+		totSPoor += c.StrongerPoorCalls
+		totCPoor += c.CrossPoorCalls
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	if totCalls > 0 {
+		fmt.Fprintf(&b, "\noverall: %d calls, stronger PCR %.2f%% vs cross-link %.2f%%\n",
+			totCalls, 100*float64(totSPoor)/float64(totCalls), 100*float64(totCPoor)/float64(totCalls))
+	}
+	fmt.Fprintf(&b, "%d executed, %d cached, %d failed — %.1fs wall, %.1f jobs/s (%d workers)\n",
+		s.Executed, s.Cached, s.Failed, float64(s.ElapsedMS)/1000, s.JobsPerSec, s.Workers)
+	if s.JobP50MS > 0 || s.JobP999MS > 0 {
+		fmt.Fprintf(&b, "per-job elapsed: p50 %.1fms, p95 %.1fms, p99 %.1fms, p999 %.1fms\n",
+			s.JobP50MS, s.JobP95MS, s.JobP99MS, s.JobP999MS)
+	}
+	fmt.Fprintf(&b, "fingerprint %s (deterministic for spec %s)\n", s.Fingerprint, s.SpecHash)
+	return b.String()
+}

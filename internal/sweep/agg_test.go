@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sim/rng"
+)
+
+// synthMetrics derives deterministic fake metrics from a job, cheap enough
+// to run a 10^5-job sweep in-process.
+func synthMetrics(j Job) Metrics {
+	r := rng.New(j.Seed*7919 + int64(len(j.CellKey())))
+	sm := 2.0 + 2.5*r.Float64()
+	cm := math.Min(5, sm+0.8*r.Float64())
+	return Metrics{
+		StrongerMOS:   sm,
+		CrossMOS:      cm,
+		StrongerPoor:  sm < 3.0,
+		CrossPoor:     cm < 3.0,
+		StrongerWorst: 0.3 * r.Float64(),
+		CrossWorst:    0.1 * r.Float64(),
+		DupFrac:       0.5 + 0.4*r.Float64(),
+	}
+}
+
+func synthSpec(t *testing.T, doc string) *Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runSequential executes the whole stream single-threaded into one aggregate.
+func runSequential(t *testing.T, s *Spec, r *Runner) *Aggregate {
+	t.Helper()
+	agg := NewAggregate()
+	for i := int64(0); i < s.Total(); i++ {
+		j, err := s.JobAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := r.Do(j)
+		if err != nil {
+			agg.ObserveFailure(j.CellKey())
+			continue
+		}
+		agg.Observe(j.CellKey(), m)
+	}
+	return agg
+}
+
+// TestMergeOrderIndependent: splitting the stream into shards and merging
+// in any order must fingerprint identically to the sequential run.
+func TestMergeOrderIndependent(t *testing.T) {
+	s := synthSpec(t, `{"name":"m","seeds":{"count":40},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical","sparse"]}`)
+	r := &Runner{RunFunc: synthMetrics}
+	want := runSequential(t, s, r).Fingerprint()
+
+	// Shard into 7 interleaved pieces, merge in reverse order.
+	shards := make([]*Aggregate, 7)
+	for i := range shards {
+		shards[i] = NewAggregate()
+	}
+	for i := int64(0); i < s.Total(); i++ {
+		j, _ := s.JobAt(i)
+		m, _, _ := r.Do(j)
+		shards[i%7].Observe(j.CellKey(), m)
+	}
+	merged := NewAggregate()
+	for i := len(shards) - 1; i >= 0; i-- {
+		if err := merged.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := merged.Fingerprint(); got != want {
+		t.Errorf("sharded fingerprint %s != sequential %s", got, want)
+	}
+	if merged.Jobs() != s.Total() {
+		t.Errorf("merged %d jobs, want %d", merged.Jobs(), s.Total())
+	}
+}
+
+// TestElapsedExcludedFromFingerprint: timing is telemetry.
+func TestElapsedExcludedFromFingerprint(t *testing.T) {
+	a, b := NewAggregate(), NewAggregate()
+	m := Metrics{StrongerMOS: 3, CrossMOS: 4}
+	a.Observe("c/pc/dense", m)
+	b.Observe("c/pc/dense", m)
+	a.ObserveElapsed(12.5)
+	b.ObserveElapsed(9999)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("elapsed times leaked into the fingerprint")
+	}
+}
+
+// TestSummarizeCells checks the per-cell report math on a hand-built aggregate.
+func TestSummarizeCells(t *testing.T) {
+	s := synthSpec(t, `{"name":"sum","seeds":{"count":1},
+		"impairments":["mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	agg := NewAggregate()
+	key := "mobility/pc/typical"
+	for i := 0; i < 100; i++ {
+		agg.Observe(key, Metrics{
+			StrongerMOS:  3.5,
+			CrossMOS:     4.2,
+			StrongerPoor: i < 30, // 30% PCR
+			CrossPoor:    i < 3,  // 3% PCR
+			DupFrac:      0.5,
+		})
+	}
+	sum := Summarize(s, agg)
+	if len(sum.Cells) != 1 {
+		t.Fatalf("%d cells", len(sum.Cells))
+	}
+	c := sum.Cells[0]
+	if c.Impairment != "mobility" || c.Device != "pc" || c.Density != "typical" {
+		t.Errorf("cell parsed as %s/%s/%s", c.Impairment, c.Device, c.Density)
+	}
+	if c.StrongerPCR != 30 || c.CrossPCR != 3 {
+		t.Errorf("PCR %.1f / %.1f, want 30 / 3", c.StrongerPCR, c.CrossPCR)
+	}
+	if math.Abs(c.Improvement-10) > 1e-9 {
+		t.Errorf("improvement %.2f, want 10", c.Improvement)
+	}
+	if math.Abs(c.DupMean-0.5) > 1e-9 {
+		t.Errorf("dup mean %.3f", c.DupMean)
+	}
+	// 1% sketch error bound on a point mass at 4.2.
+	if math.Abs(c.CrossMOSP50-4.2) > 0.042 {
+		t.Errorf("cross MOS p50 %.3f", c.CrossMOSP50)
+	}
+	if sum.Done != 100 || sum.Failed != 0 {
+		t.Errorf("done/failed %d/%d", sum.Done, sum.Failed)
+	}
+	if sum.Fingerprint != agg.Fingerprint() {
+		t.Error("summary fingerprint mismatch")
+	}
+	txt := sum.Text()
+	if !strings.Contains(txt, "mobility") || !strings.Contains(txt, "10.0x") {
+		t.Errorf("Text missing expected content:\n%s", txt)
+	}
+}
+
+// TestRunnerCache: second Do of the same job must hit the shared cache, and
+// a corrupted entry must be evicted and re-executed, not trusted.
+func TestRunnerCache(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := campaign.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r := &Runner{Cache: cache, RunFunc: func(j Job) Metrics {
+		calls++
+		return synthMetrics(j)
+	}}
+	s := synthSpec(t, `{"name":"c","seeds":{"count":1},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["dense"]}`)
+	j, _ := s.JobAt(0)
+
+	m1, cached, err := r.Do(j)
+	if err != nil || cached {
+		t.Fatalf("first Do: cached=%v err=%v", cached, err)
+	}
+	m2, cached, err := r.Do(j)
+	if err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v", cached, err)
+	}
+	if m1 != m2 {
+		t.Error("cache returned different metrics")
+	}
+	if calls != 1 {
+		t.Errorf("RunFunc called %d times", calls)
+	}
+
+	if err := cache.StoreRaw(j.Key(), []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = r.Do(j)
+	if err != nil || cached {
+		t.Fatalf("corrupt entry: cached=%v err=%v", cached, err)
+	}
+	if calls != 2 {
+		t.Errorf("corrupt entry not re-executed (calls=%d)", calls)
+	}
+}
+
+// TestRunnerRecoversPanic: one pathological grid point becomes a failed
+// job, not a dead worker.
+func TestRunnerRecoversPanic(t *testing.T) {
+	r := &Runner{RunFunc: func(Job) Metrics { panic("boom") }}
+	s := synthSpec(t, `{"name":"p","seeds":{"count":1},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["dense"]}`)
+	j, _ := s.JobAt(0)
+	_, _, err := r.Do(j)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}
+
+// TestRunJobReal runs two real simulator jobs (short calls) and sanity-
+// checks the metric ranges — the only test that touches the hot path.
+func TestRunJobReal(t *testing.T) {
+	s := synthSpec(t, `{"name":"real","seeds":{"count":2},"duration_s":5,
+		"impairments":["weak-link"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	for i := int64(0); i < 2; i++ {
+		j, _ := s.JobAt(i)
+		m := RunJob(j)
+		if m.StrongerMOS < 1 || m.StrongerMOS > 5 || m.CrossMOS < 1 || m.CrossMOS > 5 {
+			t.Errorf("job %d: MOS out of range: %+v", i, m)
+		}
+		if m.DupFrac < 0 || m.DupFrac > 1 {
+			t.Errorf("job %d: dup fraction %f", i, m.DupFrac)
+		}
+		m2 := RunJob(j)
+		m2.Schema = m.Schema
+		if m != m2 {
+			t.Errorf("job %d not deterministic: %+v vs %+v", i, m, m2)
+		}
+	}
+}

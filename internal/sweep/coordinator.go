@@ -1,0 +1,321 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// span is a half-open job index range [From, To) — the unit of leasing.
+// Coordinator state is O(outstanding spans), never O(jobs): a million-job
+// sweep is tracked by a next-index cursor, a short requeue list, and the
+// active lease table.
+type span struct {
+	From, To int64
+}
+
+func (s span) size() int64 { return s.To - s.From }
+
+// lease is one outstanding grant of a span to a worker.
+type lease struct {
+	id       string
+	worker   string
+	span     span
+	deadline time.Time
+}
+
+// workerInfo tracks one worker's fleet state for /campaign/status.
+type workerInfo struct {
+	jobsDone int64
+	leases   int
+	lastSeen time.Time
+}
+
+// CoordinatorOptions tunes leasing.
+type CoordinatorOptions struct {
+	// Batch caps jobs per lease (default 64).
+	Batch int64
+	// TTL is the lease lifetime; a lease not heartbeated or completed
+	// within TTL is re-queued for another worker (default 30s).
+	TTL time.Duration
+}
+
+// Coordinator owns a sweep's job stream: it hands out leases, merges
+// worker-reported sketch aggregates, re-leases expired work, and serves
+// the fleet view. All methods are goroutine-safe; the in-process transport
+// calls them directly and the HTTP routes (Routes) wrap them for remote
+// workers.
+type Coordinator struct {
+	spec  *Spec
+	total int64
+	opts  CoordinatorOptions
+
+	mu       sync.Mutex
+	next     int64  // first never-leased index
+	requeued []span // expired spans, handed out before fresh ones
+	active   map[string]*lease
+	workers  map[string]*workerInfo
+	agg      *Aggregate
+	done     int64
+	executed int64
+	cached   int64
+	failed   int64
+	releases int64 // spans re-queued after lease expiry
+	leaseSeq int64
+	start    time.Time
+
+	finished chan struct{}
+	finOnce  sync.Once
+}
+
+// NewCoordinator prepares a coordinator over the spec's job stream.
+func NewCoordinator(spec *Spec, opts CoordinatorOptions) *Coordinator {
+	if opts.Batch <= 0 {
+		opts.Batch = 64
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 30 * time.Second
+	}
+	return &Coordinator{
+		spec:     spec,
+		total:    spec.Total(),
+		opts:     opts,
+		active:   map[string]*lease{},
+		workers:  map[string]*workerInfo{},
+		agg:      NewAggregate(),
+		start:    time.Now(),
+		finished: make(chan struct{}),
+	}
+}
+
+// Spec returns the sweep spec (shared, read-only).
+func (c *Coordinator) Spec() *Spec { return c.spec }
+
+// reap moves expired leases back onto the requeue list. Called under mu
+// from every entry point, so a dead worker's jobs become available the
+// next time any live worker asks for work — no background timer needed.
+func (c *Coordinator) reap(now time.Time) {
+	for id, l := range c.active {
+		if now.After(l.deadline) {
+			delete(c.active, id)
+			c.requeued = append(c.requeued, l.span)
+			c.releases++
+			if w := c.workers[l.worker]; w != nil && w.leases > 0 {
+				w.leases--
+			}
+		}
+	}
+}
+
+func (c *Coordinator) worker(name string, now time.Time) *workerInfo {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[name] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// Lease grants the next available span to a worker. The response is one of
+// Done (sweep complete — worker should exit), Wait (no work available but
+// leases are outstanding — poll again), or a grant.
+func (c *Coordinator) Lease(workerName string, max int64) LeaseResponse {
+	if max <= 0 || max > c.opts.Batch {
+		max = c.opts.Batch
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(now)
+	w := c.worker(workerName, now)
+	if c.done >= c.total {
+		return LeaseResponse{Schema: ProtoSchema, Done: true}
+	}
+	var sp span
+	switch {
+	case len(c.requeued) > 0:
+		sp = c.requeued[0]
+		if sp.size() > max {
+			c.requeued[0].From = sp.From + max
+			sp.To = sp.From + max
+		} else {
+			c.requeued = c.requeued[1:]
+		}
+	case c.next < c.total:
+		sp = span{c.next, min64(c.next+max, c.total)}
+		c.next = sp.To
+	default:
+		return LeaseResponse{Schema: ProtoSchema, Wait: true}
+	}
+	c.leaseSeq++
+	id := fmt.Sprintf("L%d", c.leaseSeq)
+	c.active[id] = &lease{id: id, worker: workerName, span: sp, deadline: now.Add(c.opts.TTL)}
+	w.leases++
+	return LeaseResponse{Schema: ProtoSchema, LeaseID: id, From: sp.From, To: sp.To,
+		TTLMS: c.opts.TTL.Milliseconds()}
+}
+
+// Heartbeat extends a lease's deadline. OK=false tells the worker its
+// lease expired and was re-queued (its eventual Complete will be ignored).
+func (c *Coordinator) Heartbeat(workerName, leaseID string) HeartbeatResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(now)
+	c.worker(workerName, now)
+	l, ok := c.active[leaseID]
+	if !ok {
+		return HeartbeatResponse{OK: false}
+	}
+	l.deadline = now.Add(c.opts.TTL)
+	return HeartbeatResponse{OK: true}
+}
+
+// Complete merges a finished lease's sketch report into the fleet
+// aggregate. A report for an expired (re-queued) lease is ignored — its
+// span has been or will be re-run by another worker, and counting it twice
+// would break the sharded-equals-single-process determinism contract.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(now)
+	w := c.worker(req.Worker, now)
+	l, ok := c.active[req.LeaseID]
+	if !ok {
+		return CompleteResponse{Ignored: true}, nil
+	}
+	reported := req.Executed + req.Cached + req.Failed
+	if reported != l.span.size() {
+		// A worker that cannot account for its whole span gets its lease
+		// re-queued rather than corrupting the aggregate.
+		delete(c.active, l.id)
+		c.requeued = append(c.requeued, l.span)
+		c.releases++
+		if w.leases > 0 {
+			w.leases--
+		}
+		return CompleteResponse{Ignored: true},
+			fmt.Errorf("sweep: lease %s reports %d jobs for a %d-job span", l.id, reported, l.span.size())
+	}
+	if req.Agg != nil {
+		if err := c.agg.Merge(req.Agg); err != nil {
+			return CompleteResponse{}, err
+		}
+	}
+	delete(c.active, l.id)
+	if w.leases > 0 {
+		w.leases--
+	}
+	w.jobsDone += l.span.size()
+	c.done += l.span.size()
+	c.executed += req.Executed
+	c.cached += req.Cached
+	c.failed += req.Failed
+	if c.done >= c.total {
+		c.finOnce.Do(func() { close(c.finished) })
+		// Tell the finishing worker directly: a follow-up Lease call would
+		// race against the coordinator shutting down its control plane.
+		return CompleteResponse{OK: true, Done: true}, nil
+	}
+	return CompleteResponse{OK: true}, nil
+}
+
+// Done reports whether every job has been completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done >= c.total
+}
+
+// Finished returns a channel closed when the last job completes.
+func (c *Coordinator) Finished() <-chan struct{} { return c.finished }
+
+// Releases reports how many spans were re-queued after lease expiry.
+func (c *Coordinator) Releases() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.releases
+}
+
+// aliveWindow: a worker with no heartbeat for this many lease TTLs is
+// shown as dead in the fleet view.
+const aliveWindow = 3
+
+// Snapshot assembles the live fleet view in the campaign-status-v1 schema,
+// so `campaign watch` renders sweeps exactly like registry campaigns —
+// plus the per-worker fleet table.
+func (c *Coordinator) Snapshot() *campaign.StatusSnapshot {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap(now)
+	snap := &campaign.StatusSnapshot{
+		Schema:   campaign.StatusSchema,
+		Running:  c.done < c.total,
+		Total:    int(c.total),
+		Done:     int(c.done),
+		Executed: int(c.executed),
+		Cached:   int(c.cached),
+		Failed:   int(c.failed),
+		Retries:  int(c.releases),
+		ETAMS:    -1,
+	}
+	snap.ElapsedMS = now.Sub(c.start).Milliseconds()
+	if secs := float64(snap.ElapsedMS) / 1000; secs > 0 && c.done > 0 {
+		snap.JobsPerSec = float64(c.done) / secs
+		snap.ETAMS = int64(float64(c.total-c.done) / snap.JobsPerSec * 1000)
+	}
+	if c.agg.Elapsed.Count() > 0 {
+		snap.ElapsedP50MS = int64(c.agg.Elapsed.Quantile(0.50))
+		snap.ElapsedP95MS = int64(c.agg.Elapsed.Quantile(0.95))
+		snap.ElapsedP99MS = int64(c.agg.Elapsed.Quantile(0.99))
+		snap.ElapsedP999MS = int64(c.agg.Elapsed.Quantile(0.999))
+	}
+	for name, w := range c.workers {
+		snap.Fleet = append(snap.Fleet, campaign.WorkerStatus{
+			Name:       name,
+			JobsDone:   w.jobsDone,
+			Leases:     w.leases,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Alive:      now.Sub(w.lastSeen) <= aliveWindow*c.opts.TTL,
+		})
+	}
+	sortFleet(snap.Fleet)
+	snap.Workers = len(snap.Fleet)
+	return snap
+}
+
+func sortFleet(ws []campaign.WorkerStatus) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].Name < ws[j-1].Name; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// Summary renders the final merged report. Valid at any point; before
+// Finished it covers the jobs completed so far.
+func (c *Coordinator) Summary() *Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summarize(c.spec, c.agg)
+	s.Executed = c.executed
+	s.Cached = c.cached
+	s.Workers = len(c.workers)
+	s.ElapsedMS = time.Since(c.start).Milliseconds()
+	if secs := float64(s.ElapsedMS) / 1000; secs > 0 && c.done > 0 {
+		s.JobsPerSec = float64(c.done) / secs
+	}
+	return s
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

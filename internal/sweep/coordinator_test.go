@@ -1,0 +1,305 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/expose"
+)
+
+// TestSingleWorkerDrainsSweep: the local transport + worker engine runs a
+// sweep to completion with exact accounting.
+func TestSingleWorkerDrainsSweep(t *testing.T) {
+	s := synthSpec(t, `{"name":"drain","seeds":{"count":25},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 8})
+	stats, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "w0", Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Done() {
+		t.Fatal("coordinator not done")
+	}
+	if stats.Jobs != s.Total() || stats.Executed != s.Total() {
+		t.Errorf("worker stats %+v, want %d jobs executed", stats, s.Total())
+	}
+	sum := c.Summary()
+	if sum.Done != s.Total() || sum.Failed != 0 {
+		t.Errorf("summary done/failed %d/%d", sum.Done, sum.Failed)
+	}
+	select {
+	case <-c.Finished():
+	default:
+		t.Error("Finished channel not closed")
+	}
+}
+
+// TestShardedEqualsSingleProcess is the determinism acceptance gate: N
+// concurrent workers over the job stream must produce exactly the
+// fingerprint a single sequential pass does.
+func TestShardedEqualsSingleProcess(t *testing.T) {
+	doc := `{"name":"eq","seeds":{"count":30},
+		"impairments":["none","weak-link","mobility"],"device_classes":["pc","mobile"],
+		"ap_densities":["dense","sparse"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{Batch: 13})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			_, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+				WorkerOptions{Name: fmt.Sprintf("w%d", n), Parallel: 2})
+			if err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := c.Summary()
+	if sum.Fingerprint != want {
+		t.Errorf("4-worker fingerprint %s != sequential %s", sum.Fingerprint, want)
+	}
+	if sum.Done != s.Total() {
+		t.Errorf("done %d, want %d", sum.Done, s.Total())
+	}
+}
+
+// TestDeadWorkerRelease is the fault-tolerance acceptance gate: a worker
+// that leases a span and dies loses the lease at TTL expiry, the span is
+// re-leased to a live worker, and the final fingerprint still equals the
+// single-process run — the dead worker's half-done work never double-counts.
+func TestDeadWorkerRelease(t *testing.T) {
+	doc := `{"name":"dead","seeds":{"count":40},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{Batch: 16, TTL: 30 * time.Millisecond})
+
+	// The doomed worker leases a span and vanishes: no heartbeat, no
+	// Complete. Its span must come back to the pool at TTL expiry.
+	doomed := c.Lease("doomed", 16)
+	if doomed.LeaseID == "" {
+		t.Fatal("doomed worker got no lease")
+	}
+	time.Sleep(40 * time.Millisecond)
+
+	stats, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "survivor", Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != s.Total() {
+		t.Errorf("survivor ran %d jobs, want %d (re-leased span missing)", stats.Jobs, s.Total())
+	}
+	if c.Releases() < 1 {
+		t.Error("no lease was released after the worker died")
+	}
+
+	// The ghost's late Complete must be discarded, not merged.
+	ghost := NewAggregate()
+	for i := doomed.From; i < doomed.To; i++ {
+		j, _ := s.JobAt(i)
+		m, _, _ := (&Runner{RunFunc: synthMetrics}).Do(j)
+		ghost.Observe(j.CellKey(), m)
+	}
+	resp, err := c.Complete(CompleteRequest{Worker: "doomed", LeaseID: doomed.LeaseID,
+		Executed: doomed.To - doomed.From, Agg: ghost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Ignored {
+		t.Error("expired lease's Complete was not ignored")
+	}
+
+	sum := c.Summary()
+	if sum.Fingerprint != want {
+		t.Errorf("post-death fingerprint %s != sequential %s", sum.Fingerprint, want)
+	}
+	snap := c.Snapshot()
+	var sawDead bool
+	for _, w := range snap.Fleet {
+		if w.Name == "doomed" && !w.Alive {
+			sawDead = true
+		}
+	}
+	_ = sawDead // liveness depends on TTL multiples; presence is the real check
+	if len(snap.Fleet) != 2 {
+		t.Errorf("fleet has %d workers, want 2", len(snap.Fleet))
+	}
+}
+
+// TestIncompleteReportRequeued: a Complete that cannot account for its
+// whole span is rejected and the span re-leased.
+func TestIncompleteReportRequeued(t *testing.T) {
+	s := synthSpec(t, `{"name":"short","seeds":{"count":10},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 10})
+	grant := c.Lease("w", 10)
+	resp, err := c.Complete(CompleteRequest{Worker: "w", LeaseID: grant.LeaseID,
+		Executed: 3, Agg: NewAggregate()}) // claims 3 of a 10-job span
+	if err == nil {
+		t.Fatal("short report accepted")
+	}
+	if !resp.Ignored {
+		t.Error("short report not ignored")
+	}
+	regrant := c.Lease("w2", 10)
+	if regrant.From != grant.From || regrant.To != grant.To {
+		t.Errorf("span not re-leased: got [%d,%d), want [%d,%d)",
+			regrant.From, regrant.To, grant.From, grant.To)
+	}
+}
+
+// TestCoordinatorBoundedMemory is the scale acceptance gate: a 10^5-job
+// sweep must aggregate in memory that does not scale with job count. The
+// aggregate footprint is sketch-bucket-bound and the coordinator holds no
+// per-job state, so the footprint after 100k jobs must be within noise of
+// the footprint after 10k jobs (same cells — more jobs only fill buckets).
+func TestCoordinatorBoundedMemory(t *testing.T) {
+	run := func(seeds int64) (int, *Coordinator) {
+		doc := fmt.Sprintf(`{"name":"big","seeds":{"count":%d},
+			"impairments":["none","weak-link","mobility","microwave","congestion"],
+			"device_classes":["pc","mobile"],"ap_densities":["dense","typical","sparse"]}`, seeds)
+		s := synthSpec(t, doc)
+		c := NewCoordinator(s, CoordinatorOptions{Batch: 512})
+		_, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+			WorkerOptions{Name: "w", Parallel: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Done() {
+			t.Fatal("not done")
+		}
+		c.mu.Lock()
+		fp := c.agg.Footprint()
+		c.mu.Unlock()
+		return fp, c
+	}
+	small, _ := run(334) // ~10k jobs over 30 cells
+	big, c := run(3334)  // ~100k jobs over the same 30 cells
+	if got := c.Summary().Done; got != 30*3334 {
+		t.Fatalf("big run finished %d jobs", got)
+	}
+	// 10× the jobs may add a few late-filling buckets but nothing
+	// proportional: allow 2× headroom, far below the 10× a per-job
+	// structure would show.
+	if big > 2*small {
+		t.Errorf("aggregate footprint scaled with job count: %d bytes @10k vs %d bytes @100k", small, big)
+	}
+	t.Logf("footprint: %d bytes @ 10k jobs, %d bytes @ 100k jobs", small, big)
+}
+
+// TestHTTPRoundTrip drives a worker over the real control plane: the
+// coordinator mounts its routes on an expose server, the worker connects by
+// address, and the merged result matches the sequential fingerprint.
+func TestHTTPRoundTrip(t *testing.T) {
+	doc := `{"name":"http","seeds":{"count":20},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{Batch: 7})
+	srv := expose.New(obs.NewRegistry())
+	c.Routes(srv)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stats, err := RunWorker(NewHTTPTransport(srv.Addr()), &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "remote", Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != s.Total() {
+		t.Errorf("remote worker ran %d jobs, want %d", stats.Jobs, s.Total())
+	}
+	if got := c.Summary().Fingerprint; got != want {
+		t.Errorf("HTTP fingerprint %s != sequential %s", got, want)
+	}
+	snap := c.Snapshot()
+	if len(snap.Fleet) != 1 || snap.Fleet[0].Name != "remote" {
+		t.Errorf("fleet = %+v", snap.Fleet)
+	}
+	if snap.Done != int(s.Total()) || snap.Running {
+		t.Errorf("snapshot done=%d running=%v", snap.Done, snap.Running)
+	}
+}
+
+// TestCompleteSignalsDone pins the shutdown handshake: the Complete that
+// finishes the sweep must say so, and the worker must exit on it without
+// leasing again — a coordinator may tear down its control plane the moment
+// the sweep ends, so a final Lease call would race a vanishing server.
+func TestCompleteSignalsDone(t *testing.T) {
+	doc := `{"name":"done","seeds":{"count":9},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	s := synthSpec(t, doc)
+
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 4})
+	srv := expose.New(obs.NewRegistry())
+	c.Routes(srv)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror cmd/campaign: the server dies the instant the sweep finishes.
+	go func() {
+		<-c.Finished()
+		srv.Close()
+	}()
+
+	stats, err := RunWorker(NewHTTPTransport(srv.Addr()), &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "solo", Parallel: 2})
+	if err != nil {
+		t.Fatalf("worker must exit cleanly on the Done'd Complete: %v", err)
+	}
+	if stats.Jobs != s.Total() {
+		t.Errorf("worker ran %d jobs, want %d", stats.Jobs, s.Total())
+	}
+
+	// Direct protocol check: only the sweep-finishing Complete carries Done.
+	c2 := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{Batch: 4})
+	tr := LocalTransport{C: c2}
+	for {
+		grant, _ := tr.Lease("w", 0)
+		if grant.Done {
+			t.Fatal("lease said done before any Complete")
+		}
+		agg := NewAggregate()
+		for i := grant.From; i < grant.To; i++ {
+			j, err := c2.Spec().JobAt(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Observe(j.CellKey(), synthMetrics(j))
+		}
+		resp, err := tr.Complete(CompleteRequest{Worker: "w", LeaseID: grant.LeaseID,
+			Executed: grant.To - grant.From, Agg: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := grant.To >= c2.Spec().Total(); resp.Done != last {
+			t.Fatalf("Complete for [%d,%d): done=%v, want %v", grant.From, grant.To, resp.Done, last)
+		}
+		if resp.Done {
+			break
+		}
+	}
+}
+
+// TestWorkerNeedsName pins the config validation.
+func TestWorkerNeedsName(t *testing.T) {
+	s := synthSpec(t, `{"name":"n","seeds":{"count":1},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	c := NewCoordinator(s, CoordinatorOptions{})
+	if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics}, WorkerOptions{}); err == nil {
+		t.Fatal("nameless worker accepted")
+	}
+}

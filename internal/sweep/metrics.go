@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sim/rng"
+	"repro/internal/voip"
+)
+
+// MetricsSchema versions cached per-job metric records.
+const MetricsSchema = "sweep-metrics-v1"
+
+// Metrics is one job's outcome: the population-level quality signals of a
+// single simulated call, comparing the paper's baseline (stronger-link
+// selection) against cross-link replication on the same packet stream.
+// This is the unit the per-cell sketches aggregate — per-job records are
+// never retained beyond this struct's lifetime.
+type Metrics struct {
+	Schema string `json:"schema"`
+
+	StrongerMOS  float64 `json:"stronger_mos"`
+	CrossMOS     float64 `json:"cross_mos"`
+	StrongerPoor bool    `json:"stronger_poor"`
+	CrossPoor    bool    `json:"cross_poor"`
+	// Worst 5-second-window loss rates (the paper's perceptual driver).
+	StrongerWorst float64 `json:"stronger_worst"`
+	CrossWorst    float64 `json:"cross_worst"`
+	// DupFrac is the duplication cost: the fraction of packets delivered
+	// on both links — airtime replication bought no recovery for these.
+	DupFrac float64 `json:"dup_frac"`
+}
+
+// RunJob executes one sweep job on the real simulator: draw the scenario
+// for the job's grid cell, run the two-NIC call, and assess both the
+// stronger-selection and cross-link-replication receivers.
+func RunJob(j Job) Metrics {
+	sc := j.Scenario()
+	d := core.RunDualCall(sc)
+	profile := profiles[j.spec.Profile]
+	sq := voip.Assess(d.Stronger(), profile)
+	cq := voip.Assess(d.CrossLink(), profile)
+	m := Metrics{
+		Schema:        MetricsSchema,
+		StrongerMOS:   sq.MOS,
+		CrossMOS:      cq.MOS,
+		StrongerPoor:  sq.Poor,
+		CrossPoor:     cq.Poor,
+		StrongerWorst: sq.WorstWindowLoss,
+		CrossWorst:    cq.WorstWindowLoss,
+	}
+	n := d.TraceA.Len()
+	if n > 0 {
+		both := 0
+		for seq := 0; seq < n; seq++ {
+			if d.TraceA.Arrived(seq) && d.TraceB.Arrived(seq) {
+				both++
+			}
+		}
+		m.DupFrac = float64(both) / float64(n)
+	}
+	return m
+}
+
+// Scenario materializes the job's simulated call: the cell picks the
+// impairment class, the device class the MIMO order, the AP density the
+// impairment severity, and the job's content key seeds both the scenario
+// draw and the call's in-simulator randomness.
+func (j Job) Scenario() core.Scenario {
+	scenarioSeed, callSeed := j.seeds()
+	sev := j.spec.Severity * densityByName(j.Density).Severity
+	sc := core.RandomScenarioSeverity(rng.New(scenarioSeed), impairments[j.Impairment],
+		profiles[j.spec.Profile], callSeed, sev)
+	sc.Duration = sim.FromSeconds(j.spec.DurationS)
+	return sc.WithMIMO(deviceByName(j.Device).MIMOOrder)
+}
+
+// Runner resolves jobs through the shared content-addressed cache and
+// executes misses. RunFunc defaults to RunJob; tests and synthetic
+// benchmarks substitute a cheap metric generator.
+type Runner struct {
+	RunFunc func(Job) Metrics
+	Cache   *campaign.Cache // nil disables caching
+}
+
+// Do resolves one job: cache hit, or execute + store. Panics in the
+// simulator are recovered into an error so one pathological grid point
+// cannot take down a worker.
+func (r *Runner) Do(j Job) (m Metrics, cached bool, err error) {
+	key := j.Key()
+	if r.Cache != nil {
+		if data, ok := r.Cache.LoadRaw(key); ok {
+			if jerr := json.Unmarshal(data, &m); jerr == nil && m.Schema == MetricsSchema {
+				return m, true, nil
+			}
+			r.Cache.RemoveRaw(key) // corrupted entry: one re-execution
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job %d (%s seed %d): panic: %v", j.Index, j.CellKey(), j.Seed, p)
+		}
+	}()
+	run := r.RunFunc
+	if run == nil {
+		run = RunJob
+	}
+	m = run(j)
+	m.Schema = MetricsSchema
+	if r.Cache != nil {
+		if data, jerr := json.Marshal(m); jerr == nil {
+			// A cache write failure degrades re-run speed, not correctness.
+			_ = r.Cache.StoreRaw(key, data)
+		}
+	}
+	return m, false, nil
+}

@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ProtoSchema versions the worker wire protocol. Every response carries it
+// so a worker pointed at the wrong port fails loudly, not weirdly.
+const ProtoSchema = "sweep-proto-v1"
+
+// SpecResponse is GET /sweep/spec: the sweep a worker should run.
+type SpecResponse struct {
+	Schema string `json:"schema"`
+	Hash   string `json:"hash"`
+	Spec   *Spec  `json:"spec"`
+}
+
+// LeaseRequest is POST /sweep/lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int64  `json:"max,omitempty"`
+}
+
+// LeaseResponse grants a job span, asks the worker to wait, or ends it.
+type LeaseResponse struct {
+	Schema  string `json:"schema"`
+	Done    bool   `json:"done,omitempty"`
+	Wait    bool   `json:"wait,omitempty"`
+	LeaseID string `json:"lease_id,omitempty"`
+	From    int64  `json:"from"`
+	To      int64  `json:"to"`
+	TTLMS   int64  `json:"ttl_ms,omitempty"`
+}
+
+// HeartbeatRequest is POST /sweep/heartbeat.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse: OK=false means the lease expired and was re-queued.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest is POST /sweep/complete: a finished lease's merged
+// sketch aggregate plus its job accounting (which must cover the span).
+type CompleteRequest struct {
+	Worker   string     `json:"worker"`
+	LeaseID  string     `json:"lease_id"`
+	Executed int64      `json:"executed"`
+	Cached   int64      `json:"cached"`
+	Failed   int64      `json:"failed"`
+	Agg      *Aggregate `json:"agg"`
+}
+
+// CompleteResponse: Ignored means the lease had expired — the span was
+// re-queued and this report was discarded. Done means this report finished
+// the sweep; the worker should exit without leasing again, because the
+// coordinator may tear down its control plane the moment the sweep ends.
+type CompleteResponse struct {
+	OK      bool `json:"ok"`
+	Ignored bool `json:"ignored,omitempty"`
+	Done    bool `json:"done,omitempty"`
+}
+
+// routeMounter is the slice of expose.Server the coordinator needs; taking
+// the interface keeps sweep mountable on any mux-like server.
+type routeMounter interface {
+	Handle(pattern string, h http.Handler)
+}
+
+// Routes mounts the worker protocol and fleet views on an introspection
+// server (internal/obs/expose):
+//
+//	GET  /sweep/spec       — the spec workers should run
+//	POST /sweep/lease      — pull a job span
+//	POST /sweep/heartbeat  — keep a lease alive
+//	POST /sweep/complete   — report a finished span's sketches
+//	GET  /sweep/summary    — current merged summary (partial mid-run)
+//	GET  /campaign/status  — fleet view (campaign-status-v1; `campaign
+//	                         watch` renders it, including per-worker state)
+func (c *Coordinator) Routes(srv routeMounter) {
+	srv.Handle("/sweep/spec", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, SpecResponse{Schema: ProtoSchema, Hash: c.spec.Hash(), Spec: c.spec})
+	}))
+	srv.Handle("/sweep/lease", postHandler(func(req LeaseRequest) (LeaseResponse, error) {
+		if req.Worker == "" {
+			return LeaseResponse{}, fmt.Errorf("lease request needs a worker name")
+		}
+		return c.Lease(req.Worker, req.Max), nil
+	}))
+	srv.Handle("/sweep/heartbeat", postHandler(func(req HeartbeatRequest) (HeartbeatResponse, error) {
+		return c.Heartbeat(req.Worker, req.LeaseID), nil
+	}))
+	srv.Handle("/sweep/complete", postHandler(func(req CompleteRequest) (CompleteResponse, error) {
+		return c.Complete(req)
+	}))
+	srv.Handle("/sweep/summary", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, c.Summary())
+	}))
+	srv.Handle("/campaign/status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, c.Snapshot())
+	}))
+}
+
+// postHandler adapts a typed request/response function to an HTTP route.
+func postHandler[Req, Resp any](fn func(Req) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := fn(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		serveJSON(w, resp)
+	})
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// Transport is how a worker reaches its coordinator: direct method calls
+// in-process, JSON-over-HTTP across processes. Both implementations share
+// the worker engine, so the single-process and sharded paths cannot drift.
+type Transport interface {
+	FetchSpec() (*Spec, error)
+	Lease(worker string, max int64) (LeaseResponse, error)
+	Heartbeat(worker, leaseID string) (HeartbeatResponse, error)
+	Complete(req CompleteRequest) (CompleteResponse, error)
+}
+
+// LocalTransport drives a coordinator in the same process.
+type LocalTransport struct{ C *Coordinator }
+
+func (t LocalTransport) FetchSpec() (*Spec, error) { return t.C.Spec(), nil }
+func (t LocalTransport) Lease(worker string, max int64) (LeaseResponse, error) {
+	return t.C.Lease(worker, max), nil
+}
+func (t LocalTransport) Heartbeat(worker, leaseID string) (HeartbeatResponse, error) {
+	return t.C.Heartbeat(worker, leaseID), nil
+}
+func (t LocalTransport) Complete(req CompleteRequest) (CompleteResponse, error) {
+	return t.C.Complete(req)
+}
+
+// HTTPTransport drives a remote coordinator over its control plane.
+type HTTPTransport struct {
+	// Base is the coordinator's address with scheme, e.g.
+	// "http://127.0.0.1:8080" (no trailing slash needed).
+	Base   string
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a transport for the given host:port or URL.
+func NewHTTPTransport(addr string) *HTTPTransport {
+	if !bytes.Contains([]byte(addr), []byte("://")) {
+		addr = "http://" + addr
+	}
+	for len(addr) > 0 && addr[len(addr)-1] == '/' {
+		addr = addr[:len(addr)-1]
+	}
+	return &HTTPTransport{Base: addr, Client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (t *HTTPTransport) FetchSpec() (*Spec, error) {
+	res, err := t.Client.Get(t.Base + "/sweep/spec")
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /sweep/spec: %s", res.Status)
+	}
+	var sr SpecResponse
+	if err := json.NewDecoder(res.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode /sweep/spec: %w", err)
+	}
+	if sr.Schema != ProtoSchema {
+		return nil, fmt.Errorf("/sweep/spec: schema %q (want %q) — is that a sweep coordinator?",
+			sr.Schema, ProtoSchema)
+	}
+	if sr.Spec == nil {
+		return nil, fmt.Errorf("/sweep/spec: empty spec")
+	}
+	if err := sr.Spec.normalize(); err != nil {
+		return nil, err
+	}
+	if got := sr.Spec.Hash(); got != sr.Hash {
+		return nil, fmt.Errorf("/sweep/spec: hash mismatch (%s vs %s)", got, sr.Hash)
+	}
+	return sr.Spec, nil
+}
+
+func (t *HTTPTransport) Lease(worker string, max int64) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := t.post("/sweep/lease", LeaseRequest{Worker: worker, Max: max}, &resp)
+	if err == nil && resp.Schema != ProtoSchema {
+		return resp, fmt.Errorf("/sweep/lease: schema %q (want %q)", resp.Schema, ProtoSchema)
+	}
+	return resp, err
+}
+
+func (t *HTTPTransport) Heartbeat(worker, leaseID string) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := t.post("/sweep/heartbeat", HeartbeatRequest{Worker: worker, LeaseID: leaseID}, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) Complete(req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := t.post("/sweep/complete", req, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	res, err := t.Client.Post(t.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s", path, res.Status)
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}

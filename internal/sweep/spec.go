@@ -1,0 +1,345 @@
+// Package sweep is the fleet sweep engine: a declarative sweep spec
+// expands a grid of impairment × device class × AP density × seed range
+// into a deterministic, content-addressed job stream; jobs run real
+// simulator calls whose per-call quality metrics aggregate into mergeable
+// sketches (internal/sketch), so a million-job sweep summarizes in
+// O(cells × compression) memory with no per-job record retention.
+//
+// The engine has three moving parts:
+//
+//   - Spec/Grid: the declarative grid and its lazy job stream. A 10^6-job
+//     sweep never materializes a job slice — JobAt(i) computes any grid
+//     point from its index alone.
+//   - Runner/Aggregate: executes jobs (through the shared content-addressed
+//     campaign cache) and folds each call's metrics into per-cell sketch
+//     groups whose merge is deterministic and order-independent.
+//   - Coordinator/Worker: lease-based multi-process sharding over the
+//     existing HTTP control plane (internal/obs/expose). Workers pull job
+//     leases, heartbeat, and report merged sketches; the coordinator
+//     re-leases expired work, so a dead worker costs latency, not data.
+//
+// Determinism contract: for a fixed spec, the merged Summary's cells —
+// counts, poor-call counts, and every sketch — are identical no matter how
+// many workers ran the sweep or how leases were re-assigned. Summary.
+// Fingerprint hashes exactly that deterministic content; timing fields and
+// executed/cached splits are telemetry.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// SpecSchema versions the spec document and is folded into every job key.
+const SpecSchema = "sweep-v1"
+
+// DeviceClass maps a population device class onto simulator knobs: PC-class
+// hardware gets 2×2 MIMO spatial diversity, low-end mobile a single chain.
+type DeviceClass struct {
+	Name      string
+	MIMOOrder int
+}
+
+// APDensity maps deployment density onto impairment severity: a denser AP
+// deployment means shorter links and milder impairments (the §6 office at
+// ~0.7, the paper's "wild" corpus at 1.0, sparse coverage worse).
+type APDensity struct {
+	Name     string
+	Severity float64
+}
+
+var (
+	deviceClasses = []DeviceClass{
+		{Name: "pc", MIMOOrder: 2},
+		{Name: "mobile", MIMOOrder: 1},
+	}
+	apDensities = []APDensity{
+		{Name: "dense", Severity: 0.7},
+		{Name: "typical", Severity: 1.0},
+		{Name: "sparse", Severity: 1.3},
+	}
+	impairments = map[string]core.Impairment{
+		"none":       core.ImpNone,
+		"weak-link":  core.ImpWeakLink,
+		"mobility":   core.ImpMobility,
+		"microwave":  core.ImpMicrowave,
+		"congestion": core.ImpCongestion,
+	}
+	profiles = map[string]traffic.Profile{
+		"g711":     traffic.G711,
+		"highrate": traffic.HighRate,
+	}
+)
+
+// DeviceClassNames lists the known device classes in canonical order.
+func DeviceClassNames() []string {
+	out := make([]string, len(deviceClasses))
+	for i, d := range deviceClasses {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// APDensityNames lists the known AP densities in canonical order.
+func APDensityNames() []string {
+	out := make([]string, len(apDensities))
+	for i, d := range apDensities {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ImpairmentNames lists the known impairment classes in canonical order.
+func ImpairmentNames() []string {
+	out := make([]string, len(core.AllImpairments))
+	for i, imp := range core.AllImpairments {
+		out[i] = imp.String()
+	}
+	return out
+}
+
+// SeedRange is the per-cell seed axis: Count seeds starting at Start. Every
+// (cell, seed) pair is one job.
+type SeedRange struct {
+	Start int64 `json:"start"`
+	Count int64 `json:"count"`
+}
+
+// Spec is the declarative sweep description, loaded from JSON. Axes expand
+// as a full cross product: impairments × device_classes × ap_densities ×
+// seeds. Omitted axes default to every known value; omitted scalar knobs
+// to the paper's call shape (G.711, 120 s, severity 1.0).
+type Spec struct {
+	Name string `json:"name"`
+	// Axes.
+	Impairments   []string  `json:"impairments,omitempty"`
+	DeviceClasses []string  `json:"device_classes,omitempty"`
+	APDensities   []string  `json:"ap_densities,omitempty"`
+	Seeds         SeedRange `json:"seeds"`
+	// Call shape.
+	Profile   string  `json:"profile,omitempty"`    // g711 | highrate
+	Severity  float64 `json:"severity,omitempty"`   // global scale on density severity
+	DurationS float64 `json:"duration_s,omitempty"` // call length in seconds
+}
+
+// ParseSpec decodes and validates a spec document, applying defaults.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// normalize applies defaults and validates every axis value.
+func (s *Spec) normalize() error {
+	if s.Name == "" {
+		return fmt.Errorf("sweep: spec needs a name")
+	}
+	if len(s.Impairments) == 0 {
+		s.Impairments = ImpairmentNames()
+	}
+	if len(s.DeviceClasses) == 0 {
+		s.DeviceClasses = DeviceClassNames()
+	}
+	if len(s.APDensities) == 0 {
+		s.APDensities = APDensityNames()
+	}
+	if s.Seeds.Count <= 0 {
+		return fmt.Errorf("sweep: seeds.count must be positive (got %d)", s.Seeds.Count)
+	}
+	if s.Profile == "" {
+		s.Profile = "g711"
+	}
+	if _, ok := profiles[s.Profile]; !ok {
+		return fmt.Errorf("sweep: unknown profile %q (known: g711, highrate)", s.Profile)
+	}
+	if s.Severity == 0 {
+		s.Severity = 1.0
+	}
+	if s.Severity < 0 {
+		return fmt.Errorf("sweep: severity must be positive")
+	}
+	if s.DurationS == 0 {
+		s.DurationS = 120
+	}
+	if s.DurationS < 1 {
+		return fmt.Errorf("sweep: duration_s must be >= 1")
+	}
+	seen := map[string]bool{}
+	for _, name := range s.Impairments {
+		if _, ok := impairments[name]; !ok {
+			return fmt.Errorf("sweep: unknown impairment %q (known: %s)",
+				name, strings.Join(ImpairmentNames(), ", "))
+		}
+		if seen["i"+name] {
+			return fmt.Errorf("sweep: duplicate impairment %q", name)
+		}
+		seen["i"+name] = true
+	}
+	for _, name := range s.DeviceClasses {
+		if deviceByName(name) == nil {
+			return fmt.Errorf("sweep: unknown device class %q (known: %s)",
+				name, strings.Join(DeviceClassNames(), ", "))
+		}
+		if seen["d"+name] {
+			return fmt.Errorf("sweep: duplicate device class %q", name)
+		}
+		seen["d"+name] = true
+	}
+	for _, name := range s.APDensities {
+		if densityByName(name) == nil {
+			return fmt.Errorf("sweep: unknown ap density %q (known: %s)",
+				name, strings.Join(APDensityNames(), ", "))
+		}
+		if seen["a"+name] {
+			return fmt.Errorf("sweep: duplicate ap density %q", name)
+		}
+		seen["a"+name] = true
+	}
+	return nil
+}
+
+func deviceByName(name string) *DeviceClass {
+	for i := range deviceClasses {
+		if deviceClasses[i].Name == name {
+			return &deviceClasses[i]
+		}
+	}
+	return nil
+}
+
+func densityByName(name string) *APDensity {
+	for i := range apDensities {
+		if apDensities[i].Name == name {
+			return &apDensities[i]
+		}
+	}
+	return nil
+}
+
+// Hash returns the spec's canonical fingerprint: a hash over the
+// normalized document, so two textually different but semantically equal
+// specs (axis defaults spelled out or omitted) share job streams.
+func (s *Spec) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|name=%s|prof=%s|sev=%g|dur=%g|seeds=%d+%d",
+		SpecSchema, s.Name, s.Profile, s.Severity, s.DurationS, s.Seeds.Start, s.Seeds.Count)
+	fmt.Fprintf(h, "|imp=%s|dev=%s|dens=%s",
+		strings.Join(s.Impairments, ","), strings.Join(s.DeviceClasses, ","),
+		strings.Join(s.APDensities, ","))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// CellCount returns how many (impairment, device, density) cells the grid
+// has; Total() = CellCount() × Seeds.Count.
+func (s *Spec) CellCount() int64 {
+	return int64(len(s.Impairments)) * int64(len(s.DeviceClasses)) * int64(len(s.APDensities))
+}
+
+// Total returns the grid's job count.
+func (s *Spec) Total() int64 { return s.CellCount() * s.Seeds.Count }
+
+// CellKeys returns every cell key in canonical (spec axis) order.
+func (s *Spec) CellKeys() []string {
+	out := make([]string, 0, s.CellCount())
+	for _, imp := range s.Impairments {
+		for _, dev := range s.DeviceClasses {
+			for _, dens := range s.APDensities {
+				out = append(out, cellKey(imp, dev, dens))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cellKey names one grid cell. Keys sort lexically in the summary.
+func cellKey(imp, dev, dens string) string {
+	return imp + "/" + dev + "/" + dens
+}
+
+// Job is one grid point: a fully determined simulated call. Jobs are
+// derived on demand from their index — the stream is never materialized.
+type Job struct {
+	Index      int64
+	Impairment string
+	Device     string
+	Density    string
+	Seed       int64
+
+	spec *Spec
+}
+
+// JobAt computes the grid point at index i (0 ≤ i < Total). The layout is
+// impairment-major, seed-minor, so consecutive indices share a cell —
+// lease batches aggregate mostly within one cell, which keeps worker
+// reports small.
+func (s *Spec) JobAt(i int64) (Job, error) {
+	if i < 0 || i >= s.Total() {
+		return Job{}, fmt.Errorf("sweep: job index %d out of range [0,%d)", i, s.Total())
+	}
+	seedIdx := i % s.Seeds.Count
+	rest := i / s.Seeds.Count
+	nd := int64(len(s.APDensities))
+	nc := int64(len(s.DeviceClasses))
+	dens := rest % nd
+	rest /= nd
+	dev := rest % nc
+	imp := rest / nc
+	return Job{
+		Index:      i,
+		Impairment: s.Impairments[imp],
+		Device:     s.DeviceClasses[dev],
+		Density:    s.APDensities[dens],
+		Seed:       s.Seeds.Start + seedIdx,
+		spec:       s,
+	}, nil
+}
+
+// CellKey returns the job's (impairment, device, density) cell.
+func (j Job) CellKey() string { return cellKey(j.Impairment, j.Device, j.Density) }
+
+// Key returns the job's content address. It hashes only the physics of the
+// call — impairment, device, density severity, profile, duration, seed —
+// never the spec name or axis layout, so overlapping grids from different
+// specs share cache entries.
+func (j Job) Key() string {
+	sev := j.spec.Severity * densityByName(j.Density).Severity
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|imp=%s|dev=%s|sev=%.6g|prof=%s|dur=%g|seed=%d",
+		SpecSchema, j.Impairment, j.Device, sev, j.spec.Profile, j.spec.DurationS, j.Seed)))
+	return hex.EncodeToString(h[:16])
+}
+
+// seeds derives the job's two independent seed streams from its content
+// key: one for the corpus-level scenario draw (geometry, link parameters),
+// one for the call's in-simulator randomness.
+func (j Job) seeds() (scenario, call int64) {
+	h := sha256.Sum256([]byte("seeds|" + j.Key()))
+	scenario = int64(binary.LittleEndian.Uint64(h[0:8]))
+	call = int64(binary.LittleEndian.Uint64(h[8:16]))
+	return scenario, call
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// WorkerOptions tunes one worker engine.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and the fleet view. Required.
+	Name string
+	// Parallel is the in-worker job concurrency (default NumCPU).
+	Parallel int
+	// Batch is the max jobs requested per lease (0 = coordinator's cap).
+	Batch int64
+	// Poll is the wait-state poll interval (default 100 ms).
+	Poll time.Duration
+	// Progress, when non-nil, receives one line per completed lease.
+	Progress io.Writer
+	// MaxErrors aborts the worker after this many consecutive transport
+	// failures (default 10) — a vanished coordinator should kill the
+	// worker, not spin it.
+	MaxErrors int
+}
+
+// WorkerStats is one worker's lifetime accounting.
+type WorkerStats struct {
+	Leases   int64
+	Jobs     int64
+	Executed int64
+	Cached   int64
+	Failed   int64
+	Ignored  int64 // leases completed after expiry, discarded by the coordinator
+}
+
+// RunWorker pulls leases from the coordinator behind transport until the
+// sweep is done: fetch the spec once, then lease → run (in-worker parallel,
+// through the shared cache) → aggregate into sketches → report. A
+// heartbeat goroutine keeps each lease alive while its jobs run, so only a
+// genuinely dead worker's span gets re-leased.
+func RunWorker(transport Transport, runner *Runner, opts WorkerOptions) (WorkerStats, error) {
+	var stats WorkerStats
+	if opts.Name == "" {
+		return stats, fmt.Errorf("sweep: worker needs a name")
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = runtime.NumCPU()
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+	if opts.MaxErrors <= 0 {
+		opts.MaxErrors = 10
+	}
+	spec, err := transport.FetchSpec()
+	if err != nil {
+		return stats, fmt.Errorf("sweep: fetch spec: %w", err)
+	}
+	errs := 0
+	for {
+		grant, err := transport.Lease(opts.Name, opts.Batch)
+		if err != nil {
+			errs++
+			if errs >= opts.MaxErrors {
+				return stats, fmt.Errorf("sweep: lease: %w (%d consecutive failures)", err, errs)
+			}
+			time.Sleep(opts.Poll)
+			continue
+		}
+		errs = 0
+		switch {
+		case grant.Done:
+			return stats, nil
+		case grant.Wait:
+			time.Sleep(opts.Poll)
+			continue
+		}
+		report, leaseElapsed := runLease(transport, runner, spec, grant, opts)
+		resp, err := transport.Complete(report)
+		if err != nil {
+			// A failed Complete loses only this lease's work: the span
+			// re-leases at TTL expiry (possibly back to this worker, where
+			// the cache makes the re-run cheap).
+			errs++
+			if errs >= opts.MaxErrors {
+				return stats, fmt.Errorf("sweep: complete: %w (%d consecutive failures)", err, errs)
+			}
+			continue
+		}
+		stats.Leases++
+		if resp.Ignored {
+			stats.Ignored++
+		} else {
+			stats.Jobs += grant.To - grant.From
+			stats.Executed += report.Executed
+			stats.Cached += report.Cached
+			stats.Failed += report.Failed
+		}
+		if opts.Progress != nil {
+			tag := ""
+			if resp.Ignored {
+				tag = "  (expired, discarded)"
+			}
+			fmt.Fprintf(opts.Progress, "%s: lease %s jobs [%d,%d) in %s — %d executed, %d cached, %d failed%s\n",
+				opts.Name, grant.LeaseID, grant.From, grant.To, leaseElapsed.Round(time.Millisecond),
+				report.Executed, report.Cached, report.Failed, tag)
+		}
+		if resp.Done {
+			// This report finished the sweep; don't race a final Lease call
+			// against the coordinator tearing down its control plane.
+			return stats, nil
+		}
+	}
+}
+
+// runLease executes one granted span with in-worker parallelism and folds
+// the results into a fresh aggregate. Heartbeats run on a side goroutine
+// for as long as the jobs do.
+func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseResponse, opts WorkerOptions) (CompleteRequest, time.Duration) {
+	start := time.Now()
+	stop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	if grant.TTLMS > 0 {
+		interval := time.Duration(grant.TTLMS) * time.Millisecond / 3
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// Errors and expiry are ignored here: Complete is the
+					// authority on whether the lease still counts.
+					transport.Heartbeat(opts.Name, grant.LeaseID)
+				}
+			}
+		}()
+	}
+
+	agg := NewAggregate()
+	req := CompleteRequest{Worker: opts.Name, LeaseID: grant.LeaseID, Agg: agg}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	idx := make(chan int64)
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job, err := spec.JobAt(i)
+				var m Metrics
+				var cached bool
+				jobStart := time.Now()
+				if err == nil {
+					m, cached, err = runner.Do(job)
+				}
+				elapsed := float64(time.Since(jobStart).Microseconds()) / 1000
+				mu.Lock()
+				agg.ObserveElapsed(elapsed)
+				if err != nil {
+					agg.ObserveFailure(job.CellKey())
+					req.Failed++
+				} else {
+					agg.Observe(job.CellKey(), m)
+					if cached {
+						req.Cached++
+					} else {
+						req.Executed++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := grant.From; i < grant.To; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(stop)
+	hbWG.Wait()
+	return req, time.Since(start)
+}
