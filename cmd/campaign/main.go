@@ -10,9 +10,10 @@
 //	         [-pprof DIR] [-http ADDR]
 //	campaign watch [-interval D] [-once] [-no-clear] ADDR
 //	campaign sweep [-local N] [-parallel N] [-batch N] [-ttl D]
-//	         [-cache DIR] [-no-cache] [-summary FILE] [-json] [-quiet]
-//	         [-http ADDR] SPEC.json
+//	         [-cache DIR] [-no-cache] [-summary FILE] [-json] [-report]
+//	         [-quiet] [-http ADDR] SPEC.json
 //	campaign sweep expand [-n N] SPEC.json
+//	campaign sweep report [-json] SUMMARY.json
 //	campaign worker -connect ADDR [-name NAME] [-parallel N] [-batch N]
 //	         [-cache DIR] [-no-cache] [-quiet]
 //	campaign cache stat|gc [-cache DIR] [-max-age D] [-max-bytes N]
@@ -33,9 +34,12 @@
 //
 // The sweep subcommands drive the fleet sweep engine (internal/sweep, see
 // docs/FLEET.md): `sweep` runs a declarative grid spec to a merged
-// sketch-backed summary, `sweep expand` previews the lazy job stream,
-// `worker` joins a remote coordinator's sweep over its control plane, and
-// `cache` inspects or prunes the shared content-addressed result cache.
+// sketch-backed summary (with -report, the full paper artifact of
+// docs/RESULTS.md — Tables 1-3 plus CDF figures), `sweep expand` previews
+// the lazy job stream, `sweep report` re-renders the artifact offline from
+// a saved -summary file, `worker` joins a remote coordinator's sweep over
+// its control plane, and `cache` inspects or prunes the shared
+// content-addressed result cache.
 package main
 
 import (

@@ -13,14 +13,19 @@ import (
 	"repro/internal/sweep"
 )
 
-// runSweep is `campaign sweep [expand] ...`: the fleet sweep driver. The
-// plain form runs a spec to completion — in-process workers, optional HTTP
-// control plane for remote `campaign worker` processes — and prints the
-// merged Table-1-style summary. The expand form previews the job stream
-// without running anything.
+// runSweep is `campaign sweep [expand|report] ...`: the fleet sweep
+// driver. The plain form runs a spec to completion — in-process workers,
+// optional HTTP control plane for remote `campaign worker` processes — and
+// prints the merged Table-1-style summary (or, with -report, the full
+// paper artifact). The expand form previews the job stream without running
+// anything; the report form re-renders the artifact offline from a saved
+// summary JSON.
 func runSweep(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "expand" {
 		return runSweepExpand(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "report" {
+		return runSweepReport(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("campaign sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -31,12 +36,14 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache", campaign.DefaultCacheDir, "shared result cache directory")
 	noCache := fs.Bool("no-cache", false, "bypass the result cache entirely")
 	summaryPath := fs.String("summary", "", "write the summary JSON to this file")
-	asJSON := fs.Bool("json", false, "print the summary as JSON instead of text")
+	asJSON := fs.Bool("json", false, "print the output as JSON instead of text")
+	report := fs.Bool("report", false, "print the paper-artifact report (Tables 1-3 + CDFs) instead of the summary table")
 	quiet := fs.Bool("quiet", false, "suppress per-lease progress lines")
 	obsFlags := obsflag.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: campaign sweep [flags] SPEC.json")
 		fmt.Fprintln(stderr, "       campaign sweep expand [-n N] SPEC.json")
+		fmt.Fprintln(stderr, "       campaign sweep report [-json] SUMMARY.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -122,15 +129,9 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if *asJSON {
-		data, jerr := sum.JSON()
-		if jerr != nil {
-			fmt.Fprintln(stderr, "campaign:", jerr)
-			return 1
-		}
-		fmt.Fprintln(stdout, string(data))
-	} else {
-		fmt.Fprint(stdout, sum.Text())
+	if err := emitSweepOutput(sum, *report, *asJSON, stdout); err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
 	}
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(stderr, "campaign:", err)
@@ -174,6 +175,74 @@ func runSweepExpand(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "%8d  %-32s seed %-8d key %s\n", j.Index, j.CellKey(), j.Seed, j.Key())
+	}
+	return 0
+}
+
+// emitSweepOutput prints a finished sweep either as the one-line-per-cell
+// summary or, with report set, as the full paper artifact rendered from the
+// merged sketches.
+func emitSweepOutput(sum *sweep.Summary, report, asJSON bool, stdout io.Writer) error {
+	if report {
+		rep, err := sum.Report()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			data, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, string(data))
+			return nil
+		}
+		fmt.Fprint(stdout, rep.Text())
+		return nil
+	}
+	if asJSON {
+		data, err := sum.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+		return nil
+	}
+	fmt.Fprint(stdout, sum.Text())
+	return nil
+}
+
+// runSweepReport is `campaign sweep report SUMMARY.json`: re-render the
+// paper artifact (Tables 1-3, MOS quantiles, CDF figures) offline from a
+// summary written by `campaign sweep -summary`. Nothing is re-run — the
+// report comes entirely from the merged sketches in the file.
+func runSweepReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign sweep report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the report as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: campaign sweep report [-json] SUMMARY.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 2
+	}
+	sum, err := sweep.LoadSummary(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 2
+	}
+	if err := emitSweepOutput(sum, true, *asJSON, stdout); err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
 	}
 	return 0
 }

@@ -99,6 +99,64 @@ func TestSweepRunsRealJobs(t *testing.T) {
 	}
 }
 
+// TestSweepReportRoundTrip runs a real sweep with -report, then re-renders
+// the identical artifact offline with `sweep report` from the -summary file.
+func TestSweepReportRoundTrip(t *testing.T) {
+	spec := writeSpec(t, tinySpec)
+	cache := filepath.Join(t.TempDir(), "cache")
+	sumPath := filepath.Join(t.TempDir(), "sum.json")
+
+	var live, errOut bytes.Buffer
+	if code := runSweep([]string{"-cache", cache, "-quiet", "-report", "-summary", sumPath, spec}, &live, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	text := live.String()
+	for _, want := range []string{"Paper artifact", "Table 1", "Table 2", "Table 3", "MOS CDF"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("live report missing %q:\n%s", want, text)
+		}
+	}
+
+	var offline bytes.Buffer
+	errOut.Reset()
+	if code := runSweepReport([]string{sumPath}, &offline, &errOut); code != 0 {
+		t.Fatalf("report exit %d, stderr %q", code, errOut.String())
+	}
+	if offline.String() != text {
+		t.Error("offline `sweep report` differs from live -report output")
+	}
+
+	var jsonOut bytes.Buffer
+	errOut.Reset()
+	if code := runSweepReport([]string{"-json", sumPath}, &jsonOut, &errOut); code != 0 {
+		t.Fatalf("report -json exit %d, stderr %q", code, errOut.String())
+	}
+	var rep sweep.Report
+	if err := json.Unmarshal(jsonOut.Bytes(), &rep); err != nil {
+		t.Fatalf("report -json output: %v", err)
+	}
+	if rep.Schema != sweep.ReportSchema {
+		t.Errorf("report schema %q", rep.Schema)
+	}
+}
+
+func TestSweepReportRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sum.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"sweep-summary-v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := runSweepReport([]string{path}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "sweep-summary") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+	if code := runSweepReport(nil, &out, &errOut); code != 2 {
+		t.Fatalf("usage exit %d", code)
+	}
+}
+
 func TestSweepUsage(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := runSweep(nil, &out, &errOut); code != 2 {

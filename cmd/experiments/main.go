@@ -6,11 +6,17 @@
 //	experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE]
 //	            [-series PATH[,WINDOW]] [-pprof DIR] [-http ADDR]
 //	            <experiment>|all
+//	experiments sweep SPEC.json
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
 // regenerates everything except the calibration sweeps, which are
 // diagnostic. Run `experiments list` for the full inventory.
+//
+// `experiments sweep` runs a fleet sweep spec in process and prints the
+// paper artifact — Tables 1-3 and the CDF figures of docs/RESULTS.md —
+// rendered from merged metric sketches. It shares the result cache and the
+// deterministic fingerprint with `campaign sweep` (see docs/FLEET.md).
 //
 // The observability flags (-metrics, -trace, -series, -pprof, -http) are
 // shared with cmd/campaign; see docs/OBSERVABILITY.md for the metric names,
@@ -26,6 +32,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/exp"
 	"repro/internal/obsflag"
 )
@@ -41,6 +48,7 @@ func run() int {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]] [-pprof DIR] <experiment>|all|list")
+		fmt.Fprintln(os.Stderr, "       experiments sweep SPEC.json")
 		return 2
 	}
 
@@ -95,6 +103,19 @@ func run() int {
 	case "list":
 		for _, s := range exp.Registry() {
 			fmt.Printf("%-24s %-12s %s\n", s.ID, s.Kind, s.Title)
+		}
+	case "sweep":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: experiments sweep SPEC.json")
+			return 2
+		}
+		cache, cerr := campaign.OpenCache(campaign.DefaultCacheDir)
+		if cerr != nil {
+			fail(cerr)
+			break
+		}
+		if err := runSweepMode(flag.Arg(1), cache, os.Stdout, os.Stderr); err != nil {
+			fail(err)
 		}
 	default:
 		s, err := exp.Lookup(name)

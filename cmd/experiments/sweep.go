@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// runSweepMode is `experiments sweep SPEC.json`: regenerate the paper
+// artifact (Tables 1-3, MOS quantiles, CDF figures) from a fleet sweep
+// spec, in process. It is the single-machine twin of `campaign sweep
+// -report` — same engine, same cache, same deterministic fingerprint — for
+// when the grid fits one box and no control plane is wanted. See
+// docs/RESULTS.md for the checked-in artifact this regenerates.
+func runSweepMode(path string, cache *campaign.Cache, stdout, stderr io.Writer) error {
+	spec, err := sweep.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "sweep %q: %d cells × %d seeds = %d jobs (spec %s)\n",
+		spec.Name, spec.CellCount(), spec.Seeds.Count, spec.Total(), spec.Hash())
+	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{})
+	if _, err := sweep.RunWorker(sweep.LocalTransport{C: coord},
+		&sweep.Runner{Cache: cache},
+		sweep.WorkerOptions{Name: "experiments", Progress: stderr}); err != nil {
+		return err
+	}
+	sum := coord.Summary()
+	rep, err := sum.Report()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, rep.Text())
+	if sum.Failed > 0 {
+		return fmt.Errorf("sweep %q: %d jobs failed", spec.Name, sum.Failed)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestRunSweepMode drives `experiments sweep` end to end on the real
+// simulator and checks the paper artifact comes out whole.
+func TestRunSweepMode(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	doc := `{"name":"tiny","seeds":{"start":7,"count":2},"duration_s":5,
+		"impairments":["weak-link"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache, err := campaign.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := runSweepMode(spec, cache, &out, &errOut); err != nil {
+		t.Fatalf("%v, stderr %q", err, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"Paper artifact", "Table 1", "Table 2", "Table 3",
+		"MOS CDF", "fingerprint"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("artifact missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errOut.String(), "1 cells × 2 seeds = 2 jobs") {
+		t.Errorf("progress header: %q", errOut.String())
+	}
+}
+
+func TestRunSweepModeBadSpec(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runSweepMode(filepath.Join(t.TempDir(), "nope.json"), nil, &out, &errOut); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

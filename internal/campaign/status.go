@@ -85,6 +85,12 @@ type StatusSnapshot struct {
 	ElapsedP99MS  int64 `json:"elapsed_p99_ms"`
 	ElapsedP999MS int64 `json:"elapsed_p999_ms,omitempty"`
 
+	// Sketch telemetry for sweeps (zero for registry campaigns): how many
+	// metric digests the merged aggregate holds (cells × metric keys, plus
+	// timing) and their total bucket count — the aggregate's memory driver.
+	MetricSketches int `json:"metric_sketches,omitempty"`
+	SketchBuckets  int `json:"sketch_buckets,omitempty"`
+
 	// Fleet is the per-worker view of a sharded sweep (empty for
 	// single-process campaigns): lease counts, completed jobs, and
 	// liveness derived from heartbeat recency.
@@ -273,6 +279,9 @@ func (snap *StatusSnapshot) Text() string {
 	if snap.Executed+snap.Failed > 0 {
 		t.AddRow("job elapsed p50/p95/p99/p999", fmt.Sprintf("%dms / %dms / %dms / %dms",
 			snap.ElapsedP50MS, snap.ElapsedP95MS, snap.ElapsedP99MS, snap.ElapsedP999MS))
+	}
+	if snap.MetricSketches > 0 {
+		t.AddRow("metric sketches / buckets", fmt.Sprintf("%d / %d", snap.MetricSketches, snap.SketchBuckets))
 	}
 	out := t.String()
 	if len(snap.Fleet) > 0 {

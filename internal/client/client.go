@@ -139,8 +139,10 @@ type Client struct {
 	// recovery-delay instrumentation for Table 3: time from initiating a
 	// loss-triggered switch to the first packet received on the secondary.
 	visitStart     sim.Time
+	visitTrigger   int // seq whose loss initiated the visit; -1 for keepalives
 	visitDelivered bool
 	recoveryDelays []sim.Duration
+	recoveryEvents []RecoveryEvent
 
 	// futile-visit backoff: when the secondary keeps yielding nothing,
 	// stop chasing it for a while.
@@ -168,23 +170,48 @@ func (c *Client) RecoveryDelays() []sim.Duration {
 	return append([]sim.Duration(nil), c.recoveryDelays...)
 }
 
+// RecoveryEvent decomposes one successful loss-triggered recovery into the
+// paper's Table 3 components, mirroring the trace analyzer's episode
+// semantics (internal/obs/analyze):
+//
+//   - Detect: the triggering packet's nominal arrival time → switch
+//     initiation. Covers the PacketLossTimeout plus any wait for the packet
+//     to near the head of the secondary's drop queue (§5.2.5).
+//   - Switch: the fixed link-move cost (PSM sleep signal + channel retune).
+//   - Retrieve: arrival on the secondary → first useful delivery.
+//   - Total: switch initiation → first useful delivery (= Switch +
+//     Retrieve, the exact value RecoveryDelays reports).
+type RecoveryEvent struct {
+	Detect   sim.Duration
+	Switch   sim.Duration
+	Retrieve sim.Duration
+	Total    sim.Duration
+}
+
+// RecoveryEvents returns the per-recovery delay decomposition, one entry
+// per RecoveryDelays element and in the same order.
+func (c *Client) RecoveryEvents() []RecoveryEvent {
+	return append([]RecoveryEvent(nil), c.recoveryEvents...)
+}
+
 // New creates the client. Call BindAPs before starting a call.
 func New(s *sim.Simulator, cfg Config) *Client {
 	cfg.fillDefaults()
 	reg := s.Obs()
 	return &Client{
-		sim:         s,
-		cfg:         cfg,
-		missing:     make(map[int]sim.Time),
-		pendingSeq:  -1,
-		obs:         reg,
-		ctLosses:    reg.Counter("client.losses_detected"),
-		ctRecSwitch: reg.Counter("client.recovery_switches"),
-		ctKASwitch:  reg.Counter("client.keepalive_switches"),
-		ctRecovered: reg.Counter("client.recovered"),
-		ctDup:       reg.Counter("client.duplicates"),
-		ctMisses:    reg.Counter("client.playout_misses"),
-		hRecDelay:   reg.Histogram("client.recovery_delay_us", nil),
+		sim:          s,
+		cfg:          cfg,
+		missing:      make(map[int]sim.Time),
+		pendingSeq:   -1,
+		visitTrigger: -1,
+		obs:          reg,
+		ctLosses:     reg.Counter("client.losses_detected"),
+		ctRecSwitch:  reg.Counter("client.recovery_switches"),
+		ctKASwitch:   reg.Counter("client.keepalive_switches"),
+		ctRecovered:  reg.Counter("client.recovered"),
+		ctDup:        reg.Counter("client.duplicates"),
+		ctMisses:     reg.Counter("client.playout_misses"),
+		hRecDelay:    reg.Histogram("client.recovery_delay_us", nil),
 	}
 }
 
@@ -318,8 +345,17 @@ func (c *Client) OnDelivery(from *ap.AP, p pkt.Packet, at sim.Time) {
 			// already-received packets do not count.
 			if !c.visitDelivered {
 				c.visitDelivered = true
-				c.recoveryDelays = append(c.recoveryDelays, at.Sub(c.visitStart))
-				c.hRecDelay.Observe(int64(at.Sub(c.visitStart)))
+				total := at.Sub(c.visitStart)
+				c.recoveryDelays = append(c.recoveryDelays, total)
+				c.hRecDelay.Observe(int64(total))
+				ev := RecoveryEvent{Switch: switchCost(), Total: total}
+				ev.Retrieve = total - ev.Switch
+				if c.visitTrigger >= 0 {
+					if d := c.visitStart.Sub(c.expectedArrival(c.visitTrigger)); d > 0 {
+						ev.Detect = d
+					}
+				}
+				c.recoveryEvents = append(c.recoveryEvents, ev)
 			}
 		}
 	}
@@ -431,6 +467,10 @@ func (c *Client) goToSecondary(keepalive bool) {
 	c.st = switchingToSecondary
 	c.absentSince = c.sim.Now()
 	c.visitStart = c.sim.Now()
+	c.visitTrigger = c.pendingSeq
+	if keepalive {
+		c.visitTrigger = -1
+	}
 	// Only loss-triggered visits measure a recovery delay; keepalive
 	// deliveries are marked already-delivered so they record nothing.
 	c.visitDelivered = keepalive

@@ -348,3 +348,39 @@ func TestRecoveryDelaysOnlyFromLossVisits(t *testing.T) {
 		t.Errorf("keepalive visits produced %d recovery-delay samples", n)
 	}
 }
+
+// TestRecoveryEventDecomposition: every recovery delay decomposes into the
+// Table 3 components — total = switch + retrieve exactly, switch is the
+// fixed PSM+retune cost, and detect covers at least the PacketLossTimeout
+// for the triggering packet.
+func TestRecoveryEventDecomposition(t *testing.T) {
+	r := newWiredRig(t, 4, 55, 0, Config{})
+	r.start(200)
+	r.sim.Run(sim.Time(10 * sim.Second))
+	delays := r.client.RecoveryDelays()
+	events := r.client.RecoveryEvents()
+	if len(events) == 0 {
+		t.Fatal("no recovery events on a dead primary")
+	}
+	if len(events) != len(delays) {
+		t.Fatalf("%d events vs %d delays", len(events), len(delays))
+	}
+	plt := r.client.plt()
+	for i, ev := range events {
+		if ev.Total != delays[i] {
+			t.Errorf("event %d: total %v != RecoveryDelays %v", i, ev.Total, delays[i])
+		}
+		if ev.Switch != switchCost() {
+			t.Errorf("event %d: switch %v != fixed cost %v", i, ev.Switch, switchCost())
+		}
+		if ev.Retrieve != ev.Total-ev.Switch {
+			t.Errorf("event %d: retrieve %v != total-switch %v", i, ev.Retrieve, ev.Total-ev.Switch)
+		}
+		if ev.Detect < plt {
+			t.Errorf("event %d: detect %v < PLT %v", i, ev.Detect, plt)
+		}
+		if ev.Detect > sim.Time(10*sim.Second).Sub(0) {
+			t.Errorf("event %d: absurd detect %v", i, ev.Detect)
+		}
+	}
+}

@@ -160,6 +160,9 @@ type DiversiFiResult struct {
 	PrimaryIsA       bool
 	// RecoveryDelays holds switch-to-first-secondary-packet delays.
 	RecoveryDelays []sim.Duration
+	// Recoveries decomposes each RecoveryDelays entry into the paper's
+	// detect / switch / retrieve components (same order).
+	Recoveries []client.RecoveryEvent
 	// WastefulRate is unnecessary secondary transmissions (client already
 	// had the packet, or nobody was listening) over total stream packets.
 	WastefulRate float64
@@ -317,6 +320,7 @@ func RunDiversiFi(sc Scenario, opts DiversiFiOptions) DiversiFiResult {
 		Secondary:        secAP.Stats(),
 		PrimaryIsA:       primaryIsA,
 		RecoveryDelays:   c.RecoveryDelays(),
+		Recoveries:       c.RecoveryEvents(),
 		Absences:         c.Absences(),
 	}
 	wasted := res.Secondary.WastedTransmissions + cs.DuplicatesReceived

@@ -8,63 +8,91 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/sim"
 	"repro/internal/sketch"
 	"repro/internal/stats"
 )
 
-// CellAgg is one grid cell's mergeable aggregate: counters plus one
-// quantile sketch per metric. Memory is O(sketch compression), independent
-// of how many calls the cell absorbed.
+// CellAgg is one grid cell's mergeable aggregate: exact counters plus one
+// quantile sketch per canonical metric key (metrickeys.go). Memory is
+// O(metrics × sketch compression), independent of how many calls the cell
+// absorbed. Every cell carries the full key set — Sketches' keys equal
+// MetricKeys() and Poor's keys equal Strategies() from construction through
+// JSON round-trips, which is what keeps fingerprints topology-independent.
 type CellAgg struct {
-	Calls        uint64 `json:"calls"`
-	Failed       uint64 `json:"failed"`
-	StrongerPoor uint64 `json:"stronger_poor"`
-	CrossPoor    uint64 `json:"cross_poor"`
-
-	StrongerMOS   *sketch.Digest `json:"stronger_mos"`
-	CrossMOS      *sketch.Digest `json:"cross_mos"`
-	StrongerWorst *sketch.Digest `json:"stronger_worst"`
-	CrossWorst    *sketch.Digest `json:"cross_worst"`
-	Dup           *sketch.Digest `json:"dup"`
+	Calls  uint64 `json:"calls"`
+	Failed uint64 `json:"failed"`
+	// Poor counts poor calls (MOS below threshold) per strategy.
+	Poor map[string]uint64 `json:"poor"`
+	// Sketches holds one quantile digest per canonical metric key.
+	Sketches map[string]*sketch.Digest `json:"sketches"`
 }
 
 func newCellAgg() *CellAgg {
-	return &CellAgg{
-		StrongerMOS:   sketch.New(),
-		CrossMOS:      sketch.New(),
-		StrongerWorst: sketch.New(),
-		CrossWorst:    sketch.New(),
-		Dup:           sketch.New(),
+	c := &CellAgg{
+		Poor:     make(map[string]uint64, len(Strategies())),
+		Sketches: make(map[string]*sketch.Digest, len(metricDefs)),
 	}
+	for _, s := range Strategies() {
+		c.Poor[s] = 0
+	}
+	for _, d := range metricDefs {
+		c.Sketches[d.Key] = sketch.New()
+	}
+	return c
 }
 
 func (c *CellAgg) observe(m Metrics) {
 	c.Calls++
-	if m.StrongerPoor {
-		c.StrongerPoor++
+	for _, s := range Strategies() {
+		if m.Poor[s] {
+			c.Poor[s]++
+		}
 	}
-	if m.CrossPoor {
-		c.CrossPoor++
+	for _, d := range metricDefs {
+		sk := c.sketch(d.Key)
+		switch d.Kind {
+		case KindScalar:
+			if v, ok := m.Scalars[d.Key]; ok {
+				sk.Add(v)
+			}
+		case KindSeries:
+			for _, v := range m.Series[d.Key] {
+				sk.Add(v)
+			}
+		}
 	}
-	c.StrongerMOS.Add(m.StrongerMOS)
-	c.CrossMOS.Add(m.CrossMOS)
-	c.StrongerWorst.Add(m.StrongerWorst)
-	c.CrossWorst.Add(m.CrossWorst)
-	c.Dup.Add(m.DupFrac)
+}
+
+// sketch returns the cell's digest for key, creating it if a decoded
+// aggregate arrived without it (a well-formed peer never does).
+func (c *CellAgg) sketch(key string) *sketch.Digest {
+	sk := c.Sketches[key]
+	if sk == nil {
+		sk = sketch.New()
+		if c.Sketches == nil {
+			c.Sketches = map[string]*sketch.Digest{}
+		}
+		c.Sketches[key] = sk
+	}
+	return sk
 }
 
 func (c *CellAgg) merge(o *CellAgg) error {
 	c.Calls += o.Calls
 	c.Failed += o.Failed
-	c.StrongerPoor += o.StrongerPoor
-	c.CrossPoor += o.CrossPoor
-	for _, pair := range [][2]*sketch.Digest{
-		{c.StrongerMOS, o.StrongerMOS}, {c.CrossMOS, o.CrossMOS},
-		{c.StrongerWorst, o.StrongerWorst}, {c.CrossWorst, o.CrossWorst},
-		{c.Dup, o.Dup},
-	} {
-		if err := pair[0].Merge(pair[1]); err != nil {
-			return err
+	if c.Poor == nil {
+		c.Poor = map[string]uint64{}
+	}
+	for s, n := range o.Poor {
+		c.Poor[s] += n
+	}
+	for key, osk := range o.Sketches {
+		if osk == nil {
+			continue
+		}
+		if err := c.sketch(key).Merge(osk); err != nil {
+			return fmt.Errorf("metric %s: %w", key, err)
 		}
 	}
 	return nil
@@ -72,8 +100,11 @@ func (c *CellAgg) merge(o *CellAgg) error {
 
 // buckets returns the cell's total sketch bucket count (its memory driver).
 func (c *CellAgg) buckets() int {
-	return c.StrongerMOS.Buckets() + c.CrossMOS.Buckets() +
-		c.StrongerWorst.Buckets() + c.CrossWorst.Buckets() + c.Dup.Buckets()
+	n := 0
+	for _, sk := range c.Sketches {
+		n += sk.Buckets()
+	}
+	return n
 }
 
 // Aggregate is a mergeable sweep aggregate: one CellAgg per touched grid
@@ -138,22 +169,37 @@ func (a *Aggregate) Jobs() int64 {
 	return n
 }
 
-// Footprint estimates the aggregate's memory in bytes from its sketch
-// bucket counts. The bounded-memory regression test asserts this does not
-// scale with job count.
-func (a *Aggregate) Footprint() int {
-	const perBucket = 16 // map entry: int32 key + uint64 count + overhead
-	const perCell = 256  // struct + 5 digest headers
-	n := len(a.Cells)*perCell + a.Elapsed.Buckets()*perBucket
+// Sketches returns the aggregate's total digest count (cells × metrics,
+// plus the elapsed telemetry digest) — control-plane telemetry.
+func (a *Aggregate) Sketches() int {
+	n := 1 // Elapsed
 	for _, c := range a.Cells {
-		n += c.buckets() * perBucket
+		n += len(c.Sketches)
 	}
 	return n
 }
 
-// Fingerprint hashes the deterministic content: every cell's counters and
-// sketch fingerprints, in sorted cell order. Elapsed (timing telemetry) is
-// excluded.
+// Buckets returns the aggregate's total sketch bucket count.
+func (a *Aggregate) Buckets() int {
+	n := a.Elapsed.Buckets()
+	for _, c := range a.Cells {
+		n += c.buckets()
+	}
+	return n
+}
+
+// Footprint estimates the aggregate's memory in bytes from its sketch
+// bucket counts. The bounded-memory regression test asserts this does not
+// scale with job count.
+func (a *Aggregate) Footprint() int {
+	const perBucket = 16  // map entry: int32 key + uint64 count + overhead
+	const perDigest = 112 // digest header + map header
+	return a.Sketches()*perDigest + a.Buckets()*perBucket + len(a.Cells)*128
+}
+
+// Fingerprint hashes the deterministic content: every cell's counters,
+// poor-call counts, and sketch fingerprints, in sorted cell/key order.
+// Elapsed (timing telemetry) is excluded.
 func (a *Aggregate) Fingerprint() string {
 	h := sha256.New()
 	keys := make([]string, 0, len(a.Cells))
@@ -163,19 +209,34 @@ func (a *Aggregate) Fingerprint() string {
 	sort.Strings(keys)
 	for _, k := range keys {
 		c := a.Cells[k]
-		fmt.Fprintf(h, "%s|%d|%d|%d|%d|%s|%s|%s|%s|%s\n",
-			k, c.Calls, c.Failed, c.StrongerPoor, c.CrossPoor,
-			c.StrongerMOS.Fingerprint(), c.CrossMOS.Fingerprint(),
-			c.StrongerWorst.Fingerprint(), c.CrossWorst.Fingerprint(),
-			c.Dup.Fingerprint())
+		fmt.Fprintf(h, "%s|%d|%d\n", k, c.Calls, c.Failed)
+		for _, s := range sortedKeys(c.Poor) {
+			fmt.Fprintf(h, "poor:%s=%d\n", s, c.Poor[s])
+		}
+		for _, mk := range sortedKeys(c.Sketches) {
+			fmt.Fprintf(h, "sketch:%s=%s\n", mk, c.Sketches[mk].Fingerprint())
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// SummarySchema versions the sweep summary JSON document.
-const SummarySchema = "sweep-summary-v1"
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
-// CellSummary is one grid cell's row in the final report.
+// SummarySchema versions the sweep summary JSON document. v2 replaced the
+// flattened per-receiver quantile fields with the full per-cell digest set,
+// so any report (tables, CDFs) renders from a saved summary alone.
+const SummarySchema = "sweep-summary-v2"
+
+// CellSummary is one grid cell's row in the final report: exact counters,
+// per-strategy poor-call rates, and the cell's merged metric digests
+// themselves (canonical JSON), keyed by the canonical metric table.
 type CellSummary struct {
 	Cell       string `json:"cell"` // impairment/device/density
 	Impairment string `json:"impairment"`
@@ -184,24 +245,35 @@ type CellSummary struct {
 	Calls      uint64 `json:"calls"`
 	Failed     uint64 `json:"failed,omitempty"`
 
-	// Poor-call counts and rates (percent) for the two receivers, and
-	// their ratio (0 when cross-link PCR is zero — infinite improvement).
-	StrongerPoorCalls uint64  `json:"stronger_poor_calls"`
-	CrossPoorCalls    uint64  `json:"cross_poor_calls"`
-	StrongerPCR       float64 `json:"stronger_pcr"`
-	CrossPCR          float64 `json:"cross_pcr"`
-	Improvement       float64 `json:"improvement,omitempty"`
+	// Poor-call counts and rates (percent) per strategy, and the headline
+	// ratio stronger-PCR / DiversiFi-PCR (0 when DiversiFi's PCR is zero —
+	// infinite improvement).
+	Poor        map[string]uint64  `json:"poor"`
+	PCR         map[string]float64 `json:"pcr"`
+	Improvement float64            `json:"improvement,omitempty"`
 
-	// Cross-link MOS quantiles from the sketch (relative error ≤ 1 %).
-	CrossMOSP50  float64 `json:"cross_mos_p50"`
-	CrossMOSP95  float64 `json:"cross_mos_p95"`
-	CrossMOSP99  float64 `json:"cross_mos_p99"`
-	CrossMOSP999 float64 `json:"cross_mos_p999"`
-	// Worst-window loss p99 for both receivers (tail badness).
-	StrongerWorstP99 float64 `json:"stronger_worst_p99"`
-	CrossWorstP99    float64 `json:"cross_worst_p99"`
-	// Mean duplication cost (fraction of packets delivered twice).
-	DupMean float64 `json:"dup_mean"`
+	// Sketches carries the cell's merged quantile digests, one per
+	// canonical metric key. Quantiles have relative error ≤ 1 %.
+	Sketches map[string]*sketch.Digest `json:"sketches"`
+}
+
+// Quantile reads one metric's quantile from the cell's digest (0 when the
+// metric never observed anything).
+func (cs *CellSummary) Quantile(key string, q float64) float64 {
+	sk := cs.Sketches[key]
+	if sk == nil || sk.Count() == 0 {
+		return 0
+	}
+	return sk.Quantile(q)
+}
+
+// Mean reads one metric's mean from the cell's digest.
+func (cs *CellSummary) Mean(key string) float64 {
+	sk := cs.Sketches[key]
+	if sk == nil || sk.Count() == 0 {
+		return 0
+	}
+	return sk.Mean()
 }
 
 // Summary is the sweep's final report. Cells, counts, and Fingerprint are
@@ -212,6 +284,12 @@ type Summary struct {
 	Name        string `json:"name"`
 	SpecHash    string `json:"spec_hash"`
 	Fingerprint string `json:"fingerprint"`
+
+	// Call shape, for cost normalization in reports: the traffic profile
+	// and each call's nominal packet count and payload bytes.
+	Profile     string `json:"profile"`
+	CallPackets int64  `json:"call_packets"`
+	CallBytes   int64  `json:"call_bytes"`
 
 	TotalJobs int64 `json:"total_jobs"`
 	Done      int64 `json:"done"`
@@ -238,37 +316,33 @@ func Summarize(spec *Spec, agg *Aggregate) *Summary {
 		Name:        spec.Name,
 		SpecHash:    spec.Hash(),
 		Fingerprint: agg.Fingerprint(),
+		Profile:     spec.Profile,
 		TotalJobs:   spec.Total(),
 	}
-	keys := make([]string, 0, len(agg.Cells))
-	for k := range agg.Cells {
-		keys = append(keys, k)
+	if p, ok := profiles[spec.Profile]; ok && p.Spacing > 0 {
+		s.CallPackets = int64(sim.FromSeconds(spec.DurationS) / p.Spacing)
+		s.CallBytes = s.CallPackets * int64(p.PacketBytes)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(agg.Cells) {
 		c := agg.Cells[k]
 		parts := strings.SplitN(k, "/", 3)
 		cs := CellSummary{
 			Cell: k, Calls: c.Calls, Failed: c.Failed,
-			StrongerPoorCalls: c.StrongerPoor,
-			CrossPoorCalls:    c.CrossPoor,
-			CrossMOSP50:       c.CrossMOS.Quantile(0.50),
-			CrossMOSP95:       c.CrossMOS.Quantile(0.95),
-			CrossMOSP99:       c.CrossMOS.Quantile(0.99),
-			CrossMOSP999:      c.CrossMOS.Quantile(0.999),
-			StrongerWorstP99:  c.StrongerWorst.Quantile(0.99),
-			CrossWorstP99:     c.CrossWorst.Quantile(0.99),
-			DupMean:           c.Dup.Mean(),
+			Poor:     map[string]uint64{},
+			PCR:      map[string]float64{},
+			Sketches: c.Sketches,
 		}
 		if len(parts) == 3 {
 			cs.Impairment, cs.Device, cs.Density = parts[0], parts[1], parts[2]
 		}
-		if c.Calls > 0 {
-			cs.StrongerPCR = 100 * float64(c.StrongerPoor) / float64(c.Calls)
-			cs.CrossPCR = 100 * float64(c.CrossPoor) / float64(c.Calls)
-			if cs.CrossPCR > 0 {
-				cs.Improvement = cs.StrongerPCR / cs.CrossPCR
+		for _, strat := range Strategies() {
+			cs.Poor[strat] = c.Poor[strat]
+			if c.Calls > 0 {
+				cs.PCR[strat] = 100 * float64(c.Poor[strat]) / float64(c.Calls)
 			}
+		}
+		if cs.PCR[StrategyDiversiFi] > 0 {
+			cs.Improvement = cs.PCR[StrategyStronger] / cs.PCR[StrategyDiversiFi]
 		}
 		s.Cells = append(s.Cells, cs)
 		s.Done += int64(c.Calls + c.Failed)
@@ -283,41 +357,83 @@ func Summarize(spec *Spec, agg *Aggregate) *Summary {
 	return s
 }
 
+// MergedDigest merges one metric's digests across every cell — the
+// population-wide distribution the CDF figures and Table 3 render from.
+func (s *Summary) MergedDigest(key string) (*sketch.Digest, error) {
+	out := sketch.New()
+	for i := range s.Cells {
+		if sk := s.Cells[i].Sketches[key]; sk != nil {
+			if err := out.Merge(sk); err != nil {
+				return nil, fmt.Errorf("sweep: merge %s for cell %s: %w", key, s.Cells[i].Cell, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PoorTotal sums one strategy's poor calls across cells.
+func (s *Summary) PoorTotal(strategy string) uint64 {
+	var n uint64
+	for i := range s.Cells {
+		n += s.Cells[i].Poor[strategy]
+	}
+	return n
+}
+
+// CallsTotal sums successful calls across cells.
+func (s *Summary) CallsTotal() uint64 {
+	var n uint64
+	for i := range s.Cells {
+		n += s.Cells[i].Calls
+	}
+	return n
+}
+
 // JSON renders the summary as indented JSON.
 func (s *Summary) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// Text renders the Table-1-style fleet report: per-cell PCR for both
-// receivers plus the sketch-backed quality tails.
+// Text renders the Table-1-style fleet report: per-cell PCR for all three
+// strategies plus the sketch-backed quality tails. The per-strategy PCR
+// columns come from Strategies(), so the layout tracks the canonical
+// strategy list (metrickeys_test.go pins the coupling).
 func (s *Summary) Text() string {
+	headers := []string{"impairment", "device", "density", "calls"}
+	for _, strat := range Strategies() {
+		headers = append(headers, strat+" PCR %")
+	}
+	headers = append(headers, "improve", "dvf MOS p50/p99", "dup KB/call")
 	t := stats.NewTable(fmt.Sprintf("Fleet sweep %q: PCR by cell (%d/%d jobs)", s.Name, s.Done, s.TotalJobs),
-		"impairment", "device", "density", "calls",
-		"stronger PCR %", "cross PCR %", "improve",
-		"cross MOS p50/p99", "dup cost")
-	var totCalls, totSPoor, totCPoor uint64
-	for _, c := range s.Cells {
+		headers...)
+	for i := range s.Cells {
+		c := &s.Cells[i]
 		improve := "-"
 		if c.Improvement > 0 {
 			improve = fmt.Sprintf("%.1fx", c.Improvement)
-		} else if c.StrongerPCR > 0 && c.CrossPCR == 0 {
+		} else if c.PCR[StrategyStronger] > 0 && c.PCR[StrategyDiversiFi] == 0 {
 			improve = "inf"
 		}
-		t.AddRow(c.Impairment, c.Device, c.Density, fmt.Sprint(c.Calls),
-			fmt.Sprintf("%.2f", c.StrongerPCR),
-			fmt.Sprintf("%.2f", c.CrossPCR),
-			improve,
-			fmt.Sprintf("%.2f / %.2f", c.CrossMOSP50, c.CrossMOSP99),
-			fmt.Sprintf("%.2f", c.DupMean))
-		totCalls += c.Calls
-		totSPoor += c.StrongerPoorCalls
-		totCPoor += c.CrossPoorCalls
+		row := []string{c.Impairment, c.Device, c.Density, fmt.Sprint(c.Calls)}
+		for _, strat := range Strategies() {
+			row = append(row, fmt.Sprintf("%.2f", c.PCR[strat]))
+		}
+		row = append(row, improve,
+			fmt.Sprintf("%.2f / %.2f", c.Quantile("diversifi_mos", 0.50), c.Quantile("diversifi_mos", 0.99)),
+			fmt.Sprintf("%.1f", c.Mean("diversifi_dup_bytes")/1024))
+		t.AddRow(row...)
 	}
 	var b strings.Builder
 	b.WriteString(t.String())
-	if totCalls > 0 {
-		fmt.Fprintf(&b, "\noverall: %d calls, stronger PCR %.2f%% vs cross-link %.2f%%\n",
-			totCalls, 100*float64(totSPoor)/float64(totCalls), 100*float64(totCPoor)/float64(totCalls))
+	if tot := s.CallsTotal(); tot > 0 {
+		fmt.Fprintf(&b, "\noverall PCR: ")
+		for i, strat := range Strategies() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %.2f%%", strat, 100*float64(s.PoorTotal(strat))/float64(tot))
+		}
+		fmt.Fprintf(&b, " over %d calls\n", tot)
 	}
 	fmt.Fprintf(&b, "%d executed, %d cached, %d failed — %.1fs wall, %.1f jobs/s (%d workers)\n",
 		s.Executed, s.Cached, s.Failed, float64(s.ElapsedMS)/1000, s.JobsPerSec, s.Workers)

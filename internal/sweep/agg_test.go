@@ -1,7 +1,9 @@
 package sweep
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -9,21 +11,53 @@ import (
 	"repro/internal/sim/rng"
 )
 
-// synthMetrics derives deterministic fake metrics from a job, cheap enough
-// to run a 10^5-job sweep in-process.
+// synthMetrics derives deterministic fake metrics from a job — the full v2
+// keyed metric set, cheap enough to run a 10^5-job sweep in-process.
 func synthMetrics(j Job) Metrics {
 	r := rng.New(j.Seed*7919 + int64(len(j.CellKey())))
-	sm := 2.0 + 2.5*r.Float64()
-	cm := math.Min(5, sm+0.8*r.Float64())
-	return Metrics{
-		StrongerMOS:   sm,
-		CrossMOS:      cm,
-		StrongerPoor:  sm < 3.0,
-		CrossPoor:     cm < 3.0,
-		StrongerWorst: 0.3 * r.Float64(),
-		CrossWorst:    0.1 * r.Float64(),
-		DupFrac:       0.5 + 0.4*r.Float64(),
+	m := Metrics{
+		Schema:  MetricsSchema,
+		Scalars: map[string]float64{},
+		Series:  map[string][]float64{},
+		Poor:    map[string]bool{},
 	}
+	mos := map[string]float64{StrategyStronger: 2.0 + 2.5*r.Float64()}
+	mos[StrategyCross] = math.Min(5, mos[StrategyStronger]+0.8*r.Float64())
+	mos[StrategyDiversiFi] = math.Min(5, mos[StrategyStronger]+0.6*r.Float64())
+	for _, strat := range Strategies() {
+		m.Scalars[metricKey(strat, "mos")] = mos[strat]
+		m.Scalars[metricKey(strat, "worst")] = 0.3 * r.Float64()
+		m.Scalars[metricKey(strat, "miss_pct")] = 10 * r.Float64()
+		m.Poor[strat] = mos[strat] < 3.0
+	}
+	m.Scalars["cross_dup_bytes"] = 1e6 * r.Float64()
+	m.Scalars["diversifi_dup_bytes"] = 2e3 * r.Float64()
+	for k := r.Intn(4); k > 0; k-- {
+		detect, sw, retr := 20*r.Float64(), 2.3, 5*r.Float64()
+		m.Series["recovery_detect_ms"] = append(m.Series["recovery_detect_ms"], detect)
+		m.Series["recovery_switch_ms"] = append(m.Series["recovery_switch_ms"], sw)
+		m.Series["recovery_retrieve_ms"] = append(m.Series["recovery_retrieve_ms"], retr)
+		m.Series["recovery_total_ms"] = append(m.Series["recovery_total_ms"], sw+retr)
+	}
+	return m
+}
+
+// mkMetrics builds a hand-specified record for summary-math tests.
+func mkMetrics(mos map[string]float64, poor map[string]bool, dupBytes float64) Metrics {
+	m := Metrics{
+		Schema:  MetricsSchema,
+		Scalars: map[string]float64{},
+		Series:  map[string][]float64{},
+		Poor:    map[string]bool{},
+	}
+	for strat, v := range mos {
+		m.Scalars[metricKey(strat, "mos")] = v
+	}
+	for strat, p := range poor {
+		m.Poor[strat] = p
+	}
+	m.Scalars["diversifi_dup_bytes"] = dupBytes
+	return m
 }
 
 func synthSpec(t *testing.T, doc string) *Spec {
@@ -55,7 +89,8 @@ func runSequential(t *testing.T, s *Spec, r *Runner) *Aggregate {
 }
 
 // TestMergeOrderIndependent: splitting the stream into shards and merging
-// in any order must fingerprint identically to the sequential run.
+// in any order must fingerprint identically to the sequential run — across
+// the full multi-metric set, series sketches included.
 func TestMergeOrderIndependent(t *testing.T) {
 	s := synthSpec(t, `{"name":"m","seeds":{"count":40},
 		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical","sparse"]}`)
@@ -86,10 +121,29 @@ func TestMergeOrderIndependent(t *testing.T) {
 	}
 }
 
+// TestMergeJSONRoundTrip: an aggregate survives the wire (canonical JSON)
+// with its fingerprint intact — what /sweep/complete depends on.
+func TestMergeJSONRoundTrip(t *testing.T) {
+	s := synthSpec(t, `{"name":"rt","seeds":{"count":10},
+		"impairments":["mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	agg := runSequential(t, s, &Runner{RunFunc: synthMetrics})
+	data, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != agg.Fingerprint() {
+		t.Error("fingerprint changed across JSON round-trip")
+	}
+}
+
 // TestElapsedExcludedFromFingerprint: timing is telemetry.
 func TestElapsedExcludedFromFingerprint(t *testing.T) {
 	a, b := NewAggregate(), NewAggregate()
-	m := Metrics{StrongerMOS: 3, CrossMOS: 4}
+	m := mkMetrics(map[string]float64{StrategyStronger: 3, StrategyCross: 4}, nil, 0)
 	a.Observe("c/pc/dense", m)
 	b.Observe("c/pc/dense", m)
 	a.ObserveElapsed(12.5)
@@ -106,13 +160,13 @@ func TestSummarizeCells(t *testing.T) {
 	agg := NewAggregate()
 	key := "mobility/pc/typical"
 	for i := 0; i < 100; i++ {
-		agg.Observe(key, Metrics{
-			StrongerMOS:  3.5,
-			CrossMOS:     4.2,
-			StrongerPoor: i < 30, // 30% PCR
-			CrossPoor:    i < 3,  // 3% PCR
-			DupFrac:      0.5,
-		})
+		agg.Observe(key, mkMetrics(
+			map[string]float64{StrategyStronger: 3.5, StrategyCross: 4.2, StrategyDiversiFi: 4.2},
+			map[string]bool{
+				StrategyStronger:  i < 30, // 30% PCR
+				StrategyCross:     i < 2,  // 2% PCR
+				StrategyDiversiFi: i < 3,  // 3% PCR
+			}, 512))
 	}
 	sum := Summarize(s, agg)
 	if len(sum.Cells) != 1 {
@@ -122,24 +176,28 @@ func TestSummarizeCells(t *testing.T) {
 	if c.Impairment != "mobility" || c.Device != "pc" || c.Density != "typical" {
 		t.Errorf("cell parsed as %s/%s/%s", c.Impairment, c.Device, c.Density)
 	}
-	if c.StrongerPCR != 30 || c.CrossPCR != 3 {
-		t.Errorf("PCR %.1f / %.1f, want 30 / 3", c.StrongerPCR, c.CrossPCR)
+	if c.PCR[StrategyStronger] != 30 || c.PCR[StrategyCross] != 2 || c.PCR[StrategyDiversiFi] != 3 {
+		t.Errorf("PCR %v, want 30 / 2 / 3", c.PCR)
 	}
 	if math.Abs(c.Improvement-10) > 1e-9 {
 		t.Errorf("improvement %.2f, want 10", c.Improvement)
 	}
-	if math.Abs(c.DupMean-0.5) > 1e-9 {
-		t.Errorf("dup mean %.3f", c.DupMean)
+	if math.Abs(c.Mean("diversifi_dup_bytes")-512) > 1e-9 {
+		t.Errorf("dup mean %.3f", c.Mean("diversifi_dup_bytes"))
 	}
 	// 1% sketch error bound on a point mass at 4.2.
-	if math.Abs(c.CrossMOSP50-4.2) > 0.042 {
-		t.Errorf("cross MOS p50 %.3f", c.CrossMOSP50)
+	if math.Abs(c.Quantile("diversifi_mos", 0.50)-4.2) > 0.042 {
+		t.Errorf("diversifi MOS p50 %.3f", c.Quantile("diversifi_mos", 0.50))
 	}
 	if sum.Done != 100 || sum.Failed != 0 {
 		t.Errorf("done/failed %d/%d", sum.Done, sum.Failed)
 	}
 	if sum.Fingerprint != agg.Fingerprint() {
 		t.Error("summary fingerprint mismatch")
+	}
+	// The paper call shape: G.711 at 120 s is 6000 packets of 160 bytes.
+	if sum.CallPackets != 6000 || sum.CallBytes != 6000*160 {
+		t.Errorf("call shape %d pkts / %d bytes", sum.CallPackets, sum.CallBytes)
 	}
 	txt := sum.Text()
 	if !strings.Contains(txt, "mobility") || !strings.Contains(txt, "10.0x") {
@@ -172,7 +230,7 @@ func TestRunnerCache(t *testing.T) {
 	if err != nil || !cached {
 		t.Fatalf("second Do: cached=%v err=%v", cached, err)
 	}
-	if m1 != m2 {
+	if !reflect.DeepEqual(m1, m2) {
 		t.Error("cache returned different metrics")
 	}
 	if calls != 1 {
@@ -188,6 +246,19 @@ func TestRunnerCache(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("corrupt entry not re-executed (calls=%d)", calls)
+	}
+
+	// A v1-era record (stale schema) is evicted and re-executed, not
+	// misread into the v2 layout.
+	if err := cache.StoreRaw(j.Key(), []byte(`{"schema":"sweep-metrics-v1","stronger_mos":4}`)); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = r.Do(j)
+	if err != nil || cached {
+		t.Fatalf("stale-schema entry: cached=%v err=%v", cached, err)
+	}
+	if calls != 3 {
+		t.Errorf("stale-schema entry not re-executed (calls=%d)", calls)
 	}
 }
 
@@ -212,15 +283,41 @@ func TestRunJobReal(t *testing.T) {
 	for i := int64(0); i < 2; i++ {
 		j, _ := s.JobAt(i)
 		m := RunJob(j)
-		if m.StrongerMOS < 1 || m.StrongerMOS > 5 || m.CrossMOS < 1 || m.CrossMOS > 5 {
-			t.Errorf("job %d: MOS out of range: %+v", i, m)
+		for _, strat := range Strategies() {
+			mos := m.Scalars[metricKey(strat, "mos")]
+			if mos < 1 || mos > 5 {
+				t.Errorf("job %d: %s MOS out of range: %v", i, strat, mos)
+			}
+			if _, ok := m.Poor[strat]; !ok {
+				t.Errorf("job %d: no poor verdict for %s", i, strat)
+			}
 		}
-		if m.DupFrac < 0 || m.DupFrac > 1 {
-			t.Errorf("job %d: dup fraction %f", i, m.DupFrac)
+		if dup := m.Scalars["cross_dup_bytes"]; dup < 0 {
+			t.Errorf("job %d: cross dup bytes %f", i, dup)
+		}
+		// Every scalar/series key must come from the canonical table.
+		for k := range m.Scalars {
+			if d, ok := MetricDefByKey(k); !ok || d.Kind != KindScalar {
+				t.Errorf("job %d: unknown or mis-kinded scalar key %q", i, k)
+			}
+		}
+		for k := range m.Series {
+			if d, ok := MetricDefByKey(k); !ok || d.Kind != KindSeries {
+				t.Errorf("job %d: unknown or mis-kinded series key %q", i, k)
+			}
+		}
+		// The recovery component series stay mutually consistent.
+		if len(m.Series["recovery_total_ms"]) != len(m.Series["recovery_switch_ms"]) {
+			t.Errorf("job %d: recovery series lengths diverge", i)
+		}
+		for k, tot := range m.Series["recovery_total_ms"] {
+			sum := m.Series["recovery_switch_ms"][k] + m.Series["recovery_retrieve_ms"][k]
+			if math.Abs(tot-sum) > 1e-9 {
+				t.Errorf("job %d: recovery %d total %.3f != switch+retrieve %.3f", i, k, tot, sum)
+			}
 		}
 		m2 := RunJob(j)
-		m2.Schema = m.Schema
-		if m != m2 {
+		if !reflect.DeepEqual(m, m2) {
 			t.Errorf("job %d not deterministic: %+v vs %+v", i, m, m2)
 		}
 	}

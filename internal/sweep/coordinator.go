@@ -179,6 +179,13 @@ func (c *Coordinator) Heartbeat(workerName, leaseID string) HeartbeatResponse {
 // span has been or will be re-run by another worker, and counting it twice
 // would break the sharded-equals-single-process determinism contract.
 func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	if req.Schema != ProtoSchema {
+		// Version negotiation is a flat refusal: merging a different
+		// generation's metric layout would silently skew every sketch.
+		return CompleteResponse{}, fmt.Errorf(
+			"sweep: worker %q speaks %q, coordinator speaks %q — rebuild the older binary",
+			req.Worker, req.Schema, ProtoSchema)
+	}
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -275,6 +282,8 @@ func (c *Coordinator) Snapshot() *campaign.StatusSnapshot {
 		snap.ElapsedP99MS = int64(c.agg.Elapsed.Quantile(0.99))
 		snap.ElapsedP999MS = int64(c.agg.Elapsed.Quantile(0.999))
 	}
+	snap.MetricSketches = c.agg.Sketches()
+	snap.SketchBuckets = c.agg.Buckets()
 	for name, w := range c.workers {
 		snap.Fleet = append(snap.Fleet, campaign.WorkerStatus{
 			Name:       name,

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -110,7 +111,7 @@ func TestDeadWorkerRelease(t *testing.T) {
 		m, _, _ := (&Runner{RunFunc: synthMetrics}).Do(j)
 		ghost.Observe(j.CellKey(), m)
 	}
-	resp, err := c.Complete(CompleteRequest{Worker: "doomed", LeaseID: doomed.LeaseID,
+	resp, err := c.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "doomed", LeaseID: doomed.LeaseID,
 		Executed: doomed.To - doomed.From, Agg: ghost})
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +144,7 @@ func TestIncompleteReportRequeued(t *testing.T) {
 		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
 	c := NewCoordinator(s, CoordinatorOptions{Batch: 10})
 	grant := c.Lease("w", 10)
-	resp, err := c.Complete(CompleteRequest{Worker: "w", LeaseID: grant.LeaseID,
+	resp, err := c.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "w", LeaseID: grant.LeaseID,
 		Executed: 3, Agg: NewAggregate()}) // claims 3 of a 10-job span
 	if err == nil {
 		t.Fatal("short report accepted")
@@ -280,7 +281,7 @@ func TestCompleteSignalsDone(t *testing.T) {
 			}
 			agg.Observe(j.CellKey(), synthMetrics(j))
 		}
-		resp, err := tr.Complete(CompleteRequest{Worker: "w", LeaseID: grant.LeaseID,
+		resp, err := tr.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "w", LeaseID: grant.LeaseID,
 			Executed: grant.To - grant.From, Agg: agg})
 		if err != nil {
 			t.Fatal(err)
@@ -301,5 +302,33 @@ func TestWorkerNeedsName(t *testing.T) {
 	c := NewCoordinator(s, CoordinatorOptions{})
 	if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics}, WorkerOptions{}); err == nil {
 		t.Fatal("nameless worker accepted")
+	}
+}
+
+// TestCompleteSchemaMismatch is the protocol version-negotiation gate: a
+// worker speaking another proto generation gets a flat refusal, and its
+// aggregate never merges.
+func TestCompleteSchemaMismatch(t *testing.T) {
+	s := synthSpec(t, `{"name":"vn","seeds":{"count":4},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 4})
+	grant := c.Lease("old", 4)
+	agg := NewAggregate()
+	for i := grant.From; i < grant.To; i++ {
+		j, _ := s.JobAt(i)
+		agg.Observe(j.CellKey(), synthMetrics(j))
+	}
+	_, err := c.Complete(CompleteRequest{Schema: "sweep-proto-v1", Worker: "old",
+		LeaseID: grant.LeaseID, Executed: grant.To - grant.From, Agg: agg})
+	if err == nil || !strings.Contains(err.Error(), "sweep-proto") {
+		t.Fatalf("v1 report accepted by v2 coordinator: %v", err)
+	}
+	if c.Summary().Done != 0 {
+		t.Error("mismatched report's jobs were counted")
+	}
+	// The span must still complete once a current-generation worker runs it.
+	if _, err := c.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "old",
+		LeaseID: grant.LeaseID, Executed: grant.To - grant.From, Agg: agg}); err != nil {
+		t.Fatalf("retry with correct schema rejected: %v", err)
 	}
 }

@@ -1,0 +1,125 @@
+package sweep
+
+import "fmt"
+
+// The sweep compares three end-to-end strategies on every simulated call.
+// These names key the per-strategy poor-call counters and PCR fields in the
+// summary, and prefix the per-strategy metric keys below.
+const (
+	// StrategyStronger is the paper's baseline: a single-NIC receiver camped
+	// on whichever AP has the stronger RSSI.
+	StrategyStronger = "stronger"
+	// StrategyCross is the two-NIC upper bound: cross-link replication,
+	// every packet sent on both links and merged at the receiver.
+	StrategyCross = "cross"
+	// StrategyDiversiFi is the paper's system: a single-NIC client running
+	// Algorithm 1 (loss-triggered secondary visits, head-drop retrieval).
+	StrategyDiversiFi = "diversifi"
+)
+
+// Strategies returns the strategy names in canonical report order:
+// baseline, upper bound, then the paper's system.
+func Strategies() []string {
+	return []string{StrategyStronger, StrategyCross, StrategyDiversiFi}
+}
+
+// MetricKind says how many observations one call contributes to a metric's
+// sketch.
+type MetricKind int
+
+const (
+	// KindScalar metrics get exactly one observation per successful call.
+	KindScalar MetricKind = iota
+	// KindSeries metrics get zero or more observations per call (e.g. one
+	// per recovery episode).
+	KindSeries
+)
+
+// MetricDef describes one entry of the sweep's per-cell metric set. The
+// table below is the single source of truth coupling the cache record
+// (Metrics), the per-cell sketch map (CellAgg.Sketches), the summary JSON
+// (CellSummary.Sketches), and the report columns — metrickeys_test.go
+// asserts all four stay in sync with it.
+type MetricDef struct {
+	Key      string
+	Kind     MetricKind
+	Strategy string // owning strategy, "" for strategy-independent metrics
+	Unit     string
+	Help     string
+}
+
+// metricDefs is the canonical metric table, in report order. Keys follow
+// `<strategy>_<signal>` for per-strategy metrics and `recovery_<component>`
+// for the DiversiFi delay decomposition.
+var metricDefs = []MetricDef{
+	{Key: "stronger_mos", Kind: KindScalar, Strategy: StrategyStronger,
+		Unit: "MOS", Help: "E-model MOS, stronger-link selection"},
+	{Key: "cross_mos", Kind: KindScalar, Strategy: StrategyCross,
+		Unit: "MOS", Help: "E-model MOS, cross-link replication"},
+	{Key: "diversifi_mos", Kind: KindScalar, Strategy: StrategyDiversiFi,
+		Unit: "MOS", Help: "E-model MOS, DiversiFi single-NIC client"},
+
+	{Key: "stronger_worst", Kind: KindScalar, Strategy: StrategyStronger,
+		Unit: "frac", Help: "worst 5 s window loss fraction"},
+	{Key: "cross_worst", Kind: KindScalar, Strategy: StrategyCross,
+		Unit: "frac", Help: "worst 5 s window loss fraction"},
+	{Key: "diversifi_worst", Kind: KindScalar, Strategy: StrategyDiversiFi,
+		Unit: "frac", Help: "worst 5 s window loss fraction"},
+
+	{Key: "stronger_miss_pct", Kind: KindScalar, Strategy: StrategyStronger,
+		Unit: "%", Help: "packets missing their playout deadline"},
+	{Key: "cross_miss_pct", Kind: KindScalar, Strategy: StrategyCross,
+		Unit: "%", Help: "packets missing their playout deadline"},
+	{Key: "diversifi_miss_pct", Kind: KindScalar, Strategy: StrategyDiversiFi,
+		Unit: "%", Help: "packets missing their playout deadline"},
+
+	{Key: "cross_dup_bytes", Kind: KindScalar, Strategy: StrategyCross,
+		Unit: "B", Help: "bytes delivered twice per call (blind replication)"},
+	{Key: "diversifi_dup_bytes", Kind: KindScalar, Strategy: StrategyDiversiFi,
+		Unit: "B", Help: "wasted secondary bytes per call (futile tx + dups)"},
+
+	{Key: "recovery_detect_ms", Kind: KindSeries, Strategy: StrategyDiversiFi,
+		Unit: "ms", Help: "loss-to-switch-initiation delay per recovery"},
+	{Key: "recovery_switch_ms", Kind: KindSeries, Strategy: StrategyDiversiFi,
+		Unit: "ms", Help: "link-switch cost per recovery (PSM + retune)"},
+	{Key: "recovery_retrieve_ms", Kind: KindSeries, Strategy: StrategyDiversiFi,
+		Unit: "ms", Help: "secondary-arrival-to-first-useful-packet delay"},
+	{Key: "recovery_total_ms", Kind: KindSeries, Strategy: StrategyDiversiFi,
+		Unit: "ms", Help: "switch-initiation-to-first-useful-packet delay"},
+}
+
+// MetricDefs returns the canonical metric table in report order.
+func MetricDefs() []MetricDef {
+	return append([]MetricDef(nil), metricDefs...)
+}
+
+// MetricKeys returns every metric key in report order. This is exactly the
+// key set of a cell's sketch map, on the wire and in summaries.
+func MetricKeys() []string {
+	keys := make([]string, len(metricDefs))
+	for i, d := range metricDefs {
+		keys[i] = d.Key
+	}
+	return keys
+}
+
+// MetricDefByKey looks a metric up by key.
+func MetricDefByKey(key string) (MetricDef, bool) {
+	for _, d := range metricDefs {
+		if d.Key == key {
+			return d, true
+		}
+	}
+	return MetricDef{}, false
+}
+
+// metricKey builds a per-strategy key and panics if it is not in the table
+// — a misspelled strategy/signal pair should fail tests, not produce a
+// digest no report reads.
+func metricKey(strategy, signal string) string {
+	k := strategy + "_" + signal
+	if _, ok := MetricDefByKey(k); !ok {
+		panic(fmt.Sprintf("sweep: metric key %q not in the canonical table", k))
+	}
+	return k
+}

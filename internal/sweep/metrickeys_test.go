@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricTableWellFormed pins the canonical table's invariants: unique
+// keys, per-strategy keys prefixed by a known strategy, and lookups that
+// agree with the table.
+func TestMetricTableWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	strategies := map[string]bool{}
+	for _, s := range Strategies() {
+		if strategies[s] {
+			t.Fatalf("duplicate strategy %q", s)
+		}
+		strategies[s] = true
+	}
+	for _, d := range MetricDefs() {
+		if seen[d.Key] {
+			t.Errorf("duplicate metric key %q", d.Key)
+		}
+		seen[d.Key] = true
+		if d.Strategy != "" && !strategies[d.Strategy] {
+			t.Errorf("metric %q names unknown strategy %q", d.Key, d.Strategy)
+		}
+		got, ok := MetricDefByKey(d.Key)
+		if !ok || got.Key != d.Key {
+			t.Errorf("MetricDefByKey(%q) lookup failed", d.Key)
+		}
+		if d.Strategy != "" && !strings.HasPrefix(d.Key, d.Strategy+"_") &&
+			!strings.HasPrefix(d.Key, "recovery_") {
+			t.Errorf("metric %q not named <strategy>_* or recovery_*", d.Key)
+		}
+	}
+	if _, ok := MetricDefByKey("no_such_metric"); ok {
+		t.Error("MetricDefByKey invented a metric")
+	}
+}
+
+// TestCellAggKeysMatchTable: a cell's sketch map carries exactly the
+// canonical metric keys and its poor map exactly the strategies — from
+// construction, through observation, and across the JSON wire. This is the
+// sync contract between the metric table, the aggregate, and the proto.
+func TestCellAggKeysMatchTable(t *testing.T) {
+	agg := NewAggregate()
+	s := synthSpec(t, `{"name":"k","seeds":{"count":3},
+		"impairments":["mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	for i := int64(0); i < s.Total(); i++ {
+		j, _ := s.JobAt(i)
+		agg.Observe(j.CellKey(), synthMetrics(j))
+	}
+	check := func(stage string, c *CellAgg) {
+		t.Helper()
+		var got []string
+		for k := range c.Sketches {
+			got = append(got, k)
+		}
+		sort.Strings(got)
+		want := MetricKeys()
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s: sketch keys\n got %v\nwant %v", stage, got, want)
+		}
+		var poor []string
+		for k := range c.Poor {
+			poor = append(poor, k)
+		}
+		sort.Strings(poor)
+		wantPoor := Strategies()
+		sort.Strings(wantPoor)
+		if strings.Join(poor, ",") != strings.Join(wantPoor, ",") {
+			t.Errorf("%s: poor keys %v, want %v", stage, poor, wantPoor)
+		}
+	}
+	for key, c := range agg.Cells {
+		check("observed "+key, c)
+	}
+	data, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Aggregate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for key, c := range back.Cells {
+		check("wire "+key, c)
+	}
+}
+
+// TestSummaryKeysMatchTable: the summary document exposes the same keyed
+// digests, so offline report rendering sees the full metric set.
+func TestSummaryKeysMatchTable(t *testing.T) {
+	s := synthSpec(t, `{"name":"sk","seeds":{"count":5},
+		"impairments":["mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	sum := Summarize(s, runSequential(t, s, &Runner{RunFunc: synthMetrics}))
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range back.Cells {
+		for _, key := range MetricKeys() {
+			if c.Sketches[key] == nil {
+				t.Errorf("cell %s summary missing digest %q", c.Cell, key)
+			}
+		}
+		if len(c.Sketches) != len(MetricKeys()) {
+			t.Errorf("cell %s carries %d digests, table has %d",
+				c.Cell, len(c.Sketches), len(MetricKeys()))
+		}
+		for _, strat := range Strategies() {
+			if _, ok := c.PCR[strat]; !ok {
+				t.Errorf("cell %s summary missing PCR for %q", c.Cell, strat)
+			}
+		}
+	}
+}
+
+// TestReportColumnsMatchTable: report layouts are generated from the
+// canonical table — every strategy gets a PCR column in Table 1 and a row
+// in the MOS quantile table, and Table 3's rows are exactly the recovery
+// series metrics. A metric added to the table without a report surface (or
+// vice versa) fails here.
+func TestReportColumnsMatchTable(t *testing.T) {
+	s := synthSpec(t, `{"name":"rc","seeds":{"count":5},
+		"impairments":["mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	sum := Summarize(s, runSequential(t, s, &Runner{RunFunc: synthMetrics}))
+	rep, err := sum.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range Strategies() {
+		if !contains(rep.Table1.Headers, strat+" PCR %") {
+			t.Errorf("Table 1 missing PCR column for %q: %v", strat, rep.Table1.Headers)
+		}
+		if !strings.Contains(sum.Text(), strat+" PCR %") {
+			t.Errorf("summary text missing PCR column for %q", strat)
+		}
+		found := false
+		for _, row := range rep.MOSQuantiles.Rows {
+			if len(row) > 0 && row[0] == strat {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("MOS quantile table missing row for %q", strat)
+		}
+	}
+	var wantRows []string
+	for _, d := range MetricDefs() {
+		if d.Kind == KindSeries {
+			wantRows = append(wantRows,
+				strings.TrimSuffix(strings.TrimPrefix(d.Key, "recovery_"), "_ms"))
+		}
+	}
+	var gotRows []string
+	for _, row := range rep.Table3.Rows {
+		gotRows = append(gotRows, row[0])
+	}
+	sort.Strings(wantRows)
+	sort.Strings(gotRows)
+	if strings.Join(gotRows, ",") != strings.Join(wantRows, ",") {
+		t.Errorf("Table 3 rows %v, want one per series metric %v", gotRows, wantRows)
+	}
+	// Every series metric must chart in the recovery CDF figure.
+	for _, name := range wantRows {
+		if rep.CDF["recovery/"+name] == nil {
+			t.Errorf("recovery CDF missing series %q", name)
+		}
+	}
+}
+
+func contains(hay []string, needle string) bool {
+	for _, h := range hay {
+		if strings.Contains(h, needle) {
+			return true
+		}
+	}
+	return false
+}

@@ -11,59 +11,90 @@ import (
 	"repro/internal/voip"
 )
 
-// MetricsSchema versions cached per-job metric records.
-const MetricsSchema = "sweep-metrics-v1"
+// MetricsSchema versions cached per-job metric records. v2 widened the
+// record from a fixed stronger/cross field pair to the keyed metric set of
+// metrickeys.go (three strategies, duplication bytes, recovery-delay
+// decomposition); v1 cache entries fail the schema check and re-execute.
+const MetricsSchema = "sweep-metrics-v2"
 
 // Metrics is one job's outcome: the population-level quality signals of a
-// single simulated call, comparing the paper's baseline (stronger-link
-// selection) against cross-link replication on the same packet stream.
+// single simulated call under all three strategies (stronger-link
+// selection, cross-link replication, DiversiFi). Scalars and Series are
+// keyed by the canonical metric table (MetricKeys); Poor by strategy name.
 // This is the unit the per-cell sketches aggregate — per-job records are
 // never retained beyond this struct's lifetime.
 type Metrics struct {
 	Schema string `json:"schema"`
 
-	StrongerMOS  float64 `json:"stronger_mos"`
-	CrossMOS     float64 `json:"cross_mos"`
-	StrongerPoor bool    `json:"stronger_poor"`
-	CrossPoor    bool    `json:"cross_poor"`
-	// Worst 5-second-window loss rates (the paper's perceptual driver).
-	StrongerWorst float64 `json:"stronger_worst"`
-	CrossWorst    float64 `json:"cross_worst"`
-	// DupFrac is the duplication cost: the fraction of packets delivered
-	// on both links — airtime replication bought no recovery for these.
-	DupFrac float64 `json:"dup_frac"`
+	// Scalars holds one observation per KindScalar metric.
+	Scalars map[string]float64 `json:"scalars"`
+	// Series holds zero or more observations per KindSeries metric (the
+	// recovery-delay components: one entry per recovery episode).
+	Series map[string][]float64 `json:"series,omitempty"`
+	// Poor flags the poor-call verdict (MOS < threshold) per strategy.
+	Poor map[string]bool `json:"poor"`
+}
+
+// valid reports whether a decoded record is structurally usable.
+func (m Metrics) valid() bool {
+	return m.Schema == MetricsSchema && m.Scalars != nil && m.Poor != nil
 }
 
 // RunJob executes one sweep job on the real simulator: draw the scenario
-// for the job's grid cell, run the two-NIC call, and assess both the
-// stronger-selection and cross-link-replication receivers.
+// for the job's grid cell, run the two-NIC dual call (assessing both the
+// stronger-selection and cross-link-replication receivers), then replay the
+// same scenario through the single-NIC DiversiFi client (custom-AP mode)
+// for the paper's strategy, including its per-recovery delay decomposition.
 func RunJob(j Job) Metrics {
 	sc := j.Scenario()
-	d := core.RunDualCall(sc)
 	profile := profiles[j.spec.Profile]
-	sq := voip.Assess(d.Stronger(), profile)
-	cq := voip.Assess(d.CrossLink(), profile)
 	m := Metrics{
-		Schema:        MetricsSchema,
-		StrongerMOS:   sq.MOS,
-		CrossMOS:      cq.MOS,
-		StrongerPoor:  sq.Poor,
-		CrossPoor:     cq.Poor,
-		StrongerWorst: sq.WorstWindowLoss,
-		CrossWorst:    cq.WorstWindowLoss,
+		Schema:  MetricsSchema,
+		Scalars: map[string]float64{},
+		Series:  map[string][]float64{},
+		Poor:    map[string]bool{},
 	}
-	n := d.TraceA.Len()
-	if n > 0 {
+
+	d := core.RunDualCall(sc)
+	observeQuality(&m, StrategyStronger, voip.Assess(d.Stronger(), profile))
+	observeQuality(&m, StrategyCross, voip.Assess(d.CrossLink(), profile))
+
+	// Cross-link duplication cost: every packet delivered on both links
+	// bought airtime without buying recovery.
+	if n := d.TraceA.Len(); n > 0 {
 		both := 0
 		for seq := 0; seq < n; seq++ {
 			if d.TraceA.Arrived(seq) && d.TraceB.Arrived(seq) {
 				both++
 			}
 		}
-		m.DupFrac = float64(both) / float64(n)
+		m.Scalars[metricKey(StrategyCross, "dup_bytes")] =
+			float64(both) * float64(profile.PacketBytes)
+	}
+
+	r := core.RunDiversiFi(sc, core.DiversiFiOptions{Mode: core.ModeCustomAP})
+	observeQuality(&m, StrategyDiversiFi, voip.Assess(r.Trace, profile))
+	m.Scalars[metricKey(StrategyDiversiFi, "dup_bytes")] =
+		r.WastefulRate * float64(r.Trace.Len()) * float64(profile.PacketBytes)
+	for _, ev := range r.Recoveries {
+		m.Series["recovery_detect_ms"] = append(m.Series["recovery_detect_ms"], toMS(ev.Detect))
+		m.Series["recovery_switch_ms"] = append(m.Series["recovery_switch_ms"], toMS(ev.Switch))
+		m.Series["recovery_retrieve_ms"] = append(m.Series["recovery_retrieve_ms"], toMS(ev.Retrieve))
+		m.Series["recovery_total_ms"] = append(m.Series["recovery_total_ms"], toMS(ev.Total))
 	}
 	return m
 }
+
+// observeQuality folds one receiver's assessed call quality into the
+// strategy's scalar metrics and poor-call flag.
+func observeQuality(m *Metrics, strategy string, q voip.Quality) {
+	m.Scalars[metricKey(strategy, "mos")] = q.MOS
+	m.Scalars[metricKey(strategy, "worst")] = q.WorstWindowLoss
+	m.Scalars[metricKey(strategy, "miss_pct")] = 100 * q.LossRate
+	m.Poor[strategy] = q.Poor
+}
+
+func toMS(d sim.Duration) float64 { return float64(d) / 1000 }
 
 // Scenario materializes the job's simulated call: the cell picks the
 // impairment class, the device class the MIMO order, the AP density the
@@ -93,10 +124,11 @@ func (r *Runner) Do(j Job) (m Metrics, cached bool, err error) {
 	key := j.Key()
 	if r.Cache != nil {
 		if data, ok := r.Cache.LoadRaw(key); ok {
-			if jerr := json.Unmarshal(data, &m); jerr == nil && m.Schema == MetricsSchema {
+			if jerr := json.Unmarshal(data, &m); jerr == nil && m.valid() {
 				return m, true, nil
 			}
-			r.Cache.RemoveRaw(key) // corrupted entry: one re-execution
+			m = Metrics{}
+			r.Cache.RemoveRaw(key) // stale schema or corruption: one re-execution
 		}
 	}
 	defer func() {

@@ -9,8 +9,13 @@ import (
 )
 
 // ProtoSchema versions the worker wire protocol. Every response carries it
-// so a worker pointed at the wrong port fails loudly, not weirdly.
-const ProtoSchema = "sweep-proto-v1"
+// so a worker pointed at the wrong port fails loudly, not weirdly, and
+// CompleteRequest carries it back so a coordinator rejects reports from a
+// worker speaking a different protocol generation. v2 widened the cell
+// aggregate from five fixed digests to the keyed metric set of
+// metrickeys.go; v1 workers and coordinators are mutually rejected (there
+// is no down-negotiation — rebuild the older binary).
+const ProtoSchema = "sweep-proto-v2"
 
 // SpecResponse is GET /sweep/spec: the sweep a worker should run.
 type SpecResponse struct {
@@ -49,7 +54,10 @@ type HeartbeatResponse struct {
 
 // CompleteRequest is POST /sweep/complete: a finished lease's merged
 // sketch aggregate plus its job accounting (which must cover the span).
+// Schema is the worker's protocol generation; the coordinator rejects a
+// mismatch rather than merge a foreign metric layout into the aggregate.
 type CompleteRequest struct {
+	Schema   string     `json:"schema"`
 	Worker   string     `json:"worker"`
 	LeaseID  string     `json:"lease_id"`
 	Executed int64      `json:"executed"`

@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// reportSpec is the small deterministic sweep the golden files pin: two
+// impairment cells, six seeds each, synthetic metrics.
+const reportSpec = `{"name":"golden","seeds":{"count":6},
+	"impairments":["weak-link","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`
+
+// goldenSummary runs the golden sweep through the real worker engine
+// (single in-process worker) and summarizes it with telemetry zeroed, so
+// the rendered bytes are reproducible.
+func goldenSummary(t *testing.T) *Summary {
+	t.Helper()
+	c := NewCoordinator(synthSpec(t, reportSpec), CoordinatorOptions{Batch: 4})
+	if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "w0", Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sum := c.Summary()
+	stripTelemetry(sum)
+	return sum
+}
+
+// stripTelemetry zeroes the wall-clock fields so golden bytes only contain
+// deterministic content.
+func stripTelemetry(s *Summary) {
+	s.Executed, s.Cached, s.Workers = 0, 0, 0
+	s.ElapsedMS, s.JobsPerSec = 0, 0
+	s.JobP50MS, s.JobP95MS, s.JobP99MS, s.JobP999MS = 0, 0, 0, 0
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v — regenerate with `go test ./internal/sweep -run Golden -update`", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden; diff the file or rerun with -update:\n%s", name, got)
+	}
+}
+
+// TestReportGolden pins the exact text and JSON bytes of the paper-artifact
+// report (Tables 1–3, MOS quantiles, CDF figures) for the deterministic
+// golden sweep. These files are the rendered contract docs/RESULTS.md is
+// written against.
+func TestReportGolden(t *testing.T) {
+	sum := goldenSummary(t)
+	rep, err := sum.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.txt", []byte(rep.Text()))
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", append(data, '\n'))
+	checkGolden(t, "summary.txt", []byte(sum.Text()))
+}
+
+// TestReportShardedEqualsSingleProcess is the artifact-level determinism
+// gate: the full rendered report (not just the fingerprint) from a
+// 3-worker sharded run must be byte-identical to the single-worker run's.
+func TestReportShardedEqualsSingleProcess(t *testing.T) {
+	single := goldenSummary(t)
+	singleRep, err := single.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCoordinator(synthSpec(t, reportSpec), CoordinatorOptions{Batch: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+				WorkerOptions{Name: fmt.Sprintf("w%d", n), Parallel: 2}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sharded := c.Summary()
+	stripTelemetry(sharded)
+	if sharded.Fingerprint != single.Fingerprint {
+		t.Fatalf("sharded fingerprint %s != single %s", sharded.Fingerprint, single.Fingerprint)
+	}
+	shardedRep, err := sharded.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardedRep.Text() != singleRep.Text() {
+		t.Error("sharded report text differs from single-process")
+	}
+	sj, _ := shardedRep.JSON()
+	gj, _ := singleRep.JSON()
+	if string(sj) != string(gj) {
+		t.Error("sharded report JSON differs from single-process")
+	}
+}
+
+// TestLoadSummaryRoundTrip: a summary saved to JSON renders the identical
+// report offline — the `campaign sweep report FILE` path.
+func TestLoadSummaryRoundTrip(t *testing.T) {
+	sum := goldenSummary(t)
+	want, err := sum.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSummary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text() != want.Text() {
+		t.Error("offline report differs from in-process report")
+	}
+	if _, err := LoadSummary([]byte(`{"schema":"sweep-summary-v1"}`)); err == nil {
+		t.Error("v1 summary accepted for v2 report rendering")
+	}
+}

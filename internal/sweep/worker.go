@@ -144,7 +144,7 @@ func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseRespon
 	}
 
 	agg := NewAggregate()
-	req := CompleteRequest{Worker: opts.Name, LeaseID: grant.LeaseID, Agg: agg}
+	req := CompleteRequest{Schema: ProtoSchema, Worker: opts.Name, LeaseID: grant.LeaseID, Agg: agg}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	idx := make(chan int64)

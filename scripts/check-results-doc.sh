@@ -1,0 +1,66 @@
+#!/bin/sh
+# check-results-doc.sh — keep docs/RESULTS.md honest. The document promises
+# that every number in it regenerates with the commands it cites; this
+# script verifies the promise stays true as the repo evolves:
+#
+#   1. every sweep spec cited in the document exists and still parses
+#      (`campaign sweep expand -n 1` on each — lazy, so instant even for
+#      the million-job metro spec);
+#   2. the quick spec actually regenerates the committed artifact: the
+#      deterministic fingerprint printed by a fresh cache-cold run must be
+#      the one quoted in the document.
+#
+# POSIX sh; depends only on the Go toolchain. CI runs this next to
+# sweep-smoke.sh.
+set -eu
+cd "$(dirname "$0")/.."
+
+doc=docs/RESULTS.md
+[ -f "$doc" ] || {
+    echo "check-results-doc: $doc missing" >&2
+    exit 1
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+go build -o "$tmp/campaign" ./cmd/campaign
+
+# Every cited spec must exist and expand. The doc cites specs by their
+# repo-relative examples/sweeps/ path; a renamed or deleted spec fails here.
+specs=$(grep -o 'examples/sweeps/[a-z0-9-]*\.json' "$doc" | sort -u)
+[ -n "$specs" ] || {
+    echo "check-results-doc: $doc cites no sweep specs" >&2
+    exit 1
+}
+for spec in $specs; do
+    [ -f "$spec" ] || {
+        echo "check-results-doc: $doc cites missing spec $spec" >&2
+        exit 1
+    }
+    "$tmp/campaign" sweep expand -n 1 "$spec" >"$tmp/expand.txt" || {
+        echo "check-results-doc: cited spec $spec no longer parses" >&2
+        exit 1
+    }
+    echo "check-results-doc: $spec expands ($(head -n 1 "$tmp/expand.txt"))"
+done
+
+# The quick artifact must reproduce: same fingerprint as the document
+# quotes. A deliberate change to the simulator or the metric set is fine —
+# regenerate the document and update the quoted fingerprint with it.
+cited=$(grep -o 'fingerprint `[0-9a-f]*`' "$doc" | head -n 1 | grep -o '[0-9a-f]\{32\}')
+[ -n "$cited" ] || {
+    echo "check-results-doc: $doc quotes no artifact fingerprint" >&2
+    exit 1
+}
+"$tmp/campaign" sweep -quiet -no-cache examples/sweeps/paper-quick.json \
+    >"$tmp/quick.txt" 2>/dev/null
+fresh=$(grep -o 'fingerprint [0-9a-f]\{32\}' "$tmp/quick.txt" | head -n 1 | cut -d' ' -f2)
+if [ "$fresh" != "$cited" ]; then
+    echo "check-results-doc: docs/RESULTS.md is stale: cites fingerprint $cited," >&2
+    echo "  but a fresh run of examples/sweeps/paper-quick.json produces $fresh." >&2
+    echo "  Regenerate the document (see its 'Regenerating' section) and update" >&2
+    echo "  the quoted fingerprint." >&2
+    exit 1
+fi
+echo "check-results-doc: artifact fingerprint reproduces ($fresh)"
+echo "check-results-doc: ok"

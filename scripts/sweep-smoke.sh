@@ -5,7 +5,10 @@
 # required to be fingerprint-identical to a cache-cold single-process run.
 # That equality is the engine's determinism contract (docs/FLEET.md): worker
 # topology, lease re-assignment, and worker death must never change the
-# result. CI runs this on every push, next to http-smoke.sh.
+# result. The sharded summary must also re-render the full paper artifact
+# offline (`campaign sweep report`), proving the v2 multi-metric sketches
+# themselves — not just their fingerprint — survived the worker kill. CI
+# runs this on every push, next to http-smoke.sh.
 #
 # The coordinator binds 127.0.0.1:0 and announces the picked port on stderr
 # ("obsflag: live endpoints on http://ADDR ..."), the same contract
@@ -132,4 +135,25 @@ if [ "$fp_sharded" != "$fp_single" ]; then
     exit 1
 fi
 echo "sweep-smoke: fingerprints match ($fp_sharded)"
+
+# Both summaries must speak the v2 multi-metric schema.
+for f in sharded.json single.json; do
+    grep -q '"schema": "sweep-summary-v2"' "$tmp/$f" || {
+        echo "sweep-smoke: $f is not a sweep-summary-v2 document" >&2
+        exit 1
+    }
+done
+
+# The paper artifact must re-render offline from the kill-survivor's
+# summary: every table and both CDF figures, from merged sketches only.
+"$tmp/campaign" sweep report "$tmp/sharded.json" >"$tmp/report.txt"
+for want in "Paper artifact" "Table 1" "Table 2" "Table 3" \
+    "MOS quantiles" "MOS CDF" "fingerprint $fp_sharded"; do
+    grep -q "$want" "$tmp/report.txt" || {
+        echo "sweep-smoke: sharded report missing '$want'" >&2
+        cat "$tmp/report.txt" >&2
+        exit 1
+    }
+done
+echo "sweep-smoke: paper artifact re-rendered from the sharded summary"
 echo "sweep-smoke: ok"
