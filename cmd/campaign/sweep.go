@@ -84,8 +84,8 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		coord.Routes(srv)
 	}
 	if !*quiet {
-		fmt.Fprintf(stderr, "sweep %q: %d cells × %d seeds = %d jobs (spec %s)\n",
-			spec.Name, spec.CellCount(), spec.Seeds.Count, spec.Total(), spec.Hash())
+		fmt.Fprintf(stderr, "sweep %q: %s (spec %s)\n",
+			spec.Name, spec.Grid(), spec.Hash())
 	}
 
 	var progress io.Writer
@@ -162,8 +162,8 @@ func runSweepExpand(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "campaign:", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "sweep %q (spec %s): %d cells × %d seeds = %d jobs\n",
-		spec.Name, spec.Hash(), spec.CellCount(), spec.Seeds.Count, spec.Total())
+	fmt.Fprintf(stdout, "sweep %q (spec %s): %s\n",
+		spec.Name, spec.Hash(), spec.Grid())
 	limit := *n
 	if limit > spec.Total() {
 		limit = spec.Total()

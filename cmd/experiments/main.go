@@ -7,6 +7,9 @@
 //	            [-series PATH[,WINDOW]] [-pprof DIR] [-http ADDR]
 //	            <experiment>|all
 //	experiments sweep SPEC.json
+//	experiments scenario validate SPEC...
+//	experiments scenario gen SPEC [-n N] [-out DIR]
+//	experiments scenario run SPEC [-i N]
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
@@ -17,6 +20,12 @@
 // paper artifact — Tables 1-3 and the CDF figures of docs/RESULTS.md —
 // rendered from merged metric sketches. It shares the result cache and the
 // deterministic fingerprint with `campaign sweep` (see docs/FLEET.md).
+//
+// `experiments scenario` validates, generates, and runs declarative
+// scenario-v1 specs (internal/scenario, docs/SCENARIOS.md): `validate`
+// checks documents and prints their canonical hashes, `gen` materializes a
+// spec's generated corpus as JSONL (or per-scenario JSON files with -out),
+// and `run` executes one generated scenario under all three strategies.
 //
 // The observability flags (-metrics, -trace, -series, -pprof, -http) are
 // shared with cmd/campaign; see docs/OBSERVABILITY.md for the metric names,
@@ -49,6 +58,7 @@ func run() int {
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [-seed N] [-n N] [-csv] [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]] [-pprof DIR] <experiment>|all|list")
 		fmt.Fprintln(os.Stderr, "       experiments sweep SPEC.json")
+		fmt.Fprintln(os.Stderr, "       experiments scenario validate|gen|run SPEC...")
 		return 2
 	}
 
@@ -103,6 +113,14 @@ func run() int {
 	case "list":
 		for _, s := range exp.Registry() {
 			fmt.Printf("%-24s %-12s %s\n", s.ID, s.Kind, s.Title)
+		}
+	case "scenario":
+		if err := runScenarioMode(flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			if _, isUsage := err.(usageError); isUsage {
+				return 2
+			}
+			return 1
 		}
 	case "sweep":
 		if flag.NArg() != 2 {

@@ -19,8 +19,8 @@ func runSweepMode(path string, cache *campaign.Cache, stdout, stderr io.Writer) 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "sweep %q: %d cells × %d seeds = %d jobs (spec %s)\n",
-		spec.Name, spec.CellCount(), spec.Seeds.Count, spec.Total(), spec.Hash())
+	fmt.Fprintf(stderr, "sweep %q: %s (spec %s)\n",
+		spec.Name, spec.Grid(), spec.Hash())
 	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{})
 	if _, err := sweep.RunWorker(sweep.LocalTransport{C: coord},
 		&sweep.Runner{Cache: cache},

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Office dimensions from §6.1, exported for the scenario generator
+// (internal/scenario), which places APs, clients, and interferers inside
+// the same geometry the paper's experiments use.
+const (
+	OfficeWidthM  = officeW
+	OfficeHeightM = officeH
+)
+
+// ScenarioLink is the exported mirror of one AP↔client link's stochastic
+// parameters: static attenuation, lognormal shadowing, and the
+// Gilbert–Elliott deep-fade process. Durations are exact simulator
+// microseconds — unlike the float-seconds JSON encoding, a
+// Params/FromParams round trip loses nothing.
+type ScenarioLink struct {
+	ExtraLossDB  float64
+	ShadowDB     float64
+	ShadowDecorr sim.Duration
+	FadeGood     sim.Duration // mean Gilbert–Elliott Good sojourn
+	FadeBad      sim.Duration // mean Gilbert–Elliott Bad sojourn
+	FadeDepthDB  float64
+}
+
+// ScenarioParams is the complete, exported description of a Scenario: the
+// call shape, the office geometry, both links' stochastic parameters, and
+// every impairment knob. It exists so scenario *generators* (the
+// declarative scenario-v1 engine in internal/scenario) can construct
+// scenarios field-by-field without reaching into unexported state, and so
+// equivalence tests can compare two scenarios exactly.
+//
+// Params and FromParams are exact inverses: FromParams(sc.Params()) == sc
+// for every scenario, bit-for-bit.
+type ScenarioParams struct {
+	Impairment Impairment
+	Profile    traffic.Profile
+	Duration   sim.Duration
+	MIMOOrder  int
+	Seed       int64
+
+	APA, APB  phy.Position
+	ChanA     phy.Channel
+	ChanB     phy.Channel
+	ClientPos phy.Position // static placement (ignored when Mobile)
+	Mobile    bool
+	WalkSpeed float64      // m/s; 0 = default 1.2
+	WalkPause sim.Duration // pause between waypoint legs; 0 = default 2 s
+	LinkA     ScenarioLink
+	LinkB     ScenarioLink
+
+	CongestA    bool
+	CongestB    bool
+	CongestHit  float64 // collision probability during saturated periods
+	CongestBusy float64 // busy fraction during saturated periods
+
+	Oven      bool
+	OvenPos   phy.Position
+	OvenStart sim.Time     // pinned duty interval start (used when OvenDur > 0)
+	OvenDur   sim.Duration // 0 = draw the interval from the oven stream
+
+	LateShiftDB    float64
+	LateAt         sim.Duration
+	LateOnStronger bool
+}
+
+func linkToParams(s linkSpec) ScenarioLink {
+	return ScenarioLink{
+		ExtraLossDB:  s.extraLoss,
+		ShadowDB:     s.shadowDB,
+		ShadowDecorr: s.shadowT,
+		FadeGood:     s.fadeGood,
+		FadeBad:      s.fadeBad,
+		FadeDepthDB:  s.fadeDepth,
+	}
+}
+
+func linkFromParams(p ScenarioLink) linkSpec {
+	return linkSpec{
+		extraLoss: p.ExtraLossDB,
+		shadowDB:  p.ShadowDB,
+		shadowT:   p.ShadowDecorr,
+		fadeGood:  p.FadeGood,
+		fadeBad:   p.FadeBad,
+		fadeDepth: p.FadeDepthDB,
+	}
+}
+
+// Params returns the scenario's complete exported description.
+func (sc Scenario) Params() ScenarioParams {
+	return ScenarioParams{
+		Impairment:     sc.Impairment,
+		Profile:        sc.Profile,
+		Duration:       sc.Duration,
+		MIMOOrder:      sc.MIMOOrder,
+		Seed:           sc.Seed,
+		APA:            sc.apA,
+		APB:            sc.apB,
+		ChanA:          sc.chA,
+		ChanB:          sc.chB,
+		ClientPos:      sc.clientPos,
+		Mobile:         sc.mobile,
+		WalkSpeed:      sc.walkSpeed,
+		WalkPause:      sc.walkPause,
+		LinkA:          linkToParams(sc.specA),
+		LinkB:          linkToParams(sc.specB),
+		CongestA:       sc.congestA,
+		CongestB:       sc.congestB,
+		CongestHit:     sc.congestHit,
+		CongestBusy:    sc.congestBzy,
+		Oven:           sc.hasOven,
+		OvenPos:        sc.ovenPos,
+		OvenStart:      sc.ovenStart,
+		OvenDur:        sc.ovenDur,
+		LateShiftDB:    sc.lateShift,
+		LateAt:         sc.lateAt,
+		LateOnStronger: sc.lateOnStronger,
+	}
+}
+
+// FromParams builds the scenario described by p.
+func FromParams(p ScenarioParams) Scenario {
+	return Scenario{
+		Impairment:     p.Impairment,
+		Profile:        p.Profile,
+		Duration:       p.Duration,
+		MIMOOrder:      p.MIMOOrder,
+		Seed:           p.Seed,
+		apA:            p.APA,
+		apB:            p.APB,
+		chA:            p.ChanA,
+		chB:            p.ChanB,
+		clientPos:      p.ClientPos,
+		mobile:         p.Mobile,
+		walkSpeed:      p.WalkSpeed,
+		walkPause:      p.WalkPause,
+		specA:          linkFromParams(p.LinkA),
+		specB:          linkFromParams(p.LinkB),
+		congestA:       p.CongestA,
+		congestB:       p.CongestB,
+		congestHit:     p.CongestHit,
+		congestBzy:     p.CongestBusy,
+		hasOven:        p.Oven,
+		ovenPos:        p.OvenPos,
+		ovenStart:      p.OvenStart,
+		ovenDur:        p.OvenDur,
+		lateShift:      p.LateShiftDB,
+		lateAt:         p.LateAt,
+		lateOnStronger: p.LateOnStronger,
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/sim/rng"
+	"repro/internal/traffic"
+)
+
+// TestParamsRoundTrip: FromParams(sc.Params()) must reproduce the scenario
+// exactly for every corpus class — the scenario-v1 compiler depends on this
+// being lossless (unlike the float-seconds JSON encoding).
+func TestParamsRoundTrip(t *testing.T) {
+	for _, imp := range AllImpairments {
+		sc := RandomScenarioSeverity(rng.New(7), imp, traffic.G711, 99, 1.0)
+		if got := FromParams(sc.Params()); !reflect.DeepEqual(got, sc) {
+			t.Errorf("%s: FromParams(Params()) != original\n got %+v\nwant %+v", imp, got, sc)
+		}
+	}
+	sc := ControlledScenario(5, traffic.HighRate, 3*sim.Second, 2, 9).
+		WithFading(true, 400*sim.Millisecond, 600*sim.Millisecond, 40).
+		WithMIMO(2)
+	if got := FromParams(sc.Params()); !reflect.DeepEqual(got, sc) {
+		t.Errorf("controlled: FromParams(Params()) != original")
+	}
+}
+
+// TestParamsPinnedOvenAndWalk: the new generator knobs must reach Build —
+// a pinned oven interval consumes no draws from the oven stream, and the
+// walk overrides change the trajectory.
+func TestParamsPinnedOvenAndWalk(t *testing.T) {
+	p := ControlledScenario(1, traffic.G711, 2*sim.Second, 0, 6).Params()
+	p.Oven = true
+	p.OvenPos = phy.Position{X: 15, Y: 7}
+	p.OvenStart = sim.Time(1 * sim.Second)
+	p.OvenDur = 20 * sim.Second
+	sc := FromParams(p)
+
+	s := sim.New(1)
+	links := sc.Build(s)
+	if links.Env == nil {
+		t.Fatal("Build returned no environment")
+	}
+	// The pinned interval must not touch the oven stream: its first draw
+	// equals a fresh stream's first draw.
+	if got, want := s.RNG("scenario/oven").Float64(), rng.Named(1, "scenario/oven").Float64(); got != want {
+		t.Errorf("pinned oven consumed draws from the oven stream (%v != %v)", got, want)
+	}
+
+	wp := ControlledScenario(2, traffic.G711, 2*sim.Second, 0, 6).Params()
+	wp.Mobile = true
+	wp.WalkSpeed = 3.0
+	wp.WalkPause = sim.Second
+	fast := FromParams(wp)
+	wp.WalkSpeed = 0.3
+	slow := FromParams(wp)
+	posAt := func(sc Scenario) phy.Position {
+		s := sim.New(2)
+		return sc.Build(s).Mob.PositionAt(sim.Time(10 * sim.Second))
+	}
+	if posAt(fast) == posAt(slow) {
+		t.Errorf("walk speed override did not change the trajectory")
+	}
+}

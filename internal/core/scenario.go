@@ -81,6 +81,19 @@ type Scenario struct {
 	ovenPos    phy.Position
 	hasOven    bool
 
+	// Pinned oven duty interval: when ovenDur > 0 the microwave runs over
+	// exactly [ovenStart, ovenStart+ovenDur] instead of drawing the
+	// interval from the "scenario/oven" stream in Build. The zero value
+	// preserves the historical draw, so existing seeds replay bit-for-bit.
+	ovenStart sim.Time
+	ovenDur   sim.Duration
+
+	// Mobility overrides: walkSpeed in m/s and walkPause between waypoint
+	// legs. Zero values fall back to the §6.1 defaults (1.2 m/s, 2 s), so
+	// scenarios generated before these knobs existed are unchanged.
+	walkSpeed float64
+	walkPause sim.Duration
+
 	// Mid-call collapse (non-stationarity): lateShift dB lands at lateAt
 	// on the weaker link (or the stronger one when lateOnStronger).
 	lateShift      float64
@@ -267,10 +280,13 @@ type Links struct {
 func (sc Scenario) Build(s *sim.Simulator) Links {
 	env := phy.NewEnvironment()
 	if sc.hasOven {
-		// The oven runs for a 30–80 s stretch of the call.
-		rng := s.RNG("scenario/oven")
-		start := sim.Time(sim.FromSeconds(5 + rng.Float64()*30))
-		dur := sim.FromSeconds(30 + rng.Float64()*50)
+		start, dur := sc.ovenStart, sc.ovenDur
+		if dur <= 0 {
+			// The oven runs for a 30–80 s stretch of the call.
+			rng := s.RNG("scenario/oven")
+			start = sim.Time(sim.FromSeconds(5 + rng.Float64()*30))
+			dur = sim.FromSeconds(30 + rng.Float64()*50)
+		}
 		env.AddInterferer(phy.NewMicrowave(sc.ovenPos, start, dur))
 	}
 	if sc.congestA {
@@ -282,8 +298,16 @@ func (sc Scenario) Build(s *sim.Simulator) Links {
 
 	var mob phy.MobilityModel
 	if sc.mobile {
+		speed := sc.walkSpeed
+		if speed <= 0 {
+			speed = 1.2
+		}
+		pause := sc.walkPause
+		if pause <= 0 {
+			pause = 2 * sim.Second
+		}
 		mob = phy.NewRandomWaypoint(s.RNG("scenario/walk"), 1, 1, officeW-1, officeH-1,
-			1.2, 2*sim.Second, sc.Duration+10*sim.Second)
+			speed, pause, sc.Duration+10*sim.Second)
 	} else {
 		mob = phy.Static{Pos: sc.clientPos}
 	}

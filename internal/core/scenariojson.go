@@ -12,6 +12,10 @@ import (
 // scenarioJSON is the exported mirror of Scenario for serialization: a
 // scenario file pins down one call's environment exactly, so a run can be
 // shared and re-executed bit-for-bit (together with the seed it embeds).
+// It is a thin encoding of ScenarioParams; durations travel as float
+// seconds for readability, so very fine-grained durations (sub-microsecond
+// fractions) are quantized by a round trip — use Params/FromParams where
+// exactness matters.
 type scenarioJSON struct {
 	Impairment string  `json:"impairment"`
 	Profile    string  `json:"profile"`
@@ -19,14 +23,16 @@ type scenarioJSON struct {
 	MIMOOrder  int     `json:"mimo_order"`
 	Seed       int64   `json:"seed"`
 
-	APA       [2]float64   `json:"ap_a"`
-	APB       [2]float64   `json:"ap_b"`
-	ChanA     [2]int       `json:"chan_a"` // band, number
-	ChanB     [2]int       `json:"chan_b"`
-	ClientPos [2]float64   `json:"client_pos"`
-	Mobile    bool         `json:"mobile"`
-	SpecA     linkSpecJSON `json:"link_a"`
-	SpecB     linkSpecJSON `json:"link_b"`
+	APA        [2]float64   `json:"ap_a"`
+	APB        [2]float64   `json:"ap_b"`
+	ChanA      [2]int       `json:"chan_a"` // band, number
+	ChanB      [2]int       `json:"chan_b"`
+	ClientPos  [2]float64   `json:"client_pos"`
+	Mobile     bool         `json:"mobile"`
+	WalkSpeed  float64      `json:"walk_speed_mps,omitempty"`
+	WalkPauseS float64      `json:"walk_pause_s,omitempty"`
+	SpecA      linkSpecJSON `json:"link_a"`
+	SpecB      linkSpecJSON `json:"link_b"`
 
 	CongestA   bool       `json:"congest_a"`
 	CongestB   bool       `json:"congest_b"`
@@ -34,6 +40,8 @@ type scenarioJSON struct {
 	CongestBzy float64    `json:"congest_busy"`
 	HasOven    bool       `json:"has_oven"`
 	OvenPos    [2]float64 `json:"oven_pos"`
+	OvenStartS float64    `json:"oven_start_s,omitempty"`
+	OvenDurS   float64    `json:"oven_dur_s,omitempty"`
 
 	LateShift      float64 `json:"late_shift_db"`
 	LateAtS        float64 `json:"late_at_s"`
@@ -49,25 +57,25 @@ type linkSpecJSON struct {
 	FadeDepthDB float64 `json:"fade_depth_db"`
 }
 
-func specToJSON(s linkSpec) linkSpecJSON {
+func specToJSON(l ScenarioLink) linkSpecJSON {
 	return linkSpecJSON{
-		ExtraLossDB: s.extraLoss,
-		ShadowDB:    s.shadowDB,
-		ShadowTS:    s.shadowT.Seconds(),
-		FadeGoodS:   s.fadeGood.Seconds(),
-		FadeBadS:    s.fadeBad.Seconds(),
-		FadeDepthDB: s.fadeDepth,
+		ExtraLossDB: l.ExtraLossDB,
+		ShadowDB:    l.ShadowDB,
+		ShadowTS:    l.ShadowDecorr.Seconds(),
+		FadeGoodS:   l.FadeGood.Seconds(),
+		FadeBadS:    l.FadeBad.Seconds(),
+		FadeDepthDB: l.FadeDepthDB,
 	}
 }
 
-func specFromJSON(j linkSpecJSON) linkSpec {
-	return linkSpec{
-		extraLoss: j.ExtraLossDB,
-		shadowDB:  j.ShadowDB,
-		shadowT:   sim.FromSeconds(j.ShadowTS),
-		fadeGood:  sim.FromSeconds(j.FadeGoodS),
-		fadeBad:   sim.FromSeconds(j.FadeBadS),
-		fadeDepth: j.FadeDepthDB,
+func specFromJSON(j linkSpecJSON) ScenarioLink {
+	return ScenarioLink{
+		ExtraLossDB:  j.ExtraLossDB,
+		ShadowDB:     j.ShadowDB,
+		ShadowDecorr: sim.FromSeconds(j.ShadowTS),
+		FadeGood:     sim.FromSeconds(j.FadeGoodS),
+		FadeBad:      sim.FromSeconds(j.FadeBadS),
+		FadeDepthDB:  j.FadeDepthDB,
 	}
 }
 
@@ -78,29 +86,34 @@ var impairmentNames = map[string]Impairment{
 
 // MarshalJSON implements json.Marshaler.
 func (sc Scenario) MarshalJSON() ([]byte, error) {
+	p := sc.Params()
 	j := scenarioJSON{
-		Impairment:     sc.Impairment.String(),
-		Profile:        sc.Profile.Name,
-		DurationS:      sc.Duration.Seconds(),
-		MIMOOrder:      sc.MIMOOrder,
-		Seed:           sc.Seed,
-		APA:            [2]float64{sc.apA.X, sc.apA.Y},
-		APB:            [2]float64{sc.apB.X, sc.apB.Y},
-		ChanA:          [2]int{int(sc.chA.Band), sc.chA.Number},
-		ChanB:          [2]int{int(sc.chB.Band), sc.chB.Number},
-		ClientPos:      [2]float64{sc.clientPos.X, sc.clientPos.Y},
-		Mobile:         sc.mobile,
-		SpecA:          specToJSON(sc.specA),
-		SpecB:          specToJSON(sc.specB),
-		CongestA:       sc.congestA,
-		CongestB:       sc.congestB,
-		CongestHit:     sc.congestHit,
-		CongestBzy:     sc.congestBzy,
-		HasOven:        sc.hasOven,
-		OvenPos:        [2]float64{sc.ovenPos.X, sc.ovenPos.Y},
-		LateShift:      sc.lateShift,
-		LateAtS:        sc.lateAt.Seconds(),
-		LateOnStronger: sc.lateOnStronger,
+		Impairment:     p.Impairment.String(),
+		Profile:        p.Profile.Name,
+		DurationS:      p.Duration.Seconds(),
+		MIMOOrder:      p.MIMOOrder,
+		Seed:           p.Seed,
+		APA:            [2]float64{p.APA.X, p.APA.Y},
+		APB:            [2]float64{p.APB.X, p.APB.Y},
+		ChanA:          [2]int{int(p.ChanA.Band), p.ChanA.Number},
+		ChanB:          [2]int{int(p.ChanB.Band), p.ChanB.Number},
+		ClientPos:      [2]float64{p.ClientPos.X, p.ClientPos.Y},
+		Mobile:         p.Mobile,
+		WalkSpeed:      p.WalkSpeed,
+		WalkPauseS:     p.WalkPause.Seconds(),
+		SpecA:          specToJSON(p.LinkA),
+		SpecB:          specToJSON(p.LinkB),
+		CongestA:       p.CongestA,
+		CongestB:       p.CongestB,
+		CongestHit:     p.CongestHit,
+		CongestBzy:     p.CongestBusy,
+		HasOven:        p.Oven,
+		OvenPos:        [2]float64{p.OvenPos.X, p.OvenPos.Y},
+		OvenStartS:     p.OvenStart.Seconds(),
+		OvenDurS:       p.OvenDur.Seconds(),
+		LateShift:      p.LateShiftDB,
+		LateAtS:        p.LateAt.Seconds(),
+		LateOnStronger: p.LateOnStronger,
 	}
 	return json.Marshal(j)
 }
@@ -124,32 +137,37 @@ func (sc *Scenario) UnmarshalJSON(data []byte) error {
 	default:
 		return fmt.Errorf("core: unknown profile %q", j.Profile)
 	}
-	*sc = Scenario{
+	p := ScenarioParams{
 		Impairment:     imp,
 		Profile:        prof,
 		Duration:       sim.FromSeconds(j.DurationS),
 		MIMOOrder:      j.MIMOOrder,
 		Seed:           j.Seed,
-		apA:            phy.Position{X: j.APA[0], Y: j.APA[1]},
-		apB:            phy.Position{X: j.APB[0], Y: j.APB[1]},
-		chA:            phy.Channel{Band: phy.Band(j.ChanA[0]), Number: j.ChanA[1]},
-		chB:            phy.Channel{Band: phy.Band(j.ChanB[0]), Number: j.ChanB[1]},
-		clientPos:      phy.Position{X: j.ClientPos[0], Y: j.ClientPos[1]},
-		mobile:         j.Mobile,
-		specA:          specFromJSON(j.SpecA),
-		specB:          specFromJSON(j.SpecB),
-		congestA:       j.CongestA,
-		congestB:       j.CongestB,
-		congestHit:     j.CongestHit,
-		congestBzy:     j.CongestBzy,
-		hasOven:        j.HasOven,
-		ovenPos:        phy.Position{X: j.OvenPos[0], Y: j.OvenPos[1]},
-		lateShift:      j.LateShift,
-		lateAt:         sim.FromSeconds(j.LateAtS),
-		lateOnStronger: j.LateOnStronger,
+		APA:            phy.Position{X: j.APA[0], Y: j.APA[1]},
+		APB:            phy.Position{X: j.APB[0], Y: j.APB[1]},
+		ChanA:          phy.Channel{Band: phy.Band(j.ChanA[0]), Number: j.ChanA[1]},
+		ChanB:          phy.Channel{Band: phy.Band(j.ChanB[0]), Number: j.ChanB[1]},
+		ClientPos:      phy.Position{X: j.ClientPos[0], Y: j.ClientPos[1]},
+		Mobile:         j.Mobile,
+		WalkSpeed:      j.WalkSpeed,
+		WalkPause:      sim.FromSeconds(j.WalkPauseS),
+		LinkA:          specFromJSON(j.SpecA),
+		LinkB:          specFromJSON(j.SpecB),
+		CongestA:       j.CongestA,
+		CongestB:       j.CongestB,
+		CongestHit:     j.CongestHit,
+		CongestBusy:    j.CongestBzy,
+		Oven:           j.HasOven,
+		OvenPos:        phy.Position{X: j.OvenPos[0], Y: j.OvenPos[1]},
+		OvenStart:      sim.Time(sim.FromSeconds(j.OvenStartS)),
+		OvenDur:        sim.FromSeconds(j.OvenDurS),
+		LateShiftDB:    j.LateShift,
+		LateAt:         sim.FromSeconds(j.LateAtS),
+		LateOnStronger: j.LateOnStronger,
 	}
-	if !sc.chA.Valid() || !sc.chB.Valid() {
+	if !p.ChanA.Valid() || !p.ChanB.Valid() {
 		return fmt.Errorf("core: invalid channel in scenario")
 	}
+	*sc = FromParams(p)
 	return nil
 }

@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeSpec exercises the full decode path — YAML-subset parse, JSON
+// decode, validation — on arbitrary bytes. The contract: never panic,
+// never hang; malformed documents (bad syntax, out-of-range Gilbert–
+// Elliott parameters, NaN or negative durations) come back as errors; and
+// any document that does decode is fully canonical — its hash is stable,
+// its re-encoded form decodes to the same hash, and Generate(0) succeeds.
+func FuzzDecodeSpec(f *testing.F) {
+	seeds := []string{
+		// Valid JSON and YAML documents.
+		`{"schema":"scenario-v1","name":"c","seed":7,"corpus":{"severity":1}}`,
+		`{"schema":"scenario-v1","name":"m","seed":202,"duration_s":5,"spine":{"draw":{"impairment":"microwave","stream":"simtest/corpus"}}}`,
+		`{"schema":"scenario-v1","name":"h","seed":606,"duration_s":5,"spine":{"controlled":{"extra_loss_b_db":6,"fading":{"on_a":true,"good_ms":400,"bad_ms":600,"depth_db":40}}}}`,
+		corpusDoc,
+		"schema: scenario-v1\nname: office\nseed: 42\ncount: 100\ncorpus:\n" +
+			"  severity: [0.5, 2]\n  gilbert_elliott:\n    good_ms: [500, 2000]\n    bad_ms: [100, 600]\n    depth_db: 30\n" +
+			"  arrivals:\n    pattern: diurnal\n    rate_per_min: 2\n",
+		// Malformed: the rejection paths the validator must keep naming.
+		`{"schema":"scenario-v1","name":"x","duration_s":-5,"corpus":{}}`,
+		"schema: scenario-v1\nname: x\nduration_s: .nan\ncorpus:\n  severity: 1\n",
+		`{"schema":"scenario-v1","name":"x","corpus":{"gilbert_elliott":{"good_ms":[2000,500],"bad_ms":300,"depth_db":30}}}`,
+		`{"schema":"scenario-v2","name":"x","corpus":{}}`,
+		`{"schema":"scenario-v1"`,
+		"a:\n\tb: 1",
+		"a: [1, 2",
+		`{"schema":"scenario-v1","name":"x","corpus":{},"chaos":true}`,
+		"- just\n- a\n- sequence\n",
+		"\x00\xff\xfe", "{", "[", "---\n", "key: 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return // rejection is a valid outcome; not panicking is the test
+		}
+		h := s.Hash()
+		if h == "" {
+			t.Fatal("accepted spec has empty hash")
+		}
+		// Canonical re-encode: the normalized form must survive a round trip
+		// with an identical hash (it is the hash input, after all).
+		re, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		s2, err := DecodeSpec(re)
+		if err != nil {
+			t.Fatalf("re-decode canonical form: %v\ndoc: %s", err, re)
+		}
+		if s2.Hash() != h {
+			t.Fatalf("hash changed across round trip: %s -> %s", h, s2.Hash())
+		}
+		// An accepted spec must be generable.
+		g := s.Generate(0)
+		if g.Scenario.PacketCount() <= 0 {
+			t.Fatalf("generated scenario has packet count %d", g.Scenario.PacketCount())
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package stattest is the statistical machinery behind the scenario
+// acceptance harness: normal-theory confidence intervals, Wilson
+// proportion intervals, Pearson correlation, and distribution-distance
+// tests (Kolmogorov–Smirnov against analytic CDFs, with
+// Dvoretzky–Kiefer–Wolfowitz bands). Every acceptance assertion in
+// internal/scenario and internal/phy states its confidence level
+// explicitly through these helpers, so a failing test names both the
+// measured statistic and the bound it escaped.
+//
+// The package is pure math — no simulator imports — so physical-layer
+// property tests (internal/phy) and scenario acceptance tests can share
+// one set of bounds without import cycles.
+package stattest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Z returns the two-sided standard-normal critical value for confidence
+// level conf: Z(0.95) ≈ 1.96, Z(0.99) ≈ 2.576.
+func Z(conf float64) float64 {
+	if conf <= 0 || conf >= 1 {
+		panic(fmt.Sprintf("stattest: confidence %g outside (0, 1)", conf))
+	}
+	return math.Sqrt2 * math.Erfinv(conf)
+}
+
+// Interval is a closed interval, usually a confidence interval.
+type Interval struct{ Lo, Hi float64 }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%.4g, %.4g]", iv.Lo, iv.Hi) }
+
+// Mean returns the sample mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// MeanCI returns the normal-theory confidence interval for the mean of xs
+// at level conf. With the sample sizes the acceptance harness uses
+// (n ≥ 30) the normal approximation to the t distribution is adequate.
+func MeanCI(xs []float64, conf float64) Interval {
+	m := Mean(xs)
+	se := math.Sqrt(Variance(xs) / float64(len(xs)))
+	h := Z(conf) * se
+	return Interval{Lo: m - h, Hi: m + h}
+}
+
+// PropCI returns the Wilson score interval for a proportion: k successes
+// in n trials at confidence conf. Unlike the Wald interval it behaves at
+// the extremes (k near 0 or n), which loss-rate assertions hit routinely.
+func PropCI(k, n int, conf float64) Interval {
+	if n == 0 {
+		return Interval{Lo: 0, Hi: 1}
+	}
+	z := Z(conf)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	return Interval{Lo: center - half, Hi: center + half}
+}
+
+// Corr returns the Pearson correlation of the paired samples. It returns
+// NaN when either margin is constant (correlation undefined) — callers
+// decide whether a degenerate pair counts, e.g. a lossless link in a
+// cross-link loss-correlation test.
+func Corr(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// DKWEpsilon returns the Dvoretzky–Kiefer–Wolfowitz band half-width: with
+// probability ≥ 1−alpha, the empirical CDF of n i.i.d. samples stays
+// within ε of the true CDF uniformly. A KSDistance above this rejects the
+// hypothesized distribution at level alpha.
+func DKWEpsilon(n int, alpha float64) float64 {
+	if n <= 0 || alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stattest: DKWEpsilon(%d, %g)", n, alpha))
+	}
+	return math.Sqrt(math.Log(2/alpha) / (2 * float64(n)))
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic: the supremum
+// distance between the samples' empirical CDF and the hypothesized cdf.
+func KSDistance(samples []float64, cdf func(float64) float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	maxD := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		// The empirical CDF jumps from i/n to (i+1)/n at x; the sup is
+		// attained at one side of a jump.
+		if d := math.Abs(float64(i+1)/float64(n) - f); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(f - float64(i)/float64(n)); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// ExpCDF returns the CDF of an exponential distribution with the given
+// mean.
+func ExpCDF(mean float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	}
+}
+
+// UniformCDF returns the CDF of the uniform distribution on [lo, hi].
+func UniformCDF(lo, hi float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case x <= lo:
+			return 0
+		case x >= hi:
+			return 1
+		default:
+			return (x - lo) / (hi - lo)
+		}
+	}
+}
+
+// HyperExp2CDF returns the CDF of a two-phase hyperexponential: with
+// probability p the sample is exponential with mean m1, otherwise mean m2
+// — the analytic form of the scenario engine's "bursty" arrival gaps.
+func HyperExp2CDF(p, m1, m2 float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return p*(1-math.Exp(-x/m1)) + (1-p)*(1-math.Exp(-x/m2))
+	}
+}

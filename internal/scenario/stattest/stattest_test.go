@@ -1,0 +1,96 @@
+package stattest
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f ± %g", name, got, want, tol)
+	}
+}
+
+func TestZ(t *testing.T) {
+	approx(t, "Z(0.95)", Z(0.95), 1.959964, 1e-4)
+	approx(t, "Z(0.99)", Z(0.99), 2.575829, 1e-4)
+	approx(t, "Z(0.999)", Z(0.999), 3.290527, 1e-4)
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "variance", Variance(xs), 32.0/7, 1e-12)
+	ci := MeanCI(xs, 0.95)
+	if !ci.Contains(5) {
+		t.Errorf("MeanCI %v does not contain the sample mean", ci)
+	}
+	if ci.Hi-ci.Lo <= 0 {
+		t.Errorf("MeanCI %v has nonpositive width", ci)
+	}
+}
+
+func TestPropCI(t *testing.T) {
+	// Wilson score for 50/100 at 95%: symmetric about 0.5, half-width 0.0962.
+	ci := PropCI(50, 100, 0.95)
+	approx(t, "wilson lo", ci.Lo, 0.40383, 1e-3)
+	approx(t, "wilson hi", ci.Hi, 0.59617, 1e-3)
+	// At the extreme the interval stays inside [0, 1] and excludes 0.5.
+	edge := PropCI(0, 100, 0.95)
+	if edge.Lo < 0 || edge.Hi > 0.1 {
+		t.Errorf("PropCI(0, 100) = %v", edge)
+	}
+}
+
+func TestCorr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{5, 4, 3, 2, 1}
+	approx(t, "corr up", Corr(xs, up), 1, 1e-12)
+	approx(t, "corr down", Corr(xs, down), -1, 1e-12)
+	if c := Corr(xs, []float64{7, 7, 7, 7, 7}); !math.IsNaN(c) {
+		t.Errorf("constant margin: corr = %g, want NaN", c)
+	}
+}
+
+func TestKSAgainstQuantiles(t *testing.T) {
+	// Exact quantile samples of Exp(1) have a vanishing KS distance against
+	// their own CDF, and a large one against a wrong mean.
+	const n = 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		u := (float64(i) + 0.5) / n
+		xs[i] = -math.Log(1 - u)
+	}
+	if d := KSDistance(xs, ExpCDF(1)); d > 1.0/n {
+		t.Errorf("KS against the true CDF = %.5f, want <= %.5f", d, 1.0/n)
+	}
+	if d := KSDistance(xs, ExpCDF(2)); d < 0.15 {
+		t.Errorf("KS against a 2x-mean CDF = %.5f, want a clear rejection", d)
+	}
+	if d := KSDistance(xs, ExpCDF(2)); d <= DKWEpsilon(n, 0.001) {
+		t.Errorf("DKW band %.4f fails to reject a 2x wrong mean (KS %.4f)",
+			DKWEpsilon(n, 0.001), d)
+	}
+}
+
+func TestDKWEpsilon(t *testing.T) {
+	approx(t, "DKW(1000, 0.01)", DKWEpsilon(1000, 0.01), 0.05146, 1e-4)
+	if DKWEpsilon(4000, 0.01) >= DKWEpsilon(1000, 0.01) {
+		t.Error("DKW band must shrink with n")
+	}
+}
+
+func TestAnalyticCDFs(t *testing.T) {
+	approx(t, "ExpCDF(2)(2)", ExpCDF(2)(2), 1-math.Exp(-1), 1e-12)
+	approx(t, "UniformCDF(1,3)(2)", UniformCDF(1, 3)(2), 0.5, 1e-12)
+	if got := UniformCDF(1, 3)(0); got != 0 {
+		t.Errorf("UniformCDF below lo = %g", got)
+	}
+	// Hyperexponential with p=1 degenerates to the first phase.
+	approx(t, "HyperExp2CDF(1,2,9)(2)", HyperExp2CDF(1, 2, 9)(2), ExpCDF(2)(2), 1e-12)
+	// Mixture value at x = 1 for p=0.5, means 1 and 10.
+	want := 0.5*(1-math.Exp(-1)) + 0.5*(1-math.Exp(-0.1))
+	approx(t, "HyperExp2CDF(0.5,1,10)(1)", HyperExp2CDF(0.5, 1, 10)(1), want, 1e-12)
+}

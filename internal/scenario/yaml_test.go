@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLToValue(t *testing.T) {
+	doc := `
+# scenario corpus
+schema: scenario-v1
+name: "office corpus"
+seed: -42
+count: 100
+corpus:
+  severity: [0.5, 1.5]
+  impairments:
+    - name: microwave
+      weight: 2
+    - name: none
+      weight: 1.5
+  gilbert_elliott:
+    good_ms: [500, 2000]
+    bad_ms: 300        # degenerate range
+  flags: [true, false, null, 'a b', "c\td"]
+empty:
+`
+	v, err := yamlToValue([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"schema": "scenario-v1",
+		"name":   "office corpus",
+		"seed":   int64(-42),
+		"count":  int64(100),
+		"corpus": map[string]any{
+			"severity": []any{0.5, 1.5},
+			"impairments": []any{
+				map[string]any{"name": "microwave", "weight": int64(2)},
+				map[string]any{"name": "none", "weight": 1.5},
+			},
+			"gilbert_elliott": map[string]any{
+				"good_ms": []any{int64(500), int64(2000)},
+				"bad_ms":  int64(300),
+			},
+			"flags": []any{true, false, nil, "a b", "c\td"},
+		},
+		"empty": nil,
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("parsed value mismatch\n got: %#v\nwant: %#v", v, want)
+	}
+}
+
+func TestYAMLRejects(t *testing.T) {
+	cases := []struct{ name, doc, wantSub string }{
+		{"tab indent", "a:\n\tb: 1", "tab in indentation"},
+		{"bare scalar at root", "just a scalar line", "key: value"},
+		{"nan named", "bad_ms: .nan", `"bad_ms": non-finite`},
+		{"inf named", "dur: -.inf", `"dur": non-finite`},
+		{"anchor", "a: &x 1", "anchors"},
+		{"flow map", "a: {b: 1}", "flow mappings"},
+		{"multiline", "a: |", "multiline"},
+		{"unterminated quote", `a: "oops`, "unterminated"},
+		{"unbalanced flow", "a: [1, 2", "unterminated flow"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+		{"seq in map", "a: 1\n- b", "sequence item in a mapping"},
+		{"empty", "\n\n# only comments\n", "empty document"},
+	}
+	for _, c := range cases {
+		if _, err := yamlToValue([]byte(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestYAMLLineNumbers: parse errors must carry the 1-based source line so
+// a spec author can find the problem in a 100-line document.
+func TestYAMLLineNumbers(t *testing.T) {
+	doc := "a: 1\nb: 2\n\n# comment\nc: .nan\n"
+	_, err := yamlToValue([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error %v does not name line 5", err)
+	}
+}

@@ -1,0 +1,92 @@
+package simtest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteIdentityPinned is the seed-stability regression test: the
+// suite's scenario names, seeds, and order are fixture keys and part of
+// the determinism contract — changing any of them orphans golden files
+// and breaks downstream consumers (the scenario spec-equivalence tests,
+// the example specs, trace tooling). This test fails loudly if the suite
+// drifts, so such a change is always a reviewed decision, never a
+// side effect.
+func TestSuiteIdentityPinned(t *testing.T) {
+	want := []struct {
+		name string
+		seed int64
+	}{
+		{"clean-link", 101},
+		{"microwave", 202},
+		{"mobility", 303},
+		{"weak-link", 404},
+		{"congestion", 505},
+		{"head-drop-recovery", 606},
+	}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d scenarios, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Name != w.name || got[i].Seed != w.seed {
+			t.Errorf("suite[%d] = (%s, %d), want (%s, %d)",
+				i, got[i].Name, got[i].Seed, w.name, w.seed)
+		}
+	}
+}
+
+// TestGoldenFixturesPinned hashes every golden fixture byte-for-byte.
+// TestSeededEquivalence already diffs the current implementation against
+// these files; this test additionally pins the files *themselves*, so a
+// fixture regeneration (-update) can never ride silently into a change
+// that claims to be behaviour-preserving — the PR that regenerates
+// fixtures must also update these hashes, making the decision explicit
+// in review.
+func TestGoldenFixturesPinned(t *testing.T) {
+	want := map[string]string{
+		"clean-link.metrics.json":         "76117d7659bb3d20ab6b73e89c3d8604e32e94e7f9756f0e8a8f4e0f53f207aa",
+		"congestion.metrics.json":         "35951a64c843c01147e12dadbf777eb4e9fce05619922529a4329625bf6f440e",
+		"head-drop-recovery.metrics.json": "386e1b0eb06f4d61fce708f65d090ee12ce47c782de8fc50b93dd684113ed14e",
+		"microwave.metrics.json":          "cb1caf6253bd757e28b7a3ae8483e181b4f01d3f6aa54d89e59f0acb6ff6f20a",
+		"mobility.metrics.json":           "e082d7fd5714412d7e59295c1b308071294c876919510502c453fe2a669dadd4",
+		"weak-link.metrics.json":          "e463e7f173ebb5d5aab727f621b00446da5238b3c7700cf77b12ca5c72f84cf4",
+		"clean-link.trace.jsonl":          "34dce8a870fa490380e8a58215976616073868f6d6eed36c7197fde43906167c",
+		"congestion.trace.jsonl":          "22f09a3a30033bdadff15836432e930c0908be805fb2f6fc5d453d54c078a138",
+		"head-drop-recovery.trace.jsonl":  "7e9bc4bf8a76f4d0da58343e73989ba9156935d4530d180ec34c12277b4340f8",
+		"microwave.trace.jsonl":           "e05964f645e3e5b39da4154b0f645af33808aad4b86dc83550687a9e2f61c5ca",
+		"mobility.trace.jsonl":            "bf933d30b4a109ea2fb356675876ad3e53ea2c7d230715d5f1438ea4ec29bdb3",
+		"weak-link.trace.jsonl":           "9b6d45fc6c71132aa2714b114bc4c052598964d30f7f96e35749b21888b2d3de",
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(data)
+		got := hex.EncodeToString(sum[:])
+		wantSum, ok := want[e.Name()]
+		if !ok {
+			t.Errorf("unexpected file in testdata: %s", e.Name())
+			continue
+		}
+		seen[e.Name()] = true
+		if got != wantSum {
+			t.Errorf("%s: fixture hash %s != pinned %s (a -update regeneration must also update this test)",
+				e.Name(), got, wantSum)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("pinned fixture missing from testdata: %s", name)
+		}
+	}
+}

@@ -46,9 +46,19 @@ type Scenario struct {
 	// impairment parameters) use a stream derived from it, so the whole
 	// scenario is a pure function of this value.
 	Seed int64
-	// run executes the call with observability already attached via
-	// sim.ObsProvider.
-	run func()
+	// Core is the fully determined simulated call. It is exported so
+	// equivalence tests can compare it against other derivations — e.g.
+	// the scenario-v1 spec engine proving each golden scenario is
+	// expressible as a declarative spec (see specsync_test.go).
+	Core core.Scenario
+	// Mode selects the DiversiFi deployment mode the call runs under.
+	Mode core.DiversiFiMode
+}
+
+// run executes the call with observability already attached via
+// sim.ObsProvider.
+func (s Scenario) run() {
+	core.RunDiversiFi(s.Core, core.DiversiFiOptions{Mode: s.Mode})
 }
 
 // Capture is everything one scenario run observably produced.
@@ -66,11 +76,8 @@ type Capture struct {
 // impairment corpus plus the two controlled setups the recovery machinery
 // depends on. Order is fixed and names are stable — they are fixture keys.
 func Scenarios() []Scenario {
-	mk := func(name string, seed int64, run func()) Scenario {
-		return Scenario{Name: name, Seed: seed, run: run}
-	}
-	diversifi := func(sc core.Scenario) func() {
-		return func() { core.RunDiversiFi(sc, core.DiversiFiOptions{Mode: core.ModeCustomAP}) }
+	mk := func(name string, seed int64, sc core.Scenario) Scenario {
+		return Scenario{Name: name, Seed: seed, Core: sc, Mode: core.ModeCustomAP}
 	}
 	random := func(imp core.Impairment, seed int64) core.Scenario {
 		// The corpus stream is derived from the scenario seed so the
@@ -79,18 +86,18 @@ func Scenarios() []Scenario {
 			WithDuration(callDuration)
 	}
 	return []Scenario{
-		mk("clean-link", 101, diversifi(
-			core.ControlledScenario(101, traffic.G711, callDuration, 0, 6))),
-		mk("microwave", 202, diversifi(random(core.ImpMicrowave, 202))),
-		mk("mobility", 303, diversifi(random(core.ImpMobility, 303))),
-		mk("weak-link", 404, diversifi(random(core.ImpWeakLink, 404))),
-		mk("congestion", 505, diversifi(random(core.ImpCongestion, 505))),
+		mk("clean-link", 101,
+			core.ControlledScenario(101, traffic.G711, callDuration, 0, 6)),
+		mk("microwave", 202, random(core.ImpMicrowave, 202)),
+		mk("mobility", 303, random(core.ImpMobility, 303)),
+		mk("weak-link", 404, random(core.ImpWeakLink, 404)),
+		mk("congestion", 505, random(core.ImpCongestion, 505)),
 		// head-drop-recovery puts Gilbert–Elliott fading on the *strong*
 		// link so the client's failure detector fires and the secondary
 		// path (head-drop queue, retrieve-from-secondary) is exercised.
-		mk("head-drop-recovery", 606, diversifi(
+		mk("head-drop-recovery", 606,
 			core.ControlledScenario(606, traffic.G711, callDuration, 0, 6).
-				WithFading(true, 400*sim.Millisecond, 600*sim.Millisecond, 40))),
+				WithFading(true, 400*sim.Millisecond, 600*sim.Millisecond, 40)),
 	}
 }
 

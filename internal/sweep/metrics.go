@@ -100,7 +100,18 @@ func toMS(d sim.Duration) float64 { return float64(d) / 1000 }
 // impairment class, the device class the MIMO order, the AP density the
 // impairment severity, and the job's content key seeds both the scenario
 // draw and the call's in-simulator randomness.
+//
+// Scenario-axis jobs instead compile scenario ScenarioIndex of the
+// embedded scenario-v1 spec — geometry, link parameters, and impairment
+// knobs all come from the generator — and only the call's in-simulator
+// seed varies along the seed axis.
 func (j Job) Scenario() core.Scenario {
+	if j.spec.scn != nil {
+		sc := j.spec.scn.Generate(int(j.ScenarioIndex)).Scenario
+		_, callSeed := j.seeds()
+		sc.Seed = callSeed
+		return sc
+	}
 	scenarioSeed, callSeed := j.seeds()
 	sev := j.spec.Severity * densityByName(j.Density).Severity
 	sc := core.RandomScenarioSeverity(rng.New(scenarioSeed), impairments[j.Impairment],

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -129,7 +130,28 @@ type Spec struct {
 	Profile   string  `json:"profile,omitempty"`    // g711 | highrate
 	Severity  float64 `json:"severity,omitempty"`   // global scale on density severity
 	DurationS float64 `json:"duration_s,omitempty"` // call length in seconds
+
+	// Scenarios embeds a scenario-v1 document (internal/scenario) as an
+	// alternative grid: instead of the impairment × device-class ×
+	// AP-density cross product, the sweep runs every generated scenario of
+	// the embedded spec, crossed with the seed axis (scenario-major,
+	// seed-minor). The embedded spec owns the call shape — profile,
+	// duration, severity — so those knobs must be left to it. Mutually
+	// exclusive with the classic axes.
+	Scenarios json.RawMessage `json:"scenarios,omitempty"`
+
+	// scn is the parsed embedded scenario spec (set by normalize).
+	scn *scenario.Spec
 }
+
+// ScenarioSpec returns the parsed embedded scenario spec, or nil when the
+// sweep uses the classic axes.
+func (s *Spec) ScenarioSpec() *scenario.Spec { return s.scn }
+
+// DensityScenario is the density-axis label of scenario-axis cells: the
+// embedded spec controls topology itself, so the grid has one pseudo
+// density.
+const DensityScenario = "scenario"
 
 // ParseSpec decodes and validates a spec document, applying defaults.
 func ParseSpec(data []byte) (*Spec, error) {
@@ -154,10 +176,15 @@ func LoadSpec(path string) (*Spec, error) {
 	return ParseSpec(data)
 }
 
-// normalize applies defaults and validates every axis value.
+// normalize applies defaults and validates every axis value. It is
+// idempotent: a spec that already passed normalize (e.g. one received over
+// the control plane) normalizes to itself.
 func (s *Spec) normalize() error {
 	if s.Name == "" {
 		return fmt.Errorf("sweep: spec needs a name")
+	}
+	if len(s.Scenarios) > 0 {
+		return s.normalizeScenarios()
 	}
 	if len(s.Impairments) == 0 {
 		s.Impairments = ImpairmentNames()
@@ -223,6 +250,39 @@ func (s *Spec) normalize() error {
 	return nil
 }
 
+// normalizeScenarios validates the scenario-axis form of the spec: an
+// embedded scenario-v1 document plus the seed axis, nothing else.
+func (s *Spec) normalizeScenarios() error {
+	if len(s.Impairments)+len(s.DeviceClasses)+len(s.APDensities) > 0 {
+		return fmt.Errorf("sweep: the scenarios axis is mutually exclusive with impairments/device_classes/ap_densities")
+	}
+	scn, err := scenario.DecodeSpec(s.Scenarios)
+	if err != nil {
+		return fmt.Errorf("sweep: scenarios: %w", err)
+	}
+	if s.Seeds.Count <= 0 {
+		return fmt.Errorf("sweep: seeds.count must be positive (got %d)", s.Seeds.Count)
+	}
+	// The embedded spec owns the call shape; the sweep-level knobs must be
+	// omitted, or (after a normalize round trip) agree with it exactly.
+	if s.Profile != "" && s.Profile != scn.Profile {
+		return fmt.Errorf("sweep: profile %q conflicts with the embedded scenario spec's %q (omit it)",
+			s.Profile, scn.Profile)
+	}
+	if s.DurationS != 0 && s.DurationS != scn.DurationS {
+		return fmt.Errorf("sweep: duration_s %g conflicts with the embedded scenario spec's %g (omit it)",
+			s.DurationS, scn.DurationS)
+	}
+	if s.Severity != 0 && s.Severity != 1 {
+		return fmt.Errorf("sweep: severity is owned by the embedded scenario spec (omit it)")
+	}
+	s.scn = scn
+	s.Profile = scn.Profile
+	s.DurationS = scn.DurationS
+	s.Severity = 1
+	return nil
+}
+
 func deviceByName(name string) *DeviceClass {
 	for i := range deviceClasses {
 		if deviceClasses[i].Name == name {
@@ -251,25 +311,64 @@ func (s *Spec) Hash() string {
 	fmt.Fprintf(h, "|imp=%s|dev=%s|dens=%s",
 		strings.Join(s.Impairments, ","), strings.Join(s.DeviceClasses, ","),
 		strings.Join(s.APDensities, ","))
+	if s.scn != nil {
+		// The scenario spec's canonical hash already covers its whole
+		// normalized document, so two sweeps embedding semantically equal
+		// scenario documents share job streams.
+		fmt.Fprintf(h, "|scn=%s", s.scn.Hash())
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // CellCount returns how many (impairment, device, density) cells the grid
-// has; Total() = CellCount() × Seeds.Count.
+// can produce. For the classic axes Total() = CellCount() × Seeds.Count;
+// for the scenarios axis the cells are the cross product of the embedded
+// spec's impairment and device mixes (an upper bound — a small corpus may
+// not realize every cell) and Total() counts scenarios × seeds instead.
 func (s *Spec) CellCount() int64 {
+	if s.scn != nil {
+		return int64(len(s.CellKeys()))
+	}
 	return int64(len(s.Impairments)) * int64(len(s.DeviceClasses)) * int64(len(s.APDensities))
 }
 
 // Total returns the grid's job count.
-func (s *Spec) Total() int64 { return s.CellCount() * s.Seeds.Count }
+func (s *Spec) Total() int64 {
+	if s.scn != nil {
+		return int64(s.scn.Count) * s.Seeds.Count
+	}
+	return s.CellCount() * s.Seeds.Count
+}
+
+// Grid describes the spec's job-stream shape for progress headers. The
+// two axis forms factor differently: classic grids are cells × seeds,
+// scenario-axis grids are scenarios × seeds (cells there are only an
+// aggregation bound, not a factor of the job count).
+func (s *Spec) Grid() string {
+	if s.scn != nil {
+		return fmt.Sprintf("%d scenarios × %d seeds = %d jobs",
+			s.scn.Count, s.Seeds.Count, s.Total())
+	}
+	return fmt.Sprintf("%d cells × %d seeds = %d jobs",
+		s.CellCount(), s.Seeds.Count, s.Total())
+}
 
 // CellKeys returns every cell key in canonical (spec axis) order.
 func (s *Spec) CellKeys() []string {
-	out := make([]string, 0, s.CellCount())
-	for _, imp := range s.Impairments {
-		for _, dev := range s.DeviceClasses {
-			for _, dens := range s.APDensities {
-				out = append(out, cellKey(imp, dev, dens))
+	var out []string
+	if s.scn != nil {
+		for _, imp := range s.scn.ImpairmentMix() {
+			for _, dev := range s.scn.DeviceMix() {
+				out = append(out, cellKey(imp.Name, dev.Name, DensityScenario))
+			}
+		}
+	} else {
+		out = make([]string, 0, s.CellCount())
+		for _, imp := range s.Impairments {
+			for _, dev := range s.DeviceClasses {
+				for _, dens := range s.APDensities {
+					out = append(out, cellKey(imp, dev, dens))
+				}
 			}
 		}
 	}
@@ -290,6 +389,9 @@ type Job struct {
 	Device     string
 	Density    string
 	Seed       int64
+	// ScenarioIndex is the index into the embedded scenario spec's corpus
+	// (scenario-axis sweeps only; 0 otherwise).
+	ScenarioIndex int64
 
 	spec *Spec
 }
@@ -301,6 +403,20 @@ type Job struct {
 func (s *Spec) JobAt(i int64) (Job, error) {
 	if i < 0 || i >= s.Total() {
 		return Job{}, fmt.Errorf("sweep: job index %d out of range [0,%d)", i, s.Total())
+	}
+	if s.scn != nil {
+		seedIdx := i % s.Seeds.Count
+		scnIdx := i / s.Seeds.Count
+		m := s.scn.MetaAt(int(scnIdx))
+		return Job{
+			Index:         i,
+			Impairment:    m.Impairment.String(),
+			Device:        m.Device,
+			Density:       DensityScenario,
+			Seed:          s.Seeds.Start + seedIdx,
+			ScenarioIndex: scnIdx,
+			spec:          s,
+		}, nil
 	}
 	seedIdx := i % s.Seeds.Count
 	rest := i / s.Seeds.Count
@@ -328,6 +444,13 @@ func (j Job) CellKey() string { return cellKey(j.Impairment, j.Device, j.Density
 // never the spec name or axis layout, so overlapping grids from different
 // specs share cache entries.
 func (j Job) Key() string {
+	if j.spec.scn != nil {
+		// The scenario spec hash covers the whole generated space, so
+		// (hash, index, seed) is the complete physics of the call.
+		h := sha256.Sum256([]byte(fmt.Sprintf("%s|scn=%s|i=%d|seed=%d",
+			SpecSchema, j.spec.scn.Hash(), j.ScenarioIndex, j.Seed)))
+		return hex.EncodeToString(h[:16])
+	}
 	sev := j.spec.Severity * densityByName(j.Density).Severity
 	h := sha256.Sum256([]byte(fmt.Sprintf("%s|imp=%s|dev=%s|sev=%.6g|prof=%s|dur=%g|seed=%d",
 		SpecSchema, j.Impairment, j.Device, sev, j.spec.Profile, j.spec.DurationS, j.Seed)))

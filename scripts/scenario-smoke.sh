@@ -1,0 +1,64 @@
+#!/bin/sh
+# scenario-smoke.sh — end-to-end check of the declarative scenario engine
+# (internal/scenario, docs/SCENARIOS.md): validate every committed example
+# spec, generate the full 100-scenario office corpus and check it comes out
+# whole and deterministic, and run one generated scenario through the real
+# simulator under all three strategies. CI runs this on every push, next to
+# sweep-smoke.sh.
+#
+# POSIX sh; depends only on the Go toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/experiments" ./cmd/experiments
+
+# Every committed example spec must validate: the spine specs are pinned to
+# the golden suite by the spec-equivalence tests, so a validation failure
+# here means the examples drifted from the engine.
+"$tmp/experiments" scenario validate examples/scenarios/*.yaml | tee "$tmp/validate.txt"
+n_specs=$(ls examples/scenarios/*.yaml | wc -l)
+n_ok=$(grep -c '^ok ' "$tmp/validate.txt")
+if [ "$n_ok" != "$n_specs" ]; then
+    echo "scenario-smoke: validated $n_ok of $n_specs example specs" >&2
+    exit 1
+fi
+
+# Generate the full corpus twice: 100 JSONL records each, byte-identical —
+# the generator is a pure function of (spec hash, seed, index).
+"$tmp/experiments" scenario gen examples/scenarios/corpus-office.yaml >"$tmp/corpus-a.jsonl"
+"$tmp/experiments" scenario gen examples/scenarios/corpus-office.yaml >"$tmp/corpus-b.jsonl"
+n_gen=$(wc -l <"$tmp/corpus-a.jsonl")
+if [ "$n_gen" -ne 100 ]; then
+    echo "scenario-smoke: corpus generated $n_gen scenarios, want 100" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/corpus-a.jsonl" "$tmp/corpus-b.jsonl"; then
+    echo "scenario-smoke: corpus generation is not deterministic" >&2
+    exit 1
+fi
+echo "scenario-smoke: 100-scenario corpus generated deterministically"
+
+# The per-file form must produce one JSON document per scenario.
+"$tmp/experiments" scenario gen examples/scenarios/corpus-office.yaml \
+    -out "$tmp/corpus" >/dev/null
+n_files=$(ls "$tmp/corpus" | wc -l)
+if [ "$n_files" -ne 100 ]; then
+    echo "scenario-smoke: -out wrote $n_files files, want 100" >&2
+    exit 1
+fi
+
+# One generated scenario end to end on the real simulator: all three
+# strategies must be assessed.
+"$tmp/experiments" scenario run examples/scenarios/corpus-office.yaml -i 3 \
+    | tee "$tmp/run.txt"
+for want in stronger cross diversifi MOS=; do
+    grep -q "$want" "$tmp/run.txt" || {
+        echo "scenario-smoke: run output missing '$want'" >&2
+        exit 1
+    }
+done
+echo "scenario-smoke: ok"
