@@ -7,15 +7,15 @@
 //	         [-timeout D] [-cache DIR] [-no-cache] [-out DIR]
 //	         [-summary FILE] [-json] [-quiet] [-list]
 //	         [-metrics FILE] [-trace FILE] [-series PATH[,WINDOW]]
-//	         [-pprof DIR] [-http ADDR]
+//	         [-pprof DIR] [-http ADDR] [-flight DIR[,N]]
 //	campaign watch [-interval D] [-once] [-no-clear] ADDR
 //	campaign sweep [-local N] [-parallel N] [-batch N] [-ttl D]
 //	         [-cache DIR] [-no-cache] [-summary FILE] [-json] [-report]
-//	         [-quiet] [-http ADDR] SPEC.json
+//	         [-quiet] [-http ADDR] [-trace FILE] [-flight DIR[,N]] SPEC.json
 //	campaign sweep expand [-n N] SPEC.json
 //	campaign sweep report [-json] SUMMARY.json
 //	campaign worker -connect ADDR [-name NAME] [-parallel N] [-batch N]
-//	         [-cache DIR] [-no-cache] [-quiet]
+//	         [-cache DIR] [-no-cache] [-quiet] [-trace FILE] [-flight DIR[,N]]
 //	campaign cache stat|gc [-cache DIR] [-max-age D] [-max-bytes N]
 //
 // Every experiment registered in exp.Registry() is a job addressed by
@@ -139,15 +139,17 @@ func run() int {
 	}
 
 	sum := campaign.Run(campaign.Options{
-		Jobs:     jobs,
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Retries:  1,
-		Cache:    cache,
-		Progress: progress,
-		OnResult: onResult,
-		Obs:      sess.Reg,
-		Status:   status,
+		Jobs:      jobs,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		Retries:   1,
+		Cache:     cache,
+		Progress:  progress,
+		OnResult:  onResult,
+		Obs:       sess.Reg,
+		Status:    status,
+		Flight:    sess.Flight(),
+		FlightDir: sess.FlightDir(),
 	})
 
 	if *summaryPath != "" {

@@ -79,7 +79,10 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	}
 	defer sess.Close()
 
-	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{Batch: *batch, TTL: *ttl})
+	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{
+		Batch: *batch, TTL: *ttl,
+		Obs: sess.Reg, Flight: sess.Flight(), FlightDir: sess.FlightDir(),
+	})
 	if srv := sess.HTTP(); srv != nil {
 		coord.Routes(srv)
 	}
@@ -99,7 +102,8 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		go func(n int) {
 			defer wg.Done()
 			_, errs[n] = sweep.RunWorker(sweep.LocalTransport{C: coord},
-				&sweep.Runner{Cache: cache},
+				&sweep.Runner{Cache: cache,
+					Flight: sess.Flight(), FlightDir: sess.FlightDir()},
 				sweep.WorkerOptions{
 					Name:     fmt.Sprintf("local%d", n),
 					Parallel: *parallel,
@@ -260,6 +264,7 @@ func runWorkerCmd(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache", campaign.DefaultCacheDir, "shared result cache directory")
 	noCache := fs.Bool("no-cache", false, "bypass the result cache entirely")
 	quiet := fs.Bool("quiet", false, "suppress per-lease progress lines")
+	obsFlags := obsflag.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: campaign worker -connect ADDR [flags]")
 		fs.PrintDefaults()
@@ -287,15 +292,27 @@ func runWorkerCmd(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	sess, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	defer sess.Close()
 	var progress io.Writer
 	if !*quiet {
 		progress = stderr
 	}
 	stats, err := sweep.RunWorker(sweep.NewHTTPTransport(*connect),
-		&sweep.Runner{Cache: cache},
-		sweep.WorkerOptions{Name: *name, Parallel: *parallel, Batch: *batch, Progress: progress})
+		&sweep.Runner{Cache: cache,
+			Flight: sess.Flight(), FlightDir: sess.FlightDir()},
+		sweep.WorkerOptions{Name: *name, Parallel: *parallel, Batch: *batch, Progress: progress,
+			Obs: sess.Reg, Flight: sess.Flight(), FlightDir: sess.FlightDir()})
 	if err != nil {
 		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	if cerr := sess.Close(); cerr != nil {
+		fmt.Fprintln(stderr, "campaign:", cerr)
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: sweep done — %d leases, %d jobs (%d executed, %d cached, %d failed, %d expired)\n",

@@ -9,6 +9,7 @@
 //	tracetool series [-json] [-window DUR] FILE...
 //	tracetool summary [-json] FILE...
 //	tracetool export [-format chrome] [-o FILE] FILE
+//	tracetool fleet [-json] [-max N] [-export chrome] [-o FILE] FILE...
 //
 // lint checks every line against the trace contract — strict schema decode,
 // per-(run, node) timestamp ordering, episode well-formedness, and
@@ -32,6 +33,16 @@
 // https://ui.perfetto.dev, with one track per (run, node) and each
 // recovery episode rendered as a span plus its detect/switch/retrieve
 // phase slices.
+//
+// fleet analyzes the fleet-trace-v1 lease lifecycle a sharded sweep emits
+// (spec-fetch, lease-grant, heartbeat, expire, re-lease, complete,
+// reject-stale): per-worker timelines, per-lease episodes, expire→re-lease
+// recovery accounting, and a causality lint over the coordinator's lease
+// state machine (a complete after expire — a merged stale report — is a
+// violation). Each FILE is analyzed independently, because traces from
+// different processes have different wall-clock epochs. -export chrome
+// renders per-worker lanes with lease spans for chrome://tracing /
+// Perfetto; violations exit nonzero so CI can gate on clean fleet traces.
 //
 // FILE may be "-" for stdin. All subcommands accept -json for
 // machine-readable output.
@@ -59,6 +70,7 @@ func usage(w io.Writer) {
   tracetool series [-json] [-window DUR] FILE...
   tracetool summary [-json] FILE...
   tracetool export [-format chrome] [-o FILE] FILE
+  tracetool fleet [-json] [-max N] [-export chrome] [-o FILE] FILE...
 
 FILE may be "-" for stdin. See docs/OBSERVABILITY.md for the trace schema.
 `)
@@ -83,6 +95,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdSummary(rest, stdin, stdout, stderr)
 	case "export":
 		return cmdExport(rest, stdin, stdout, stderr)
+	case "fleet":
+		return cmdFleet(rest, stdin, stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -347,6 +361,169 @@ func cmdExport(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		out = f
 	}
 	if err := analyze.ChromeTrace(in, out); err != nil {
+		fmt.Fprintln(stderr, "tracetool:", err)
+		if outFile != nil {
+			outFile.Close()
+		}
+		return 1
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmdFleet(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the full fleet report as JSON")
+	maxV := fs.Int("max", 0, "max violations to print per file (0 = default 100, negative = all)")
+	export := fs.String("export", "", "export format instead of a report (chrome)")
+	outPath := fs.String("o", "", "write the export to this file instead of stdout")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	if *export != "" {
+		if *export != "chrome" {
+			fmt.Fprintf(stderr, "tracetool: unknown fleet export format %q (supported: chrome)\n", *export)
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "tracetool: fleet -export takes exactly one FILE")
+			return 2
+		}
+		return fleetExport(fs.Arg(0), *outPath, stdin, stdout, stderr)
+	}
+	// Each file is analyzed independently: traces from different processes
+	// (coordinator, each worker) have different wall-clock epochs, so their
+	// timestamps must never be compared.
+	code := 0
+	dirty := false
+	for _, path := range fs.Args() {
+		in := stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "tracetool:", err)
+				code = 1
+				continue
+			}
+			rep, rerr := analyze.AnalyzeFleet(f, *maxV)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintln(stderr, "tracetool:", rerr)
+				code = 1
+				continue
+			}
+			if !printFleet(stdout, path, rep, *asJSON) {
+				dirty = true
+			}
+			continue
+		}
+		rep, rerr := analyze.AnalyzeFleet(in, *maxV)
+		if rerr != nil {
+			fmt.Fprintln(stderr, "tracetool:", rerr)
+			code = 1
+			continue
+		}
+		if !printFleet(stdout, path, rep, *asJSON) {
+			dirty = true
+		}
+	}
+	if code == 0 && dirty {
+		code = 1
+	}
+	return code
+}
+
+// printFleet renders one file's fleet report, returning rep.Clean().
+func printFleet(stdout io.Writer, path string, rep *analyze.FleetReport, asJSON bool) bool {
+	if asJSON {
+		writeJSON(stdout, struct {
+			File string `json:"file"`
+			*analyze.FleetReport
+		}{path, rep})
+		return rep.Clean()
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", path, v.Line, v.Kind, v.Msg)
+	}
+	fmt.Fprintf(stdout, "%s: %d events (%d fleet, %d skipped)", path, rep.Events, rep.FleetEvents, rep.Skipped)
+	if len(rep.Runs) > 0 {
+		fmt.Fprintf(stdout, ", runs %v", rep.Runs)
+	}
+	fmt.Fprintln(stdout)
+
+	lanes := stats.NewTable("worker lanes", "node", "events", "first_us", "last_us")
+	for _, node := range sortedKeys(rep.Lanes) {
+		l := rep.Lanes[node]
+		lanes.AddRow(node, fmt.Sprint(l.Events), fmt.Sprint(l.FirstUS), fmt.Sprint(l.LastUS))
+	}
+	fmt.Fprint(stdout, lanes.String())
+
+	leases := stats.NewTable("leases",
+		"lease", "worker", "span", "grant_us", "end_us", "ttl_us", "hb", "outcome", "re-leased")
+	for _, e := range rep.Leases {
+		outcome := e.Outcome
+		if e.Reason != "" {
+			outcome += " (" + e.Reason + ")"
+		}
+		if e.ReLease {
+			outcome += " [re-lease]"
+		}
+		releasedTag := ""
+		if e.ReLeased {
+			releasedTag = "yes"
+		}
+		leases.AddRow(e.ID, e.Worker, fmt.Sprintf("%d:%d", e.From, e.To),
+			fmt.Sprint(e.GrantUS), orDash(e.EndUS), fmt.Sprint(e.TTLUS),
+			fmt.Sprint(e.Heartbeats), outcome, releasedTag)
+	}
+	fmt.Fprint(stdout, leases.String())
+
+	fmt.Fprintf(stdout, "grants %d (%d re-lease), completed %d, expired %d, stale rejects %d, heartbeats %d\n",
+		rep.Grants, rep.ReLeases, rep.Completed, rep.Expired, rep.StaleRejects, rep.Heartbeats)
+	fmt.Fprintf(stdout, "expire->re-lease episodes: %d\n", rep.ExpireReLeaseEpisodes)
+	if rep.Clean() {
+		fmt.Fprintln(stdout, "fleet lint: clean")
+	} else {
+		fmt.Fprintf(stdout, "fleet lint: %d violations (%d shown)\n",
+			rep.TotalViolations, len(rep.Violations))
+	}
+	return rep.Clean()
+}
+
+// fleetExport renders one fleet trace as Chrome trace-event JSON.
+func fleetExport(path, outPath string, stdin io.Reader, stdout, stderr io.Writer) int {
+	in := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	out := stdout
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	if err := analyze.FleetChromeTrace(in, out); err != nil {
 		fmt.Fprintln(stderr, "tracetool:", err)
 		if outFile != nil {
 			outFile.Close()

@@ -32,6 +32,8 @@ func exec(t *testing.T, args ...string) (code int, stdout, stderr string) {
 func TestGoldenOutputs(t *testing.T) {
 	sample := filepath.Join("testdata", "sample.trace.jsonl")
 	dirty := filepath.Join("testdata", "dirty.trace.jsonl")
+	fleet := filepath.Join("testdata", "fleet.trace.jsonl")
+	fleetDirty := filepath.Join("testdata", "fleet-dirty.trace.jsonl")
 	// A real simulation trace, pinned by the simtest golden harness: the
 	// chrome export of a byte-stable input must itself be byte-stable.
 	simtrace := filepath.Join("..", "..", "internal", "simtest", "testdata", "head-drop-recovery.trace.jsonl")
@@ -48,6 +50,10 @@ func TestGoldenOutputs(t *testing.T) {
 		{"lint.txt", []string{"lint", sample, dirty}, 1},
 		{"chrome.json", []string{"export", "-format", "chrome", sample}, 0},
 		{"chrome-head-drop.json", []string{"export", simtrace}, 0},
+		{"fleet.txt", []string{"fleet", fleet}, 0},
+		{"fleet.json", []string{"fleet", "-json", fleet}, 0},
+		{"fleet-dirty.txt", []string{"fleet", fleet, fleetDirty}, 1},
+		{"fleet-chrome.json", []string{"fleet", "-export", "chrome", fleet}, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {
@@ -228,5 +234,87 @@ func TestSimtestGoldenEpisodesMatchMetrics(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFleetSubcommand pins the fleet lint's exit-code and smoke-grep
+// contract: scripts/sweep-smoke.sh greps the "expire->re-lease episodes"
+// line and the JSON report's expire_release_episodes field after killing a
+// worker, so both handles must stay stable.
+func TestFleetSubcommand(t *testing.T) {
+	fleet := filepath.Join("testdata", "fleet.trace.jsonl")
+	fleetDirty := filepath.Join("testdata", "fleet-dirty.trace.jsonl")
+
+	code, out, _ := exec(t, "fleet", fleet)
+	if code != 0 {
+		t.Fatalf("fleet on clean trace exited %d", code)
+	}
+	if !strings.Contains(out, "fleet lint: clean") {
+		t.Errorf("clean trace output missing lint verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "expire->re-lease episodes: 1") {
+		t.Errorf("output missing the smoke-grep episode line:\n%s", out)
+	}
+
+	code, out, _ = exec(t, "fleet", "-json", fleet)
+	if code != 0 {
+		t.Fatalf("fleet -json exited %d", code)
+	}
+	var rep struct {
+		Episodes   int64 `json:"expire_release_episodes"`
+		Violations int64 `json:"total_violations"`
+		Grants     int64 `json:"grants"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("parse fleet JSON: %v", err)
+	}
+	if rep.Episodes != 1 || rep.Violations != 0 || rep.Grants != 2 {
+		t.Errorf("fleet JSON episodes/violations/grants = %d/%d/%d, want 1/0/2",
+			rep.Episodes, rep.Violations, rep.Grants)
+	}
+
+	if code, _, _ := exec(t, "fleet", fleetDirty); code != 1 {
+		t.Errorf("fleet on dirty trace exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t, "fleet", filepath.Join("testdata", "no-such.jsonl")); code != 1 {
+		t.Errorf("fleet on missing file exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t, "fleet"); code != 2 {
+		t.Errorf("fleet with no files exited %d, want 2", code)
+	}
+	if code, _, stderr := exec(t, "fleet", "-export", "svg", fleet); code != 2 ||
+		!strings.Contains(stderr, "unknown fleet export format") {
+		t.Errorf("bad export format: code %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := exec(t, "fleet", "-export", "chrome", fleet, fleet); code != 2 {
+		t.Errorf("export with two files exited %d, want usage error", code)
+	}
+
+	// -o writes the same bytes the stdout golden pins.
+	outPath := filepath.Join(t.TempDir(), "fleet.json")
+	if code, stdout, stderr := exec(t, "fleet", "-export", "chrome", "-o", outPath, fleet); code != 0 || stdout != "" {
+		t.Fatalf("fleet -export -o: code %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "fleet-chrome.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(written, golden) {
+		t.Error("fleet -export -o output differs from stdout golden")
+	}
+
+	// Stdin input works for the report path.
+	data, err := os.ReadFile(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code := run([]string{"fleet", "-"}, bytes.NewReader(data), &buf, &buf); code != 0 ||
+		!strings.Contains(buf.String(), "fleet lint: clean") {
+		t.Fatalf("fleet over stdin: code %d, out %q", code, buf.String())
 	}
 }

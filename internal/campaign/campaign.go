@@ -13,13 +13,16 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/par"
 )
 
@@ -134,6 +137,65 @@ type Options struct {
 	// sim.ObsProvider; jobs run concurrently, so their simulator-level
 	// counters aggregate across the whole fleet.
 	Obs *obs.Registry
+	// Flight, when non-nil, records each job's completion (and timeout) as
+	// typed obs events in a bounded ring, dumped to FlightDir when a job
+	// panics or times out — the last-N-events postmortem for a crash the
+	// full trace was too expensive to keep running for.
+	Flight *flight.Recorder
+	// FlightDir is where dumps land ("" disables dumping).
+	FlightDir string
+}
+
+// flightLog adapts the campaign scheduler to the flight recorder: each
+// finished job becomes a "complete" event and each timeout an "expire"
+// (reason=timeout), tagged src=campaign so fleet tooling shows them as
+// timeline annotations, never lease-lint input. A nil *flightLog no-ops.
+type flightLog struct {
+	rec   *flight.Recorder
+	dir   string
+	epoch time.Time
+	seq   atomic.Int64 // completion counter; events need Seq >= 0
+}
+
+func newFlightLog(rec *flight.Recorder, dir string) *flightLog {
+	if rec == nil {
+		return nil
+	}
+	return &flightLog{rec: rec, dir: dir, epoch: time.Now()}
+}
+
+func (fl *flightLog) record(ev, jobID, detail string) {
+	if fl == nil {
+		return
+	}
+	fl.rec.Record(obs.Event{
+		TUS:    time.Since(fl.epoch).Microseconds(),
+		Ev:     ev,
+		Node:   "campaign",
+		Seq:    int(fl.seq.Add(1)),
+		Detail: "src=campaign job=" + jobID + " " + detail,
+	})
+}
+
+func (fl *flightLog) complete(jobID, status string, elapsedMS int64) {
+	fl.record(obs.EvLeaseComplete, jobID, fmt.Sprintf("status=%s elapsed_ms=%d", status, elapsedMS))
+}
+
+func (fl *flightLog) expire(jobID, reason string) {
+	fl.record(obs.EvLeaseExpire, jobID, "reason="+reason)
+}
+
+// dump writes the ring as JSONL, returning the path ("" when dumping is
+// disabled or fails — the dump is a best-effort postmortem).
+func (fl *flightLog) dump(tag string) string {
+	if fl == nil || fl.dir == "" {
+		return ""
+	}
+	path, err := fl.rec.Dump(fl.dir, tag)
+	if err != nil {
+		return ""
+	}
+	return path
 }
 
 // instruments caches the scheduler's obs handles (all nil-safe no-ops when
@@ -171,10 +233,11 @@ func Run(opts Options) *Summary {
 	done := 0
 
 	ins := newInstruments(opts.Obs)
+	fl := newFlightLog(opts.Flight, opts.FlightDir)
 	opts.Status.begin(total, workers)
 	defer opts.Status.finish()
 	records := par.MapN(opts.Jobs, workers, func(j Job) JobRecord {
-		rec, res := runOne(j, opts, ins)
+		rec, res := runOne(j, opts, ins, fl)
 		opts.Status.jobFinished(rec)
 		mu.Lock()
 		done++
@@ -240,7 +303,7 @@ func sortFailuresFirst(s *Summary) {
 
 // runOne resolves one job through the cache or executes it (with retries),
 // returning its record and, when successful, its result.
-func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
+func runOne(j Job, opts Options, ins instruments, fl *flightLog) (JobRecord, *exp.Result) {
 	rec := JobRecord{ID: j.ID, Key: j.Key(), Seed: j.Seed, N: j.effN}
 	jobStart := time.Now()
 	opts.Status.jobStarted(j, rec.Key)
@@ -260,7 +323,7 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 	series := opts.Obs.Series()
 	pointsBefore := series.Points()
 	for rec.Attempts = 1; ; rec.Attempts++ {
-		res, err = execute(j, opts.Timeout)
+		res, err = execute(j, opts.Timeout, fl)
 		if err == nil || rec.Attempts > opts.Retries {
 			break
 		}
@@ -274,10 +337,12 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 		rec.Status = StatusFailed
 		rec.Error = err.Error()
 		ins.failed.Inc()
+		fl.complete(j.ID, StatusFailed, rec.ElapsedMS)
 		return rec, nil
 	}
 	rec.Status = StatusOK
 	ins.executed.Inc()
+	fl.complete(j.ID, StatusOK, rec.ElapsedMS)
 	if opts.Cache != nil {
 		if serr := opts.Cache.Store(rec.Key, res); serr != nil {
 			// A cache write failure degrades re-run speed, not correctness.
@@ -287,12 +352,17 @@ func runOne(j Job, opts Options, ins instruments) (JobRecord, *exp.Result) {
 	return rec, res
 }
 
+// executePanicStackLimit caps the stack a recovered job panic carries into
+// its error message (it ends up in summaries and progress lines).
+const executePanicStackLimit = 4 << 10
+
 // execute runs the job body on its own goroutine with panic recovery and
 // an optional wall-clock timeout. On timeout the goroutine is abandoned —
 // the simulator has no cancellation points — so a timed-out job keeps a
 // worker's worth of CPU busy until it finishes; the scheduler slot itself
-// is released immediately.
-func execute(j Job, timeout time.Duration) (res *exp.Result, err error) {
+// is released immediately. Panics and timeouts dump the flight ring, and
+// the dump path rides in the error so the postmortem is one click away.
+func execute(j Job, timeout time.Duration, fl *flightLog) (res *exp.Result, err error) {
 	type outcome struct {
 		res *exp.Result
 		err error
@@ -301,7 +371,15 @@ func execute(j Job, timeout time.Duration) (res *exp.Result, err error) {
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
+				stack := debug.Stack()
+				if len(stack) > executePanicStackLimit {
+					stack = stack[:executePanicStackLimit]
+				}
+				dump := ""
+				if path := fl.dump("panic-" + j.ID); path != "" {
+					dump = "\nflight dump: " + path
+				}
+				ch <- outcome{err: fmt.Errorf("panic: %v%s\n%s", p, dump, stack)}
 			}
 		}()
 		r := j.run(j.N, j.Seed)
@@ -321,6 +399,11 @@ func execute(j Job, timeout time.Duration) (res *exp.Result, err error) {
 	case o := <-ch:
 		return o.res, o.err
 	case <-timer.C:
-		return nil, fmt.Errorf("timeout after %s", timeout)
+		fl.expire(j.ID, "timeout")
+		dump := ""
+		if path := fl.dump("timeout-" + j.ID); path != "" {
+			dump = " (flight dump: " + path + ")"
+		}
+		return nil, fmt.Errorf("timeout after %s%s", timeout, dump)
 	}
 }

@@ -97,13 +97,24 @@ type StatusSnapshot struct {
 	Fleet []WorkerStatus `json:"fleet,omitempty"`
 }
 
-// WorkerStatus is one sweep worker's row in the fleet view.
+// WorkerStatus is one sweep worker's row in the fleet view. Beyond lease
+// accounting it carries the heartbeat-federated metrics (sweep-proto-v3):
+// mid-lease job counters, the elapsed p50 from the worker's own digest,
+// and the coordinator's straggler verdict (worker p50 far above the
+// fleet-merged p50; see docs/FLEET.md for the thresholds).
 type WorkerStatus struct {
 	Name       string `json:"name"`
 	JobsDone   int64  `json:"jobs_done"`
 	Leases     int    `json:"active_leases"`
 	LastSeenMS int64  `json:"last_seen_ms"`
 	Alive      bool   `json:"alive"`
+
+	Executed     int64 `json:"executed,omitempty"`
+	Cached       int64 `json:"cached,omitempty"`
+	Failed       int64 `json:"failed,omitempty"`
+	Samples      int64 `json:"samples,omitempty"`
+	ElapsedP50MS int64 `json:"elapsed_p50_ms,omitempty"`
+	Straggler    bool  `json:"straggler,omitempty"`
 }
 
 // recentCap bounds the finished-job ring the snapshot reports.
@@ -285,13 +296,22 @@ func (snap *StatusSnapshot) Text() string {
 	}
 	out := t.String()
 	if len(snap.Fleet) > 0 {
-		f := stats.NewTable("Fleet workers", "worker", "jobs done", "leases", "last seen", "state")
+		f := stats.NewTable("Fleet workers", "worker", "jobs done", "leases",
+			"exec/cache/fail", "p50", "last seen", "state")
 		for _, w := range snap.Fleet {
 			state := "alive"
 			if !w.Alive {
 				state = "DEAD"
 			}
+			if w.Straggler {
+				state += " STRAGGLER"
+			}
+			p50 := "-"
+			if w.Samples > 0 {
+				p50 = fmt.Sprintf("%dms", w.ElapsedP50MS)
+			}
 			f.AddRow(w.Name, fmt.Sprintf("%d", w.JobsDone), fmt.Sprintf("%d", w.Leases),
+				fmt.Sprintf("%d/%d/%d", w.Executed, w.Cached, w.Failed), p50,
 				(time.Duration(w.LastSeenMS)*time.Millisecond).Round(time.Millisecond).String()+" ago", state)
 		}
 		out += "\n" + f.String()

@@ -1,0 +1,147 @@
+package analyze
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Fleet Chrome trace-event export: one process per run label, one thread
+// (lane) per node — each worker gets its own lane, so a sharded sweep's
+// lease churn reads as a per-worker Gantt chart in chrome://tracing or
+// Perfetto. Coordinator-authoritative lease episodes render as duration
+// slices spanning grant → complete/expire (open leases get a zero-length
+// span at the grant); heartbeats, stale rejects, and spec fetches render
+// as instants. Deterministic for a given input, like ChromeTrace.
+
+// FleetChromeTrace converts one fleet JSONL trace from r into an indented
+// Chrome trace-event JSON document on w. Non-fleet and undecodable lines
+// are skipped (run `tracetool fleet` for lint findings); the error reports
+// only read or encode failures.
+func FleetChromeTrace(r io.Reader, w io.Writer) error {
+	var events []obs.Event
+	a := NewFleet(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		a.Line(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := obs.DecodeEvent(line)
+		if err != nil || !isFleetEvent(ev.Ev) {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fleet chrome export: %w", err)
+	}
+	rep := a.Finish()
+
+	doc := buildFleetChromeDoc(events, rep)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet chrome export: %w", err)
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet chrome export: %w", err)
+	}
+	return nil
+}
+
+// buildFleetChromeDoc lays out per-run processes and per-node lanes, then
+// renders lease spans and event instants.
+func buildFleetChromeDoc(events []obs.Event, rep *FleetReport) *chromeDoc {
+	runSet := map[string]map[string]bool{}
+	addLane := func(run, node string) {
+		if runSet[run] == nil {
+			runSet[run] = map[string]bool{}
+		}
+		runSet[run][node] = true
+	}
+	for _, ev := range events {
+		addLane(ev.Run, ev.Node)
+	}
+
+	runs := make([]string, 0, len(runSet))
+	for run := range runSet {
+		runs = append(runs, run)
+	}
+	sort.Strings(runs)
+
+	doc := &chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	pid := map[string]int{}
+	tid := map[string]map[string]int{}
+	for i, run := range runs {
+		pid[run] = i + 1
+		name := run
+		if name == "" {
+			name = "(no run)"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid[run],
+			Args: &chromeArgs{Name: "run " + name},
+		})
+		nodes := make([]string, 0, len(runSet[run]))
+		for node := range runSet[run] {
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
+		tid[run] = map[string]int{}
+		for j, node := range nodes {
+			tid[run][node] = j + 1
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid[run], TID: j + 1,
+				Args: &chromeArgs{Name: "worker " + node},
+			})
+		}
+	}
+
+	// Lease spans on the holder's lane. Episodes come from the coordinator
+	// record, so each knows its run only via its worker's events; a fleet
+	// trace carries exactly one run label in practice, so attribute spans
+	// to the run of the first event (fallback "").
+	run := ""
+	if len(events) > 0 {
+		run = events[0].Run
+	}
+	for _, e := range rep.Leases {
+		name := e.ID
+		if e.ReLease {
+			name = e.ID + " (re-lease)"
+		}
+		span := chromeEvent{
+			Name: name, Cat: "lease", Ph: "X",
+			PID: pid[run], TID: tid[run][e.Worker], TS: e.GrantUS, Dur: int64Ptr(0),
+			Args: &chromeArgs{Detail: fmt.Sprintf("span=%d:%d outcome=%s heartbeats=%d",
+				e.From, e.To, e.Outcome, e.Heartbeats)},
+		}
+		if e.EndUS >= e.GrantUS {
+			span.Dur = int64Ptr(e.EndUS - e.GrantUS)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, span)
+	}
+
+	// Every fleet event as an instant on its lane, in input order.
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Ev, Cat: ev.Ev, Ph: "i", S: "t",
+			PID: pid[ev.Run], TID: tid[ev.Run][ev.Node], TS: ev.TUS,
+		}
+		if ev.Seq >= 0 {
+			ce.Name = fmt.Sprintf("%s L%d", ev.Ev, ev.Seq)
+			ce.Args = &chromeArgs{Seq: intPtr(ev.Seq), Detail: ev.Detail}
+		} else if ev.Detail != "" {
+			ce.Args = &chromeArgs{Detail: ev.Detail}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	return doc
+}

@@ -33,9 +33,53 @@ const (
 	EvPlayoutMiss = "playout-miss"
 )
 
-// EventTypes lists every valid trace event type.
+// EventTypes lists every valid simulation trace event type. Fleet
+// lifecycle events (the fleet-trace-v1 family) are listed separately in
+// FleetEventTypes; both families share the Event record and the strict
+// decoder.
 var EventTypes = []string{
 	EvTx, EvRetry, EvDrop, EvHeadDrop, EvLinkSwitch, EvRetrieve, EvPlayoutMiss,
+}
+
+// fleet-trace-v1 event types. Each names one transition in the sweep
+// coordinator's lease lifecycle (internal/sweep); docs/OBSERVABILITY.md
+// documents the field mapping. Unlike simulation events, fleet events carry
+// wall-clock timestamps (microseconds since the emitting process's trace
+// epoch) and use Seq for the numeric lease sequence (lease "L7" → Seq 7;
+// -1 for events not about one lease). Detail is a space-separated k=v
+// token list; the src= token names the emitting side (coord or worker) —
+// only src=coord events drive the lease lint, worker-side events are
+// timeline annotations.
+const (
+	// EvSpecFetch is a spec served to (src=coord) or fetched by
+	// (src=worker) a worker. Not lease-scoped: Seq is -1.
+	EvSpecFetch = "spec-fetch"
+	// EvLeaseGrant is a fresh span granted to a worker. DurUS carries the
+	// lease TTL.
+	EvLeaseGrant = "lease-grant"
+	// EvFleetHeartbeat is a lease keepalive: received and acked
+	// (src=coord ok=true), received for a dead lease (ok=false), or sent
+	// (src=worker).
+	EvFleetHeartbeat = "heartbeat"
+	// EvLeaseExpire is a lease reaped by the coordinator (reason=ttl) or
+	// invalidated by an unaccountable report (reason=mismatch); its span
+	// returns to the requeue list. Workers emit it (src=worker) when
+	// notified their lease died.
+	EvLeaseExpire = "expire"
+	// EvReLease is a previously-expired span granted again (possibly
+	// split). DurUS carries the lease TTL.
+	EvReLease = "re-lease"
+	// EvLeaseComplete is a lease's report merged into the fleet aggregate.
+	EvLeaseComplete = "complete"
+	// EvRejectStale is a completion report for an expired lease, discarded
+	// to keep the sharded-equals-single determinism contract.
+	EvRejectStale = "reject-stale"
+)
+
+// FleetEventTypes lists every fleet-trace-v1 event type.
+var FleetEventTypes = []string{
+	EvSpecFetch, EvLeaseGrant, EvFleetHeartbeat, EvLeaseExpire,
+	EvReLease, EvLeaseComplete, EvRejectStale,
 }
 
 // Detail values with fixed vocabularies (see docs/OBSERVABILITY.md).
@@ -98,6 +142,26 @@ func SampleEvents() []Event {
 		{TUS: 2_460_000, Ev: EvLinkSwitch, Run: "s42", Node: "client", Seq: 123, DurUS: 2800, Detail: SwitchToSecondary},
 		{TUS: 2_471_300, Ev: EvRetrieve, Run: "s42", Node: "client", Seq: 123, DurUS: 11_300},
 		{TUS: 2_650_000, Ev: EvPlayoutMiss, Run: "s42", Node: "client", Seq: 124},
+	}
+}
+
+// SampleFleetEvents returns one well-formed fleet-trace-v1 event of every
+// type, ordered as one coherent lease episode: worker w0 fetches the spec
+// and is granted lease L1, heartbeats it once, dies; the coordinator
+// expires L1 and re-leases its span to w1 as L2, which completes; w0's
+// posthumous report is rejected as stale. Per-(run, node) timestamps are
+// non-decreasing, so the fragment passes the ordering lint. Freshly
+// allocated; callers may mutate it.
+func SampleFleetEvents() []Event {
+	run := "fleet/1a2b3c4d"
+	return []Event{
+		{TUS: 0, Ev: EvSpecFetch, Run: run, Node: "w0", Seq: -1, Detail: "src=coord hash=1a2b3c4d"},
+		{TUS: 180, Ev: EvLeaseGrant, Run: run, Node: "w0", Seq: 1, DurUS: 2_000_000, Detail: "src=coord span=0:64"},
+		{TUS: 650_000, Ev: EvFleetHeartbeat, Run: run, Node: "w0", Seq: 1, Detail: "src=coord ok=true"},
+		{TUS: 2_650_400, Ev: EvLeaseExpire, Run: run, Node: "w0", Seq: 1, Detail: "src=coord span=0:64 reason=ttl"},
+		{TUS: 2_651_000, Ev: EvReLease, Run: run, Node: "w1", Seq: 2, DurUS: 2_000_000, Detail: "src=coord span=0:64"},
+		{TUS: 3_900_000, Ev: EvLeaseComplete, Run: run, Node: "w1", Seq: 2, Detail: "src=coord span=0:64 executed=64 cached=0 failed=0"},
+		{TUS: 4_010_000, Ev: EvRejectStale, Run: run, Node: "w0", Seq: 1, Detail: "src=coord"},
 	}
 }
 
@@ -167,6 +231,15 @@ func (ev Event) Validate() error {
 		}
 		return requireSeq()
 	case EvPlayoutMiss:
+		if err := requireNode(); err != nil {
+			return err
+		}
+		return requireSeq()
+	case EvSpecFetch:
+		// Not lease-scoped; only the worker/coordinator node is required.
+		return requireNode()
+	case EvLeaseGrant, EvFleetHeartbeat, EvLeaseExpire, EvReLease,
+		EvLeaseComplete, EvRejectStale:
 		if err := requireNode(); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -97,6 +98,64 @@ func TestEventTypesListMatchesValidator(t *testing.T) {
 		ev := Event{TUS: 1, Ev: typ, Node: "n", Seq: 1, Attempt: 1, Detail: firstValidDetail(typ)}
 		if err := ev.Validate(); err != nil {
 			t.Errorf("type %q from EventTypes does not validate: %v", typ, err)
+		}
+	}
+	for _, typ := range FleetEventTypes {
+		ev := Event{TUS: 1, Ev: typ, Node: "w0", Seq: 1, Detail: "src=coord span=0:64"}
+		if err := ev.Validate(); err != nil {
+			t.Errorf("type %q from FleetEventTypes does not validate: %v", typ, err)
+		}
+	}
+}
+
+// TestFleetSampleEventsRoundTripAndValidate holds the fleet-trace-v1 worked
+// examples to the same contract as the simulation samples: every event
+// validates, and survives the strict JSONL round trip unchanged.
+func TestFleetSampleEventsRoundTripAndValidate(t *testing.T) {
+	samples := SampleFleetEvents()
+	if len(samples) != len(FleetEventTypes) {
+		t.Fatalf("SampleFleetEvents has %d events, want one per type (%d)",
+			len(samples), len(FleetEventTypes))
+	}
+	seen := map[string]bool{}
+	for _, ev := range samples {
+		seen[ev.Ev] = true
+		if err := ev.Validate(); err != nil {
+			t.Errorf("sample %s event invalid: %v", ev.Ev, err)
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEvent(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		if got != ev {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, ev)
+		}
+	}
+	for _, typ := range FleetEventTypes {
+		if !seen[typ] {
+			t.Errorf("SampleFleetEvents missing type %q", typ)
+		}
+	}
+}
+
+func TestFleetEventValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"grant without node", Event{TUS: 1, Ev: EvLeaseGrant, Seq: 1}},
+		{"grant without seq", Event{TUS: 1, Ev: EvLeaseGrant, Node: "w0", Seq: -1}},
+		{"expire without seq", Event{TUS: 1, Ev: EvLeaseExpire, Node: "w0", Seq: -1}},
+		{"spec-fetch without node", Event{TUS: 1, Ev: EvSpecFetch, Seq: -1}},
+		{"reject-stale without seq", Event{TUS: 1, Ev: EvRejectStale, Node: "w0", Seq: -1}},
+	}
+	for _, c := range cases {
+		if err := c.ev.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.ev)
 		}
 	}
 }

@@ -16,12 +16,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/expose"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 )
 
@@ -46,10 +48,17 @@ type Flags struct {
 	// introspection server (internal/obs/expose): /metrics, /statusz,
 	// /healthz, /debug/pprof/. "" disables.
 	HTTP string
+	// Flight is "DIR" or "DIR,N": arm a flight recorder (internal/obs/
+	// flight) holding the last N lifecycle events (default
+	// flight.DefaultCapacity) and dump it into DIR on panic, per-job
+	// timeout, or lease expiry. "" disables — and disabled costs zero
+	// allocations on the hot path.
+	Flight string
 }
 
-// Register installs -metrics, -trace, -series, -pprof, and -http on fs
-// (typically flag.CommandLine) and returns the struct their values land in.
+// Register installs -metrics, -trace, -series, -pprof, -http, and -flight
+// on fs (typically flag.CommandLine) and returns the struct their values
+// land in.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics snapshot on exit ("-" = stderr as text, *.json = JSON, else text file)`)
@@ -57,6 +66,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Series, "series", "", `write a time-windowed metrics series on exit: PATH[,WINDOW] (WINDOW = Go duration of simulated time, default 1s; "-" = stderr, *.json = JSON, *.jsonl = JSONL, else text)`)
 	fs.StringVar(&f.Pprof, "pprof", "", "write cpu.pprof and heap.pprof to this directory")
 	fs.StringVar(&f.HTTP, "http", "", `serve live introspection (/metrics, /statusz, /healthz, /debug/pprof/) on this address (e.g. "127.0.0.1:6060"; ":0" picks a free port)`)
+	fs.StringVar(&f.Flight, "flight", "", `arm the flight recorder: DIR[,N] keeps the last N lifecycle events (default 256) and dumps them to DIR as JSONL on panic, job timeout, or lease expiry`)
 	return f
 }
 
@@ -64,6 +74,26 @@ func Register(fs *flag.FlagSet) *Flags {
 // Profiling alone does not need a registry; a live HTTP endpoint does.
 func (f *Flags) Enabled() bool {
 	return f.Metrics != "" || f.Trace != "" || f.Series != "" || f.HTTP != ""
+}
+
+// parseFlightSpec splits a -flight value into its dump directory and ring
+// capacity. The capacity is the suffix after the last comma when that
+// suffix parses as a positive integer; otherwise the whole spec is the
+// directory and the capacity defaults to flight.DefaultCapacity.
+func parseFlightSpec(spec string) (dir string, capacity int, err error) {
+	capacity = flight.DefaultCapacity
+	i := strings.LastIndexByte(spec, ',')
+	if i < 0 {
+		return spec, capacity, nil
+	}
+	n, nerr := strconv.Atoi(spec[i+1:])
+	if nerr != nil {
+		return "", 0, fmt.Errorf("flight: bad capacity %q: %w", spec[i+1:], nerr)
+	}
+	if n <= 0 {
+		return "", 0, fmt.Errorf("flight: non-positive capacity %q", spec[i+1:])
+	}
+	return spec[:i], n, nil
 }
 
 // parseSeriesSpec splits a -series value into its output path and window.
@@ -101,6 +131,8 @@ type Session struct {
 	series     *obs.Series
 	seriesPath string
 	http       *expose.Server
+	flight     *flight.Recorder
+	flightDir  string
 	cpuFile    *os.File
 	closed     bool
 }
@@ -178,6 +210,20 @@ func (f *Flags) Setup() (*Session, error) {
 			return reg.WithRun(fmt.Sprintf("s%d#%d", seed, n))
 		}
 	}
+	if f.Flight != "" {
+		dir, capacity, err := parseFlightSpec(f.Flight)
+		if err != nil {
+			return nil, err
+		}
+		if dir == "" {
+			return nil, fmt.Errorf("flight: empty dump directory in %q", f.Flight)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("flight: %w", err)
+		}
+		s.flight = flight.New(capacity)
+		s.flightDir = dir
+	}
 	if f.Pprof != "" {
 		if err := os.MkdirAll(f.Pprof, 0o755); err != nil {
 			return nil, fmt.Errorf("pprof: %w", err)
@@ -202,6 +248,23 @@ func (s *Session) Series() *obs.Series {
 		return nil
 	}
 	return s.series
+}
+
+// Flight returns the armed flight recorder (nil unless -flight was set;
+// the flight API is nil-safe, so callers may wire it unconditionally).
+func (s *Session) Flight() *flight.Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.flight
+}
+
+// FlightDir returns the flight dump directory ("" unless -flight was set).
+func (s *Session) FlightDir() string {
+	if s == nil {
+		return ""
+	}
+	return s.flightDir
 }
 
 // HTTP returns the live introspection server (nil unless -http was set).

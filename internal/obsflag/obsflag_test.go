@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 )
 
@@ -366,5 +367,99 @@ func TestInertSession(t *testing.T) {
 	var nilSess *Session
 	if err := nilSess.Close(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParseFlightSpec(t *testing.T) {
+	cases := []struct {
+		spec     string
+		dir      string
+		capacity int
+		wantErr  bool
+	}{
+		{"dumps", "dumps", flight.DefaultCapacity, false},
+		{"dumps,64", "dumps", 64, false},
+		{"a,b/dumps,128", "a,b/dumps", 128, false},
+		{"dumps,0", "", 0, true},
+		{"dumps,-3", "", 0, true},
+		{"dumps,banana", "", 0, true},
+	}
+	for _, c := range cases {
+		dir, capacity, err := parseFlightSpec(c.spec)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%q: err = %v, wantErr %v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err == nil && (dir != c.dir || capacity != c.capacity) {
+			t.Errorf("%q: parsed (%q, %d), want (%q, %d)", c.spec, dir, capacity, c.dir, c.capacity)
+		}
+	}
+}
+
+// TestFlightSession: -flight arms a recorder sized by the spec, creates the
+// dump directory, and stays orthogonal to the trace/metrics registry — a
+// flight ring alone needs no instrumentation session.
+func TestFlightSession(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dumps")
+	f := &Flags{Flight: dir + ",32"}
+	if f.Enabled() {
+		t.Error("Enabled() = true for flight-only flags")
+	}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rec := sess.Flight()
+	if rec == nil {
+		t.Fatal("Flight() = nil with -flight set")
+	}
+	if rec.Cap() != 32 {
+		t.Errorf("ring capacity = %d, want 32", rec.Cap())
+	}
+	if sess.FlightDir() != dir {
+		t.Errorf("FlightDir() = %q, want %q", sess.FlightDir(), dir)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Errorf("dump directory not created: %v", err)
+	}
+	if sess.Reg != nil {
+		t.Error("flight-only session built a registry")
+	}
+
+	// The armed ring records and dumps through the standard JSONL path.
+	rec.Record(obs.Event{TUS: 1, Ev: obs.EvLeaseGrant, Node: "w0", Seq: 1, Detail: "src=coord span=0:4"})
+	path, err := rec.Dump(sess.FlightDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.DecodeEvent(bytes.TrimSpace(data)); err != nil {
+		t.Errorf("dump line does not decode as a trace event: %v", err)
+	}
+
+	// Defaulted capacity and the nil-session accessors.
+	sess2, err := (&Flags{Flight: filepath.Join(t.TempDir(), "d2")}).Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	if got := sess2.Flight().Cap(); got != flight.DefaultCapacity {
+		t.Errorf("default ring capacity = %d, want %d", got, flight.DefaultCapacity)
+	}
+	var nilSess *Session
+	if nilSess.Flight() != nil || nilSess.FlightDir() != "" {
+		t.Error("nil session flight accessors not inert")
+	}
+}
+
+func TestSetupRejectsBadFlightSpec(t *testing.T) {
+	for _, spec := range []string{",64", "dir,banana", "dir,0"} {
+		if _, err := (&Flags{Flight: spec}).Setup(); err == nil {
+			t.Errorf("Setup accepted -flight %q", spec)
+		}
 	}
 }

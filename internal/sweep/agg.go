@@ -307,7 +307,17 @@ type Summary struct {
 	JobP95MS   float64 `json:"job_p95_ms"`
 	JobP99MS   float64 `json:"job_p99_ms"`
 	JobP999MS  float64 `json:"job_p999_ms"`
+
+	// Failures holds the first worker-reported job error messages (panic
+	// stacks and flight-dump paths included), capped at
+	// maxSummaryFailures; FailuresTotal counts all of them. Diagnostic
+	// only — never part of the fingerprint.
+	Failures      []string `json:"failures,omitempty"`
+	FailuresTotal int64    `json:"failures_total,omitempty"`
 }
+
+// maxSummaryFailures caps the failure messages a coordinator retains.
+const maxSummaryFailures = 32
 
 // Summarize renders an aggregate into the final report.
 func Summarize(spec *Spec, agg *Aggregate) *Summary {
@@ -441,6 +451,21 @@ func (s *Summary) Text() string {
 		fmt.Fprintf(&b, "per-job elapsed: p50 %.1fms, p95 %.1fms, p99 %.1fms, p999 %.1fms\n",
 			s.JobP50MS, s.JobP95MS, s.JobP99MS, s.JobP999MS)
 	}
+	if s.FailuresTotal > 0 {
+		fmt.Fprintf(&b, "job failures (%d total, first %d):\n", s.FailuresTotal, len(s.Failures))
+		for _, msg := range s.Failures {
+			fmt.Fprintf(&b, "  %s\n", firstLine(msg))
+		}
+	}
 	fmt.Fprintf(&b, "fingerprint %s (deterministic for spec %s)\n", s.Fingerprint, s.SpecHash)
 	return b.String()
+}
+
+// firstLine truncates a multi-line failure (panic stacks) for the table;
+// the full text stays in the JSON summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
 }

@@ -6,6 +6,9 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/sketch"
 )
 
 // span is a half-open job index range [From, To) — the unit of leasing.
@@ -26,20 +29,50 @@ type lease struct {
 	deadline time.Time
 }
 
-// workerInfo tracks one worker's fleet state for /campaign/status.
+// workerInfo tracks one worker's fleet state for /campaign/status: lease
+// accounting plus the federated metric view merged from its heartbeats.
 type workerInfo struct {
 	jobsDone int64
 	leases   int
 	lastSeen time.Time
+
+	// Heartbeat federation (sweep-proto-v3): the worker's latest cumulative
+	// metric snapshot. fedSeq is the snapshot's sequence; an older or
+	// retransmitted snapshot (same or lower seq) is acked but not applied,
+	// so lost responses and reordering can never double-count work.
+	fedSeq      int64
+	fedExecuted int64
+	fedCached   int64
+	fedFailed   int64
+	fedElapsed  *sketch.Digest
 }
 
-// CoordinatorOptions tunes leasing.
+// CoordinatorOptions tunes leasing and the fleet observability plane.
 type CoordinatorOptions struct {
 	// Batch caps jobs per lease (default 64).
 	Batch int64
 	// TTL is the lease lifetime; a lease not heartbeated or completed
 	// within TTL is re-queued for another worker (default 30s).
 	TTL time.Duration
+
+	// Obs, when non-nil, receives fleet instruments (sweep.* counters and
+	// gauges on /metrics) and fleet-trace-v1 lifecycle events on the
+	// trace sink. Purely observational: granting, merging, and the
+	// summary fingerprint are identical with or without it.
+	Obs *obs.Registry
+	// Flight, when non-nil, records lifecycle events into a bounded ring
+	// dumped to FlightDir on lease expiry — the postmortem for a worker
+	// that died without writing its own.
+	Flight *flight.Recorder
+	// FlightDir is where expiry dumps land ("" disables dumping).
+	FlightDir string
+
+	// StragglerFactor flags a worker as straggling when its federated
+	// elapsed p50 exceeds factor × the fleet-merged p50 (default 2.0).
+	StragglerFactor float64
+	// StragglerMinSamples is the minimum federated sample count before a
+	// worker can be flagged (default 16) — below it the digest is noise.
+	StragglerMinSamples int64
 }
 
 // Coordinator owns a sweep's job stream: it hands out leases, merges
@@ -63,11 +96,37 @@ type Coordinator struct {
 	cached   int64
 	failed   int64
 	releases int64 // spans re-queued after lease expiry
+	stale    int64 // completion reports rejected after expiry
 	leaseSeq int64
 	start    time.Time
+	// failures holds the first reported job errors, capped (Summary).
+	failures      []string
+	failuresTotal int64
+
+	// Fleet observability plane (all nil-safe no-ops when disabled).
+	ft  *FleetTrace
+	ins coordInstruments
 
 	finished chan struct{}
 	finOnce  sync.Once
+}
+
+// coordInstruments is the coordinator's /metrics surface. Counters track
+// lease-protocol traffic; the fleet_* counters aggregate the heartbeat
+// federation, so a scrape mid-sweep sees fleet-wide progress without
+// waiting for leases to complete.
+type coordInstruments struct {
+	leasesGranted     *obs.Counter
+	leasesExpired     *obs.Counter
+	rejectedStale     *obs.Counter
+	heartbeats        *obs.Counter
+	jobsDone          *obs.Counter
+	fleetExecuted     *obs.Counter
+	fleetCached       *obs.Counter
+	fleetFailed       *obs.Counter
+	workersSeen       *obs.Gauge
+	workersStraggling *obs.Gauge
+	leasesActive      *obs.Gauge
 }
 
 // NewCoordinator prepares a coordinator over the spec's job stream.
@@ -78,7 +137,13 @@ func NewCoordinator(spec *Spec, opts CoordinatorOptions) *Coordinator {
 	if opts.TTL <= 0 {
 		opts.TTL = 30 * time.Second
 	}
-	return &Coordinator{
+	if opts.StragglerFactor <= 1 {
+		opts.StragglerFactor = 2.0
+	}
+	if opts.StragglerMinSamples <= 0 {
+		opts.StragglerMinSamples = 16
+	}
+	c := &Coordinator{
 		spec:     spec,
 		total:    spec.Total(),
 		opts:     opts,
@@ -87,7 +152,24 @@ func NewCoordinator(spec *Spec, opts CoordinatorOptions) *Coordinator {
 		agg:      NewAggregate(),
 		start:    time.Now(),
 		finished: make(chan struct{}),
+		ft:       NewFleetTrace(opts.Obs, opts.Flight, spec.Hash(), "coord"),
 	}
+	if r := opts.Obs; r != nil {
+		c.ins = coordInstruments{
+			leasesGranted:     r.Counter("sweep.leases_granted"),
+			leasesExpired:     r.Counter("sweep.leases_expired"),
+			rejectedStale:     r.Counter("sweep.completions_rejected_stale"),
+			heartbeats:        r.Counter("sweep.heartbeats"),
+			jobsDone:          r.Counter("sweep.jobs_done"),
+			fleetExecuted:     r.Counter("sweep.fleet_jobs_executed"),
+			fleetCached:       r.Counter("sweep.fleet_jobs_cached"),
+			fleetFailed:       r.Counter("sweep.fleet_jobs_failed"),
+			workersSeen:       r.Gauge("sweep.workers"),
+			workersStraggling: r.Gauge("sweep.workers_straggling"),
+			leasesActive:      r.Gauge("sweep.leases_active"),
+		}
+	}
+	return c
 }
 
 // Spec returns the sweep spec (shared, read-only).
@@ -96,6 +178,10 @@ func (c *Coordinator) Spec() *Spec { return c.spec }
 // reap moves expired leases back onto the requeue list. Called under mu
 // from every entry point, so a dead worker's jobs become available the
 // next time any live worker asks for work — no background timer needed.
+//
+// Expiry is also the coordinator-side postmortem trigger: a SIGKILL'd
+// worker cannot dump its own flight ring, so the coordinator dumps its
+// ring (the lease lifecycle as this side saw it) when a lease dies.
 func (c *Coordinator) reap(now time.Time) {
 	for id, l := range c.active {
 		if now.After(l.deadline) {
@@ -105,8 +191,21 @@ func (c *Coordinator) reap(now time.Time) {
 			if w := c.workers[l.worker]; w != nil && w.leases > 0 {
 				w.leases--
 			}
+			c.ins.leasesExpired.Inc()
+			c.ft.Expire(l.worker, leaseSeq(id), l.span.From, l.span.To, "ttl")
+			c.dumpFlight("expire-" + l.worker + "-" + id)
 		}
 	}
+}
+
+// dumpFlight writes the flight ring to the configured dump directory.
+// Dump failures are not worth failing lease bookkeeping over — the dump
+// is a best-effort postmortem — so the error only reaches the trace.
+func (c *Coordinator) dumpFlight(tag string) {
+	if c.opts.Flight == nil || c.opts.FlightDir == "" {
+		return
+	}
+	_, _ = c.opts.Flight.Dump(c.opts.FlightDir, tag)
 }
 
 func (c *Coordinator) worker(name string, now time.Time) *workerInfo {
@@ -135,8 +234,10 @@ func (c *Coordinator) Lease(workerName string, max int64) LeaseResponse {
 		return LeaseResponse{Schema: ProtoSchema, Done: true}
 	}
 	var sp span
+	reLease := false
 	switch {
 	case len(c.requeued) > 0:
+		reLease = true
 		sp = c.requeued[0]
 		if sp.size() > max {
 			c.requeued[0].From = sp.From + max
@@ -154,24 +255,50 @@ func (c *Coordinator) Lease(workerName string, max int64) LeaseResponse {
 	id := fmt.Sprintf("L%d", c.leaseSeq)
 	c.active[id] = &lease{id: id, worker: workerName, span: sp, deadline: now.Add(c.opts.TTL)}
 	w.leases++
+	c.ins.leasesGranted.Inc()
+	c.ft.Grant(workerName, c.leaseSeq, sp.From, sp.To, c.opts.TTL, reLease)
 	return LeaseResponse{Schema: ProtoSchema, LeaseID: id, From: sp.From, To: sp.To,
 		TTLMS: c.opts.TTL.Milliseconds()}
 }
 
-// Heartbeat extends a lease's deadline. OK=false tells the worker its
-// lease expired and was re-queued (its eventual Complete will be ignored).
-func (c *Coordinator) Heartbeat(workerName, leaseID string) HeartbeatResponse {
+// Heartbeat extends a lease's deadline and applies the piggybacked metric
+// snapshot. OK=false tells the worker its lease expired and was re-queued
+// (its eventual Complete will be ignored). The snapshot is applied whether
+// or not the lease survived — the work it describes really happened on
+// that worker — but only when req.Seq advances past the last applied
+// sequence; snapshots are cumulative, so a stale or retransmitted one is
+// simply superseded and never double-counts. The fleet_* counters advance
+// by the counter deltas the new snapshot implies.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reap(now)
-	c.worker(workerName, now)
-	l, ok := c.active[leaseID]
+	w := c.worker(req.Worker, now)
+	c.ins.heartbeats.Inc()
+	if req.Seq > w.fedSeq {
+		w.fedSeq = req.Seq
+		if m := req.Metrics; m != nil {
+			c.ins.fleetExecuted.Add(m.Executed - w.fedExecuted)
+			c.ins.fleetCached.Add(m.Cached - w.fedCached)
+			c.ins.fleetFailed.Add(m.Failed - w.fedFailed)
+			w.fedExecuted = m.Executed
+			w.fedCached = m.Cached
+			w.fedFailed = m.Failed
+			if m.Elapsed != nil {
+				// The snapshot digest is self-contained (workers deep-copy
+				// before sending), so replacing the pointer is safe.
+				w.fedElapsed = m.Elapsed
+			}
+		}
+	}
+	l, ok := c.active[req.LeaseID]
+	c.ft.Heartbeat(req.Worker, leaseSeq(req.LeaseID), ok)
 	if !ok {
-		return HeartbeatResponse{OK: false}
+		return HeartbeatResponse{OK: false, Seq: w.fedSeq}
 	}
 	l.deadline = now.Add(c.opts.TTL)
-	return HeartbeatResponse{OK: true}
+	return HeartbeatResponse{OK: true, Seq: w.fedSeq}
 }
 
 // Complete merges a finished lease's sketch report into the fleet
@@ -193,6 +320,9 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	w := c.worker(req.Worker, now)
 	l, ok := c.active[req.LeaseID]
 	if !ok {
+		c.stale++
+		c.ins.rejectedStale.Inc()
+		c.ft.RejectStale(req.Worker, leaseSeq(req.LeaseID))
 		return CompleteResponse{Ignored: true}, nil
 	}
 	reported := req.Executed + req.Cached + req.Failed
@@ -205,6 +335,9 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		if w.leases > 0 {
 			w.leases--
 		}
+		c.ins.leasesExpired.Inc()
+		c.ft.Expire(l.worker, leaseSeq(l.id), l.span.From, l.span.To, "mismatch")
+		c.dumpFlight("expire-" + l.worker + "-" + l.id)
 		return CompleteResponse{Ignored: true},
 			fmt.Errorf("sweep: lease %s reports %d jobs for a %d-job span", l.id, reported, l.span.size())
 	}
@@ -222,6 +355,15 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	c.executed += req.Executed
 	c.cached += req.Cached
 	c.failed += req.Failed
+	c.failuresTotal += int64(len(req.Errors))
+	for _, msg := range req.Errors {
+		if len(c.failures) < maxSummaryFailures {
+			c.failures = append(c.failures, msg)
+		}
+	}
+	c.ins.jobsDone.Add(l.span.size())
+	c.ft.Complete(req.Worker, leaseSeq(l.id), l.span.From, l.span.To,
+		req.Executed, req.Cached, req.Failed)
 	if c.done >= c.total {
 		c.finOnce.Do(func() { close(c.finished) })
 		// Tell the finishing worker directly: a follow-up Lease call would
@@ -284,17 +426,50 @@ func (c *Coordinator) Snapshot() *campaign.StatusSnapshot {
 	}
 	snap.MetricSketches = c.agg.Sketches()
 	snap.SketchBuckets = c.agg.Buckets()
+
+	// Straggler detection: merge every worker's federated elapsed digest
+	// into a fleet distribution, then flag workers whose own p50 deviates
+	// past the configured factor. Sketch merges are bucket-additive, so
+	// the fleet digest is exact over whatever the heartbeats delivered.
+	fleet := sketch.New()
+	for _, w := range c.workers {
+		if w.fedElapsed != nil {
+			_ = fleet.Merge(w.fedElapsed)
+		}
+	}
+	fleetP50 := 0.0
+	if fleet.Count() > 0 {
+		fleetP50 = fleet.Quantile(0.50)
+	}
+	straggling := int64(0)
 	for name, w := range c.workers {
-		snap.Fleet = append(snap.Fleet, campaign.WorkerStatus{
+		ws := campaign.WorkerStatus{
 			Name:       name,
 			JobsDone:   w.jobsDone,
 			Leases:     w.leases,
 			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
 			Alive:      now.Sub(w.lastSeen) <= aliveWindow*c.opts.TTL,
-		})
+			Executed:   w.fedExecuted,
+			Cached:     w.fedCached,
+			Failed:     w.fedFailed,
+		}
+		if w.fedElapsed != nil && w.fedElapsed.Count() > 0 {
+			ws.Samples = int64(w.fedElapsed.Count())
+			p50 := w.fedElapsed.Quantile(0.50)
+			ws.ElapsedP50MS = int64(p50)
+			if ws.Samples >= c.opts.StragglerMinSamples && fleetP50 > 0 &&
+				p50 > c.opts.StragglerFactor*fleetP50 {
+				ws.Straggler = true
+				straggling++
+			}
+		}
+		snap.Fleet = append(snap.Fleet, ws)
 	}
 	sortFleet(snap.Fleet)
 	snap.Workers = len(snap.Fleet)
+	c.ins.workersSeen.Set(int64(len(c.workers)))
+	c.ins.workersStraggling.Set(straggling)
+	c.ins.leasesActive.Set(int64(len(c.active)))
 	return snap
 }
 
@@ -319,6 +494,8 @@ func (c *Coordinator) Summary() *Summary {
 	if secs := float64(s.ElapsedMS) / 1000; secs > 0 && c.done > 0 {
 		s.JobsPerSec = float64(c.done) / secs
 	}
+	s.Failures = append([]string(nil), c.failures...)
+	s.FailuresTotal = c.failuresTotal
 	return s
 }
 

@@ -1,0 +1,498 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/obs/expose"
+	"repro/internal/obs/flight"
+	"repro/internal/sketch"
+)
+
+// TestFleetPlaneNoPerturb is the observer-effect gate for the fleet
+// observability plane (the sweep-engine sibling of the simtest
+// TestLiveScrapingDoesNotPerturb): a sharded sweep with everything armed —
+// trace sink, flight recorder, fleet instruments, and /metrics scraped
+// from concurrent goroutines the whole time — must produce exactly the
+// fingerprint a plain sequential pass does, and the trace it emitted must
+// pass the fleet lint.
+func TestFleetPlaneNoPerturb(t *testing.T) {
+	doc := `{"name":"noperturb","seeds":{"count":30},
+		"impairments":["none","weak-link","mobility"],"device_classes":["pc","mobile"],
+		"ap_densities":["dense","sparse"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	var buf bytes.Buffer
+	sink := obs.NewSink(&buf)
+	reg := obs.NewRegistry()
+	reg.SetSink(sink)
+	rec := flight.New(0)
+	dir := t.TempDir()
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{
+		Batch: 13, Obs: reg, Flight: rec, FlightDir: dir})
+	srv := expose.New(reg)
+	c.Routes(srv)
+
+	// Scrapers hammer the exposition and the fleet view mid-sweep; under
+	// -race this also proves federation bookkeeping is data-race-free
+	// against the lease hot path.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				srv.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+				if rr.Code != 200 {
+					t.Errorf("GET /metrics: status %d", rr.Code)
+					return
+				}
+				if _, err := expose.ValidateExposition(rr.Body.Bytes()); err != nil {
+					t.Errorf("mid-sweep exposition invalid: %v", err)
+					return
+				}
+				c.Snapshot()
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			_, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+				WorkerOptions{Name: fmt.Sprintf("w%d", n), Parallel: 2,
+					Obs: reg, Flight: rec, FlightDir: dir})
+			if err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	if got := c.Summary().Fingerprint; got != want {
+		t.Errorf("fleet-plane fingerprint %s != plain sequential %s", got, want)
+	}
+
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analyze.AnalyzeFleet(bytes.NewReader(buf.Bytes()), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("fleet lint found %d violations: %+v", rep.TotalViolations, rep.Violations)
+	}
+	if rep.Grants == 0 {
+		t.Error("trace recorded no lease grants")
+	}
+	if rep.Completed != rep.Grants {
+		t.Errorf("trace shows %d grants but %d completions", rep.Grants, rep.Completed)
+	}
+	if rep.Expired != 0 || rep.StaleRejects != 0 || rep.ExpireReLeaseEpisodes != 0 {
+		t.Errorf("healthy sweep traced failures: expired=%d stale=%d episodes=%d",
+			rep.Expired, rep.StaleRejects, rep.ExpireReLeaseEpisodes)
+	}
+	if len(rep.Lanes) != 4 {
+		t.Errorf("trace has %d worker lanes, want 4", len(rep.Lanes))
+	}
+	if rec.Total() == 0 {
+		t.Error("flight ring recorded nothing with the plane armed")
+	}
+	// Nothing went wrong, so nothing may have dumped.
+	if dumps, _ := filepath.Glob(filepath.Join(dir, "flight-*.jsonl")); len(dumps) != 0 {
+		t.Errorf("healthy sweep wrote flight dumps: %v", dumps)
+	}
+}
+
+// TestFleetTraceDisabledIsFree pins the zero-cost contract: with neither a
+// trace sink nor a flight recorder the tracer is nil, and every method on
+// the nil tracer is a no-op that allocates nothing.
+func TestFleetTraceDisabledIsFree(t *testing.T) {
+	if ft := NewFleetTrace(nil, nil, "deadbeef", "coord"); ft != nil {
+		t.Fatal("tracer enabled with no registry and no recorder")
+	}
+	// A registry without a sink is not tracing either.
+	ft := NewFleetTrace(obs.NewRegistry(), nil, "deadbeef", "coord")
+	if ft != nil {
+		t.Fatal("tracer enabled on a sinkless registry")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ft.SpecFetch("w0", "deadbeef")
+		ft.Grant("w0", 1, 0, 64, time.Second, false)
+		ft.Heartbeat("w0", 1, true)
+		ft.Expire("w0", 1, 0, 64, "ttl")
+		ft.Complete("w0", 1, 0, 64, 60, 4, 0)
+		ft.RejectStale("w0", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled fleet tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestLeaseSeqParse(t *testing.T) {
+	cases := []struct {
+		id   string
+		want int64
+	}{
+		{"L7", 7}, {"L123", 123}, {"L0", 0},
+		{"", -1}, {"L", -1}, {"Lx", -1}, {"7", -1}, {"M7", -1}, {"L7x", -1},
+	}
+	for _, c := range cases {
+		if got := leaseSeq(c.id); got != c.want {
+			t.Errorf("leaseSeq(%q) = %d, want %d", c.id, got, c.want)
+		}
+	}
+}
+
+// digestOf builds a self-contained elapsed digest from sample values.
+func digestOf(t *testing.T, values ...float64) *sketch.Digest {
+	t.Helper()
+	d := sketch.New()
+	for _, v := range values {
+		d.Add(v)
+	}
+	return d
+}
+
+// repeat returns n copies of v, for building digests with known medians.
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestHeartbeatFederationIdempotent pins the sweep-proto-v3 federation
+// semantics: a snapshot applies only when its sequence advances, the
+// coordinator derives counter deltas from consecutive cumulative
+// snapshots, and retransmitted or stale snapshots never double-count.
+func TestHeartbeatFederationIdempotent(t *testing.T) {
+	s := synthSpec(t, `{"name":"fed","seeds":{"count":64},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	reg := obs.NewRegistry()
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 8, Obs: reg})
+	grant := c.Lease("w0", 8)
+
+	executed := reg.Counter("sweep.fleet_jobs_executed")
+	cached := reg.Counter("sweep.fleet_jobs_cached")
+
+	hb := func(seq int64, m *WorkerMetrics) HeartbeatResponse {
+		return c.Heartbeat(HeartbeatRequest{Worker: "w0", LeaseID: grant.LeaseID, Seq: seq, Metrics: m})
+	}
+
+	resp := hb(1, &WorkerMetrics{Executed: 5, Cached: 2, Elapsed: digestOf(t, repeat(10, 7)...)})
+	if !resp.OK || resp.Seq != 1 {
+		t.Fatalf("first heartbeat: ok=%v seq=%d", resp.OK, resp.Seq)
+	}
+	if executed.Value() != 5 || cached.Value() != 2 {
+		t.Errorf("after seq 1: executed=%d cached=%d, want 5/2", executed.Value(), cached.Value())
+	}
+
+	// Retransmit of the same sequence: acked, not applied.
+	resp = hb(1, &WorkerMetrics{Executed: 7, Cached: 3})
+	if resp.Seq != 1 {
+		t.Errorf("retransmit ack seq=%d, want 1", resp.Seq)
+	}
+	if executed.Value() != 5 {
+		t.Errorf("retransmitted snapshot was re-applied: executed=%d", executed.Value())
+	}
+
+	// The next cumulative snapshot advances by its deltas — including the
+	// work that accrued while the earlier response was in flight.
+	resp = hb(3, &WorkerMetrics{Executed: 9, Cached: 4, Elapsed: digestOf(t, repeat(10, 13)...)})
+	if resp.Seq != 3 {
+		t.Errorf("ack seq=%d, want 3", resp.Seq)
+	}
+	if executed.Value() != 9 || cached.Value() != 4 {
+		t.Errorf("after seq 3: executed=%d cached=%d, want 9/4", executed.Value(), cached.Value())
+	}
+
+	// An out-of-order stale snapshot is superseded, not merged.
+	hb(2, &WorkerMetrics{Executed: 100, Cached: 100})
+	if executed.Value() != 9 || cached.Value() != 4 {
+		t.Errorf("stale snapshot applied: executed=%d cached=%d", executed.Value(), cached.Value())
+	}
+
+	// A pure keepalive (seq 0, no metrics) changes nothing.
+	resp = c.Heartbeat(HeartbeatRequest{Worker: "w0", LeaseID: grant.LeaseID})
+	if !resp.OK || resp.Seq != 3 {
+		t.Errorf("keepalive: ok=%v seq=%d, want true/3", resp.OK, resp.Seq)
+	}
+
+	// The snapshot lands in the fleet view even though no lease completed.
+	snap := c.Snapshot()
+	if len(snap.Fleet) != 1 {
+		t.Fatalf("fleet rows = %d, want 1", len(snap.Fleet))
+	}
+	w := snap.Fleet[0]
+	if w.Executed != 9 || w.Cached != 4 || w.Samples != 13 {
+		t.Errorf("worker row executed=%d cached=%d samples=%d, want 9/4/13",
+			w.Executed, w.Cached, w.Samples)
+	}
+
+	// Heartbeats for a dead lease still federate: the work they describe
+	// really happened on that worker.
+	resp = c.Heartbeat(HeartbeatRequest{Worker: "w0", LeaseID: "L999",
+		Seq: 4, Metrics: &WorkerMetrics{Executed: 11, Cached: 4}})
+	if resp.OK {
+		t.Error("heartbeat for an unknown lease reported OK")
+	}
+	if executed.Value() != 11 {
+		t.Errorf("dead-lease snapshot dropped: executed=%d, want 11", executed.Value())
+	}
+}
+
+// TestStragglerDetection: a worker whose federated p50 exceeds the
+// configured factor over the fleet-merged p50 (with enough samples) is
+// flagged in the fleet view and counted on the gauge.
+func TestStragglerDetection(t *testing.T) {
+	s := synthSpec(t, `{"name":"strag","seeds":{"count":64},
+		"impairments":["none"],"device_classes":["pc"],"ap_densities":["typical"]}`)
+	reg := obs.NewRegistry()
+	c := NewCoordinator(s, CoordinatorOptions{Batch: 8, Obs: reg})
+
+	fast := c.Lease("fast", 8)
+	slow := c.Lease("slow", 8)
+	thin := c.Lease("thin", 8)
+	c.Heartbeat(HeartbeatRequest{Worker: "fast", LeaseID: fast.LeaseID, Seq: 1,
+		Metrics: &WorkerMetrics{Executed: 30, Elapsed: digestOf(t, repeat(10, 30)...)}})
+	c.Heartbeat(HeartbeatRequest{Worker: "slow", LeaseID: slow.LeaseID, Seq: 1,
+		Metrics: &WorkerMetrics{Executed: 16, Elapsed: digestOf(t, repeat(200, 16)...)}})
+	// As slow as "slow", but below StragglerMinSamples — noise, not flagged.
+	c.Heartbeat(HeartbeatRequest{Worker: "thin", LeaseID: thin.LeaseID, Seq: 1,
+		Metrics: &WorkerMetrics{Executed: 3, Elapsed: digestOf(t, repeat(200, 3)...)}})
+
+	snap := c.Snapshot()
+	flagged := map[string]bool{}
+	for _, w := range snap.Fleet {
+		flagged[w.Name] = w.Straggler
+	}
+	if flagged["fast"] {
+		t.Error("fast worker flagged as straggler")
+	}
+	if !flagged["slow"] {
+		t.Error("slow worker not flagged as straggler")
+	}
+	if flagged["thin"] {
+		t.Error("under-sampled worker flagged as straggler")
+	}
+	if got := reg.Gauge("sweep.workers_straggling").Value(); got != 1 {
+		t.Errorf("straggler gauge = %d, want 1", got)
+	}
+}
+
+// TestWorkerMeterSnapshotIsolated: a snapshot is self-contained — the
+// digest is deep-copied, so observations after the snapshot never mutate
+// what a coordinator may still be holding.
+func TestWorkerMeterSnapshotIsolated(t *testing.T) {
+	m := newWorkerMeter()
+	m.observe(5, false, false) // executed
+	m.observe(5, true, false)  // cached
+	m.observe(5, true, true)   // failed wins over cached
+	seq, snap := m.snapshot()
+	if seq != 1 {
+		t.Errorf("first snapshot seq = %d", seq)
+	}
+	if snap.Executed != 1 || snap.Cached != 1 || snap.Failed != 1 {
+		t.Errorf("snapshot counters %d/%d/%d, want 1/1/1", snap.Executed, snap.Cached, snap.Failed)
+	}
+	if got := snap.Elapsed.Count(); got != 3 {
+		t.Errorf("snapshot digest count = %d, want 3", got)
+	}
+	for i := 0; i < 10; i++ {
+		m.observe(5, false, false)
+	}
+	if got := snap.Elapsed.Count(); got != 3 {
+		t.Errorf("snapshot digest mutated by later observes: count = %d", got)
+	}
+	if seq2, snap2 := m.snapshot(); seq2 != 2 || snap2.Executed != 11 {
+		t.Errorf("second snapshot seq=%d executed=%d, want 2/11", seq2, snap2.Executed)
+	}
+}
+
+// TestHeartbeatVsExpireRace is the -race gate for the keepalive path: a
+// worker heartbeating slower than the TTL races the reaper (driven
+// concurrently through Snapshot) until the coordinator reports the lease
+// dead; the doomed worker's late Complete is discarded, a survivor
+// (heartbeating every TTL/3 with federated snapshots) drains the sweep,
+// and the fingerprint still equals the sequential run. The expiry must
+// also have produced the coordinator-side postmortem flight dump.
+func TestHeartbeatVsExpireRace(t *testing.T) {
+	doc := `{"name":"hbrace","seeds":{"count":40},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	reg := obs.NewRegistry()
+	rec := flight.New(64)
+	dir := t.TempDir()
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{
+		Batch: 16, TTL: 5 * time.Millisecond, Obs: reg, Flight: rec, FlightDir: dir})
+
+	doomed := c.Lease("doomed", 16)
+	if doomed.LeaseID == "" {
+		t.Fatal("doomed worker got no lease")
+	}
+
+	dead := make(chan struct{})
+	stopSnap := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Heartbeater: keepalives slower than the TTL, so every beat genuinely
+	// races the reaper; stops once the coordinator says the lease died.
+	go func() {
+		defer wg.Done()
+		for seq := int64(1); ; seq++ {
+			resp := c.Heartbeat(HeartbeatRequest{Worker: "doomed", LeaseID: doomed.LeaseID,
+				Seq: seq, Metrics: &WorkerMetrics{Executed: seq, Elapsed: digestOf(t, 1)}})
+			if !resp.OK {
+				close(dead)
+				return
+			}
+			time.Sleep(8 * time.Millisecond)
+		}
+	}()
+	// Concurrent reaper/observer: Snapshot reaps expired leases and reads
+	// the federation state the heartbeater is writing.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopSnap:
+				return
+			default:
+				c.Snapshot()
+			}
+		}
+	}()
+
+	select {
+	case <-dead:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lease never expired under racing heartbeats")
+	}
+
+	// The doomed worker finishes its span anyway and reports late: the
+	// report must be discarded, never merged.
+	ghost := NewAggregate()
+	for i := doomed.From; i < doomed.To; i++ {
+		j, err := s.JobAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, _ := (&Runner{RunFunc: synthMetrics}).Do(j)
+		ghost.Observe(j.CellKey(), m)
+	}
+	resp, err := c.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "doomed",
+		LeaseID: doomed.LeaseID, Executed: doomed.To - doomed.From, Agg: ghost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Ignored {
+		t.Error("complete after expire was merged")
+	}
+
+	if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+		WorkerOptions{Name: "survivor", Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	close(stopSnap)
+	wg.Wait()
+
+	if got := c.Summary().Fingerprint; got != want {
+		t.Errorf("post-race fingerprint %s != sequential %s", got, want)
+	}
+	if got := reg.Counter("sweep.completions_rejected_stale").Value(); got < 1 {
+		t.Errorf("stale-rejection counter = %d, want >= 1", got)
+	}
+	dumps, _ := filepath.Glob(filepath.Join(dir, "flight-expire-doomed-*.jsonl"))
+	if len(dumps) == 0 {
+		t.Error("lease expiry produced no coordinator-side flight dump")
+	}
+}
+
+// TestStaleCompleteNeverDoubleMerged: several ghosts of a dead worker all
+// report the same expired lease concurrently with a live worker draining
+// the sweep — every ghost report is Ignored and the final fingerprint
+// still equals the sequential run (the double-merge the
+// sharded-equals-single contract forbids).
+func TestStaleCompleteNeverDoubleMerged(t *testing.T) {
+	doc := `{"name":"ghosts","seeds":{"count":40},
+		"impairments":["none","mobility"],"device_classes":["pc"],"ap_densities":["typical"]}`
+	s := synthSpec(t, doc)
+	want := runSequential(t, s, &Runner{RunFunc: synthMetrics}).Fingerprint()
+
+	reg := obs.NewRegistry()
+	c := NewCoordinator(synthSpec(t, doc), CoordinatorOptions{
+		Batch: 16, TTL: 20 * time.Millisecond, Obs: reg})
+
+	doomed := c.Lease("doomed", 16)
+	if doomed.LeaseID == "" {
+		t.Fatal("doomed worker got no lease")
+	}
+	ghost := NewAggregate()
+	for i := doomed.From; i < doomed.To; i++ {
+		j, err := s.JobAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, _ := (&Runner{RunFunc: synthMetrics}).Do(j)
+		ghost.Observe(j.CellKey(), m)
+	}
+	time.Sleep(30 * time.Millisecond) // past the TTL: the lease is dead
+
+	const ghosts = 4
+	var wg sync.WaitGroup
+	for g := 0; g < ghosts; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Complete(CompleteRequest{Schema: ProtoSchema, Worker: "doomed",
+				LeaseID: doomed.LeaseID, Executed: doomed.To - doomed.From, Agg: ghost})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !resp.Ignored {
+				t.Error("stale complete was merged")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := RunWorker(LocalTransport{C: c}, &Runner{RunFunc: synthMetrics},
+			WorkerOptions{Name: "survivor", Parallel: 4}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Summary().Fingerprint; got != want {
+		t.Errorf("fingerprint with concurrent ghosts %s != sequential %s", got, want)
+	}
+	if got := reg.Counter("sweep.completions_rejected_stale").Value(); got != ghosts {
+		t.Errorf("stale-rejection counter = %d, want %d", got, ghosts)
+	}
+}

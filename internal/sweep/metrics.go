@@ -3,9 +3,11 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 	"repro/internal/sim/rng"
 	"repro/internal/voip"
@@ -126,11 +128,22 @@ func (j Job) Scenario() core.Scenario {
 type Runner struct {
 	RunFunc func(Job) Metrics
 	Cache   *campaign.Cache // nil disables caching
+
+	// Flight, when non-nil, is dumped to FlightDir when a job panics, so
+	// the postmortem carries the lifecycle events leading up to the crash.
+	Flight    *flight.Recorder
+	FlightDir string
 }
 
+// panicStackLimit caps the stack captured into a panic error message —
+// enough for the crash site and its callers without ballooning lease
+// reports (CompleteRequest carries these errors over the wire).
+const panicStackLimit = 4 << 10
+
 // Do resolves one job: cache hit, or execute + store. Panics in the
-// simulator are recovered into an error so one pathological grid point
-// cannot take down a worker.
+// simulator are recovered into an error — carrying the goroutine stack and
+// the flight-recorder dump path — so one pathological grid point cannot
+// take down a worker, and the panic stays diagnosable after the fact.
 func (r *Runner) Do(j Job) (m Metrics, cached bool, err error) {
 	key := j.Key()
 	if r.Cache != nil {
@@ -144,7 +157,18 @@ func (r *Runner) Do(j Job) (m Metrics, cached bool, err error) {
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("job %d (%s seed %d): panic: %v", j.Index, j.CellKey(), j.Seed, p)
+			stack := debug.Stack()
+			if len(stack) > panicStackLimit {
+				stack = stack[:panicStackLimit]
+			}
+			dump := ""
+			if r.Flight != nil && r.FlightDir != "" {
+				if path, derr := r.Flight.Dump(r.FlightDir, fmt.Sprintf("panic-job-%d", j.Index)); derr == nil {
+					dump = "\nflight dump: " + path
+				}
+			}
+			err = fmt.Errorf("job %d (%s seed %d): panic: %v%s\n%s",
+				j.Index, j.CellKey(), j.Seed, p, dump, stack)
 		}
 	}()
 	run := r.RunFunc

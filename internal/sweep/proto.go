@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/sketch"
 )
 
 // ProtoSchema versions the worker wire protocol. Every response carries it
@@ -13,9 +15,12 @@ import (
 // CompleteRequest carries it back so a coordinator rejects reports from a
 // worker speaking a different protocol generation. v2 widened the cell
 // aggregate from five fixed digests to the keyed metric set of
-// metrickeys.go; v1 workers and coordinators are mutually rejected (there
-// is no down-negotiation — rebuild the older binary).
-const ProtoSchema = "sweep-proto-v2"
+// metrickeys.go; v3 added heartbeat metric federation (sequenced
+// cumulative WorkerMetrics snapshots piggybacked on heartbeats) and
+// per-lease failure reporting on Complete. Older workers and coordinators
+// are mutually rejected (there is no down-negotiation — rebuild the older
+// binary).
+const ProtoSchema = "sweep-proto-v3"
 
 // SpecResponse is GET /sweep/spec: the sweep a worker should run.
 type SpecResponse struct {
@@ -41,15 +46,45 @@ type LeaseResponse struct {
 	TTLMS   int64  `json:"ttl_ms,omitempty"`
 }
 
-// HeartbeatRequest is POST /sweep/heartbeat.
+// HeartbeatRequest is POST /sweep/heartbeat. Beyond the keepalive it
+// carries the worker's metric federation: a *cumulative* snapshot of its
+// lifetime job counters and elapsed digest, tagged with a worker-local
+// sequence number. Cumulative-plus-sequence makes the protocol idempotent
+// under loss and reordering — the coordinator applies a snapshot only when
+// Seq advances, derives counter deltas itself, and a snapshot whose
+// response was lost is simply superseded by the next one (no ack/reset
+// handshake in which work could be dropped or double-counted).
 type HeartbeatRequest struct {
 	Worker  string `json:"worker"`
 	LeaseID string `json:"lease_id"`
+	// Seq is the worker's monotone heartbeat sequence (1-based). Zero
+	// means "no federation" — the coordinator treats the heartbeat as a
+	// pure keepalive.
+	Seq int64 `json:"seq,omitempty"`
+	// Metrics is the cumulative snapshot (nil on a pure keepalive).
+	Metrics *WorkerMetrics `json:"metrics,omitempty"`
+}
+
+// WorkerMetrics is one worker's cumulative federated snapshot: lifetime
+// job-outcome counters and the per-job wall-clock digest across every
+// lease it has run. Digests merge bucket-additively (internal/sketch), so
+// the coordinator's fleet-wide view stays O(compression) per worker
+// however many jobs the fleet runs.
+type WorkerMetrics struct {
+	Executed int64 `json:"executed"`
+	Cached   int64 `json:"cached"`
+	Failed   int64 `json:"failed"`
+	// Elapsed sketches per-job wall clocks (ms) over the worker lifetime.
+	Elapsed *sketch.Digest `json:"elapsed,omitempty"`
 }
 
 // HeartbeatResponse: OK=false means the lease expired and was re-queued.
+// Seq echoes the highest snapshot sequence the coordinator has applied
+// for this worker (informational — cumulative snapshots need no reset
+// handshake on the worker side).
 type HeartbeatResponse struct {
-	OK bool `json:"ok"`
+	OK  bool  `json:"ok"`
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // CompleteRequest is POST /sweep/complete: a finished lease's merged
@@ -64,7 +99,14 @@ type CompleteRequest struct {
 	Cached   int64      `json:"cached"`
 	Failed   int64      `json:"failed"`
 	Agg      *Aggregate `json:"agg"`
+	// Errors carries up to maxLeaseErrors job failure messages (panic
+	// stacks included, truncated), so a fleet panic is diagnosable from
+	// the coordinator summary alone.
+	Errors []string `json:"errors,omitempty"`
 }
+
+// maxLeaseErrors caps the failure messages one lease report carries.
+const maxLeaseErrors = 8
 
 // CompleteResponse: Ignored means the lease had expired — the span was
 // re-queued and this report was discarded. Done means this report finished
@@ -103,7 +145,7 @@ func (c *Coordinator) Routes(srv routeMounter) {
 		return c.Lease(req.Worker, req.Max), nil
 	}))
 	srv.Handle("/sweep/heartbeat", postHandler(func(req HeartbeatRequest) (HeartbeatResponse, error) {
-		return c.Heartbeat(req.Worker, req.LeaseID), nil
+		return c.Heartbeat(req), nil
 	}))
 	srv.Handle("/sweep/complete", postHandler(func(req CompleteRequest) (CompleteResponse, error) {
 		return c.Complete(req)
@@ -154,7 +196,7 @@ func serveJSON(w http.ResponseWriter, v any) {
 type Transport interface {
 	FetchSpec() (*Spec, error)
 	Lease(worker string, max int64) (LeaseResponse, error)
-	Heartbeat(worker, leaseID string) (HeartbeatResponse, error)
+	Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 	Complete(req CompleteRequest) (CompleteResponse, error)
 }
 
@@ -165,8 +207,8 @@ func (t LocalTransport) FetchSpec() (*Spec, error) { return t.C.Spec(), nil }
 func (t LocalTransport) Lease(worker string, max int64) (LeaseResponse, error) {
 	return t.C.Lease(worker, max), nil
 }
-func (t LocalTransport) Heartbeat(worker, leaseID string) (HeartbeatResponse, error) {
-	return t.C.Heartbeat(worker, leaseID), nil
+func (t LocalTransport) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	return t.C.Heartbeat(req), nil
 }
 func (t LocalTransport) Complete(req CompleteRequest) (CompleteResponse, error) {
 	return t.C.Complete(req)
@@ -229,9 +271,9 @@ func (t *HTTPTransport) Lease(worker string, max int64) (LeaseResponse, error) {
 	return resp, err
 }
 
-func (t *HTTPTransport) Heartbeat(worker, leaseID string) (HeartbeatResponse, error) {
+func (t *HTTPTransport) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	var resp HeartbeatResponse
-	err := t.post("/sweep/heartbeat", HeartbeatRequest{Worker: worker, LeaseID: leaseID}, &resp)
+	err := t.post("/sweep/heartbeat", req, &resp)
 	return resp, err
 }
 

@@ -6,6 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/sketch"
 )
 
 // WorkerOptions tunes one worker engine.
@@ -24,6 +28,67 @@ type WorkerOptions struct {
 	// failures (default 10) — a vanished coordinator should kill the
 	// worker, not spin it.
 	MaxErrors int
+
+	// Obs, when non-nil, receives this worker's side of the lease
+	// lifecycle as fleet-trace-v1 events (src=worker). Purely
+	// observational — job results are identical with or without it.
+	Obs *obs.Registry
+	// Flight records lifecycle events into a bounded ring, dumped to
+	// FlightDir when the worker learns a lease died under it (a heartbeat
+	// answered OK=false or a completion discarded as stale).
+	Flight *flight.Recorder
+	// FlightDir is where dumps land ("" disables dumping).
+	FlightDir string
+}
+
+// workerMeter accumulates the metric snapshot a worker piggybacks on
+// heartbeats: lifetime job-outcome counters and the per-job elapsed
+// digest. Snapshots are cumulative and sequenced — the coordinator
+// applies one only when its sequence advances and derives the counter
+// deltas itself — so a snapshot retransmitted after a lost response (or
+// arriving out of order) is idempotent and work observed between
+// retransmits is never lost or double-counted.
+type workerMeter struct {
+	mu       sync.Mutex
+	hb       int64 // heartbeat sequence, incremented per snapshot
+	executed int64
+	cached   int64
+	failed   int64
+	elapsed  *sketch.Digest
+}
+
+func newWorkerMeter() *workerMeter {
+	return &workerMeter{elapsed: sketch.New()}
+}
+
+// observe folds one finished job into the lifetime snapshot.
+func (m *workerMeter) observe(elapsedMS float64, cached, failed bool) {
+	m.mu.Lock()
+	switch {
+	case failed:
+		m.failed++
+	case cached:
+		m.cached++
+	default:
+		m.executed++
+	}
+	m.elapsed.Add(elapsedMS)
+	m.mu.Unlock()
+}
+
+// snapshot returns the next sequence number and a self-contained copy of
+// the cumulative metrics (the digest is deep-copied, so an in-process
+// coordinator can hold it while this worker keeps observing).
+func (m *workerMeter) snapshot() (int64, *WorkerMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hb++
+	cp := sketch.New()
+	// Merge only fails across alpha mismatches; both sides use New().
+	_ = cp.Merge(m.elapsed)
+	return m.hb, &WorkerMetrics{
+		Executed: m.executed, Cached: m.cached, Failed: m.failed, Elapsed: cp,
+	}
 }
 
 // WorkerStats is one worker's lifetime accounting.
@@ -59,6 +124,9 @@ func RunWorker(transport Transport, runner *Runner, opts WorkerOptions) (WorkerS
 	if err != nil {
 		return stats, fmt.Errorf("sweep: fetch spec: %w", err)
 	}
+	ft := NewFleetTrace(opts.Obs, opts.Flight, spec.Hash(), "worker")
+	ft.SpecFetch(opts.Name, spec.Hash())
+	meter := newWorkerMeter()
 	errs := 0
 	for {
 		grant, err := transport.Lease(opts.Name, opts.Batch)
@@ -78,7 +146,11 @@ func RunWorker(transport Transport, runner *Runner, opts WorkerOptions) (WorkerS
 			time.Sleep(opts.Poll)
 			continue
 		}
-		report, leaseElapsed := runLease(transport, runner, spec, grant, opts)
+		ft.Grant(opts.Name, leaseSeq(grant.LeaseID), grant.From, grant.To,
+			time.Duration(grant.TTLMS)*time.Millisecond, false)
+		report, leaseElapsed := runLease(transport, runner, spec, grant, opts, ft, meter)
+		ft.Complete(opts.Name, leaseSeq(grant.LeaseID), grant.From, grant.To,
+			report.Executed, report.Cached, report.Failed)
 		resp, err := transport.Complete(report)
 		if err != nil {
 			// A failed Complete loses only this lease's work: the span
@@ -93,6 +165,12 @@ func RunWorker(transport Transport, runner *Runner, opts WorkerOptions) (WorkerS
 		stats.Leases++
 		if resp.Ignored {
 			stats.Ignored++
+			// The coordinator discarded this report as stale: record the
+			// worker-side view and dump the ring for the postmortem.
+			ft.RejectStale(opts.Name, leaseSeq(grant.LeaseID))
+			if opts.Flight != nil && opts.FlightDir != "" {
+				_, _ = opts.Flight.Dump(opts.FlightDir, "stale-"+opts.Name+"-"+grant.LeaseID)
+			}
 		} else {
 			stats.Jobs += grant.To - grant.From
 			stats.Executed += report.Executed
@@ -118,8 +196,9 @@ func RunWorker(transport Transport, runner *Runner, opts WorkerOptions) (WorkerS
 
 // runLease executes one granted span with in-worker parallelism and folds
 // the results into a fresh aggregate. Heartbeats run on a side goroutine
-// for as long as the jobs do.
-func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseResponse, opts WorkerOptions) (CompleteRequest, time.Duration) {
+// for as long as the jobs do, carrying the worker's cumulative metric
+// snapshot so the coordinator's fleet view advances mid-lease.
+func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseResponse, opts WorkerOptions, ft *FleetTrace, meter *workerMeter) (CompleteRequest, time.Duration) {
 	start := time.Now()
 	stop := make(chan struct{})
 	var hbWG sync.WaitGroup
@@ -130,14 +209,30 @@ func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseRespon
 			defer hbWG.Done()
 			t := time.NewTicker(interval)
 			defer t.Stop()
+			dumped := false
 			for {
 				select {
 				case <-stop:
 					return
 				case <-t.C:
-					// Errors and expiry are ignored here: Complete is the
-					// authority on whether the lease still counts.
-					transport.Heartbeat(opts.Name, grant.LeaseID)
+					// Transport errors and expiry are ignored for lease
+					// bookkeeping: Complete is the authority on whether the
+					// lease still counts. But an OK=false answer is the
+					// worker's earliest notice its lease died, so it narrates
+					// the expiry and dumps the ring once for the postmortem.
+					seq, metrics := meter.snapshot()
+					ft.Heartbeat(opts.Name, leaseSeq(grant.LeaseID), true)
+					resp, err := transport.Heartbeat(HeartbeatRequest{
+						Worker: opts.Name, LeaseID: grant.LeaseID,
+						Seq: seq, Metrics: metrics,
+					})
+					if err == nil && !resp.OK && !dumped {
+						dumped = true
+						ft.Expire(opts.Name, leaseSeq(grant.LeaseID), grant.From, grant.To, "notified")
+						if opts.Flight != nil && opts.FlightDir != "" {
+							_, _ = opts.Flight.Dump(opts.FlightDir, "expire-"+opts.Name+"-"+grant.LeaseID)
+						}
+					}
 				}
 			}
 		}()
@@ -161,11 +256,15 @@ func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseRespon
 					m, cached, err = runner.Do(job)
 				}
 				elapsed := float64(time.Since(jobStart).Microseconds()) / 1000
+				meter.observe(elapsed, cached, err != nil)
 				mu.Lock()
 				agg.ObserveElapsed(elapsed)
 				if err != nil {
 					agg.ObserveFailure(job.CellKey())
 					req.Failed++
+					if len(req.Errors) < maxLeaseErrors {
+						req.Errors = append(req.Errors, err.Error())
+					}
 				} else {
 					agg.Observe(job.CellKey(), m)
 					if cached {

@@ -2,7 +2,10 @@
 # http-smoke.sh — end-to-end check of the live control plane: launch a real
 # campaign fleet with -http, scrape /healthz, /metrics, and /campaign/status
 # while the fleet is running, and validate the exposition with the in-repo
-# promcheck (no external promtool needed). CI runs this on every push.
+# promcheck (no external promtool needed). A second phase runs a sweep
+# coordinator and scrapes its merged /metrics mid-sweep, asserting the
+# fleet federation counters (sweep_fleet_*, docs/FLEET.md) are exposed and
+# the exposition still validates. CI runs this on every push.
 #
 # The campaign binds 127.0.0.1:0 and announces the picked port on stderr
 # ("obsflag: live endpoints on http://ADDR ..."); the script parses that
@@ -15,8 +18,11 @@ cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 campaign_pid=""
+sweep_pid=""
 cleanup() {
-    [ -n "$campaign_pid" ] && kill "$campaign_pid" 2>/dev/null || true
+    for pid in "$campaign_pid" "$sweep_pid"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -27,7 +33,10 @@ go build -o "$tmp/campaign" ./cmd/campaign
 go build -o "$tmp/promcheck" ./cmd/promcheck
 
 # Two full-size figure fleets give a multi-second window; -no-cache keeps
-# the window open on warm CI caches.
+# the window open on warm CI caches. Pre-create the stderr file so the
+# announce poll below never races the background process into a sed
+# failure under set -e.
+: >"$tmp/stderr"
 "$tmp/campaign" -jobs fig2a,fig2b -no-cache -quiet -workers 2 \
     -cache "$tmp/cache" -http 127.0.0.1:0 >"$tmp/stdout" 2>"$tmp/stderr" &
 campaign_pid=$!
@@ -79,4 +88,66 @@ if ! wait "$campaign_pid"; then
     exit 1
 fi
 campaign_pid=""
+
+# Phase 2: the sweep coordinator's merged fleet exposition. Local workers
+# heartbeat every TTL/3, piggybacking cumulative metric snapshots the
+# coordinator federates into the sweep_fleet_* counters — those families
+# must appear on /metrics mid-sweep and the exposition must still validate.
+cat >"$tmp/sweep-spec.json" <<'SPEC'
+{
+  "name": "http-smoke",
+  "impairments": ["weak-link", "mobility"],
+  "device_classes": ["pc", "mobile"],
+  "ap_densities": ["typical", "sparse"],
+  "seeds": { "start": 1, "count": 100 },
+  "duration_s": 120
+}
+SPEC
+: >"$tmp/sweep.err"
+"$tmp/campaign" sweep -local 2 -batch 8 -ttl 1s -quiet \
+    -cache "$tmp/sweep-cache" -http 127.0.0.1:0 \
+    "$tmp/sweep-spec.json" >"$tmp/sweep.out" 2>"$tmp/sweep.err" &
+sweep_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#^obsflag: live endpoints on http://\([^ ]*\).*#\1#p' "$tmp/sweep.err")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$sweep_pid" 2>/dev/null; then
+        echo "http-smoke: sweep exited before announcing its endpoint" >&2
+        cat "$tmp/sweep.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "http-smoke: no sweep announce line within 10s" >&2
+    cat "$tmp/sweep.err" >&2
+    exit 1
+fi
+echo "http-smoke: scraping sweep coordinator on http://$addr"
+
+"$tmp/promcheck" -retry 20 -interval 100ms "http://$addr/metrics"
+curl -fsS --max-time 5 "http://$addr/metrics" >"$tmp/sweep-metrics.txt" || {
+    echo "http-smoke: GET sweep /metrics failed" >&2
+    exit 1
+}
+for name in sweep_leases_granted sweep_heartbeats sweep_fleet_jobs_executed \
+    sweep_fleet_jobs_cached sweep_fleet_jobs_failed sweep_workers; do
+    grep -q "^$name" "$tmp/sweep-metrics.txt" || {
+        echo "http-smoke: mid-sweep /metrics missing $name" >&2
+        cat "$tmp/sweep-metrics.txt" >&2
+        exit 1
+    }
+done
+echo "http-smoke: fleet federation counters exposed mid-sweep"
+
+if ! wait "$sweep_pid"; then
+    echo "http-smoke: sweep exited nonzero" >&2
+    cat "$tmp/sweep.err" >&2
+    exit 1
+fi
+sweep_pid=""
 echo "http-smoke: ok"

@@ -7,8 +7,12 @@
 # topology, lease re-assignment, and worker death must never change the
 # result. The sharded summary must also re-render the full paper artifact
 # offline (`campaign sweep report`), proving the v2 multi-metric sketches
-# themselves — not just their fingerprint — survived the worker kill. CI
-# runs this on every push, next to http-smoke.sh.
+# themselves — not just their fingerprint — survived the worker kill. The
+# fleet observability plane rides along: the coordinator's fleet-trace-v1
+# narration must lint clean (`tracetool fleet`), reconstruct the kill as
+# exactly one expire→re-lease episode, and leave a postmortem flight dump
+# for the dead worker (docs/OBSERVABILITY.md). CI runs this on every push,
+# next to http-smoke.sh.
 #
 # The coordinator binds 127.0.0.1:0 and announces the picked port on stderr
 # ("obsflag: live endpoints on http://ADDR ..."), the same contract
@@ -31,6 +35,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 go build -o "$tmp/campaign" ./cmd/campaign
+go build -o "$tmp/tracetool" ./cmd/tracetool
 
 # A real-simulator grid: 2 impairments x 2 devices x 2 densities x 100
 # seeds = 800 full-length calls — a few seconds of work, enough that
@@ -54,9 +59,16 @@ grep -q "= 800 jobs" "$tmp/expand.txt" || {
     exit 1
 }
 
-# Coordinator: serve-only (-local 0), remote workers do all the work.
+# Coordinator: serve-only (-local 0), remote workers do all the work. The
+# fleet observability plane is armed: -trace narrates the lease lifecycle
+# as fleet-trace-v1 and -flight keeps the postmortem ring that must dump
+# when the killed worker's lease expires. Pre-create the stderr file so
+# the announce poll never races the background launch into a sed failure
+# under set -e.
+: >"$tmp/coord.err"
 "$tmp/campaign" sweep -local 0 -http 127.0.0.1:0 -batch 8 -ttl 2s \
     -cache "$tmp/cache-sharded" -summary "$tmp/sharded.json" \
+    -trace "$tmp/coord-trace.jsonl" -flight "$tmp/flight" \
     "$tmp/spec.json" >"$tmp/coord.out" 2>"$tmp/coord.err" &
 coord_pid=$!
 
@@ -156,4 +168,35 @@ for want in "Paper artifact" "Table 1" "Table 2" "Table 3" \
     }
 done
 echo "sweep-smoke: paper artifact re-rendered from the sharded summary"
+
+# The fleet plane must have reconstructed the worker kill: the coordinator's
+# fleet-trace-v1 narration lints clean, and the victim's death shows up as
+# exactly one expire→re-lease episode (its single outstanding lease, reaped
+# at TTL and re-granted whole to the survivor).
+"$tmp/tracetool" fleet "$tmp/coord-trace.jsonl" >"$tmp/fleet.txt" || {
+    echo "sweep-smoke: fleet trace failed the lint" >&2
+    cat "$tmp/fleet.txt" >&2
+    exit 1
+}
+grep -q "fleet lint: clean" "$tmp/fleet.txt" || {
+    echo "sweep-smoke: fleet report is not clean" >&2
+    cat "$tmp/fleet.txt" >&2
+    exit 1
+}
+grep -q "expire->re-lease episodes: 1" "$tmp/fleet.txt" || {
+    echo "sweep-smoke: expected exactly one expire->re-lease episode" >&2
+    cat "$tmp/fleet.txt" >&2
+    exit 1
+}
+echo "sweep-smoke: fleet trace lints clean with one expire->re-lease episode"
+
+# A SIGKILL'd worker cannot write its own postmortem, so the coordinator
+# must have dumped its flight ring when the victim's lease expired.
+set -- "$tmp"/flight/flight-expire-victim-*.jsonl
+if [ ! -s "$1" ]; then
+    echo "sweep-smoke: no postmortem flight dump for the killed worker" >&2
+    ls "$tmp/flight" >&2 2>/dev/null || true
+    exit 1
+fi
+echo "sweep-smoke: postmortem flight dump present ($(basename "$1"))"
 echo "sweep-smoke: ok"
