@@ -113,6 +113,7 @@ func run() int {
 		return 1
 	}
 	defer sess.Close()
+	sess.HandleSignals("campaign")
 
 	var progress io.Writer
 	if !*quiet {

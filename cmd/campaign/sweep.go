@@ -78,10 +78,16 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer sess.Close()
+	sess.HandleSignals("sweep")
+	if err := sweep.ValidateSLOBindings(sess.SLO().RuleSet()); err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 2
+	}
 
 	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{
 		Batch: *batch, TTL: *ttl,
 		Obs: sess.Reg, Flight: sess.Flight(), FlightDir: sess.FlightDir(),
+		SLO: sess.SLO().RuleSet(),
 	})
 	if srv := sess.HTTP(); srv != nil {
 		coord.Routes(srv)
@@ -108,6 +114,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 					Name:     fmt.Sprintf("local%d", n),
 					Parallel: *parallel,
 					Progress: progress,
+					SLO:      sess.SLO(),
 				})
 		}(w)
 	}
@@ -298,6 +305,7 @@ func runWorkerCmd(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer sess.Close()
+	sess.HandleSignals("worker")
 	var progress io.Writer
 	if !*quiet {
 		progress = stderr
@@ -306,7 +314,8 @@ func runWorkerCmd(args []string, stdout, stderr io.Writer) int {
 		&sweep.Runner{Cache: cache,
 			Flight: sess.Flight(), FlightDir: sess.FlightDir()},
 		sweep.WorkerOptions{Name: *name, Parallel: *parallel, Batch: *batch, Progress: progress,
-			Obs: sess.Reg, Flight: sess.Flight(), FlightDir: sess.FlightDir()})
+			Obs: sess.Reg, Flight: sess.Flight(), FlightDir: sess.FlightDir(),
+			SLO: sess.SLO()})
 	if err != nil {
 		fmt.Fprintln(stderr, "campaign:", err)
 		return 1

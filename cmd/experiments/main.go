@@ -9,7 +9,7 @@
 //	experiments sweep SPEC.json
 //	experiments scenario validate SPEC...
 //	experiments scenario gen SPEC [-n N] [-out DIR]
-//	experiments scenario run SPEC [-i N]
+//	experiments scenario run SPEC [-i N] [-strategy all|dual|diversifi]
 //
 // The experiment set comes from exp.Registry(), the same table the
 // campaign scheduler (cmd/campaign) runs fleets from; `experiments all`
@@ -68,6 +68,7 @@ func run() int {
 		return 1
 	}
 	defer sess.Close()
+	sess.HandleSignals("experiments")
 
 	code := 0
 	fail := func(err error) {
@@ -132,7 +133,7 @@ func run() int {
 			fail(cerr)
 			break
 		}
-		if err := runSweepMode(flag.Arg(1), cache, os.Stdout, os.Stderr); err != nil {
+		if err := runSweepMode(flag.Arg(1), cache, sess.SLO().RuleSet(), os.Stdout, os.Stderr); err != nil {
 			fail(err)
 		}
 	default:

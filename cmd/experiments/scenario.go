@@ -17,7 +17,7 @@ import (
 //
 //	scenario validate SPEC...        check specs, print hash and count
 //	scenario gen SPEC [-n N] [-out DIR]   generate the corpus as JSONL
-//	scenario run SPEC [-i N]         run one generated scenario end to end
+//	scenario run SPEC [-i N] [-strategy S]   run one generated scenario end to end
 //
 // These are the CLI face of internal/scenario: the same decode → normalize
 // → generate pipeline the sweep engine's scenarios axis uses, so a spec
@@ -47,7 +47,7 @@ type usageError struct{}
 func (usageError) Error() string {
 	return "usage: experiments scenario validate SPEC...\n" +
 		"       experiments scenario gen SPEC [-n N] [-out DIR]\n" +
-		"       experiments scenario run SPEC [-i N]"
+		"       experiments scenario run SPEC [-i N] [-strategy all|dual|diversifi]"
 }
 
 func scenarioValidate(paths []string, stdout io.Writer) error {
@@ -135,9 +135,15 @@ func scenarioGen(args []string, stdout io.Writer) error {
 func scenarioRun(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	idx := fs.Int("i", 0, "corpus index to run")
+	strategy := fs.String("strategy", "all", "which strategies to run: all, dual, diversifi")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(sortedFlagsFirst(args)); err != nil || fs.NArg() != 1 {
 		return usageError{}
+	}
+	switch *strategy {
+	case "all", "dual", "diversifi":
+	default:
+		return fmt.Errorf("scenario run: -strategy %q not in all/dual/diversifi", *strategy)
 	}
 	spec, err := scenario.LoadSpec(fs.Arg(0))
 	if err != nil {
@@ -151,15 +157,23 @@ func scenarioRun(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "scenario %s[%d]: impairment=%s device=%s severity=%.2f seed=%d\n",
 		spec.Name, g.Index, g.Impairment, g.Device, g.Severity, g.Seed)
 
-	d := core.RunDualCall(g.Scenario)
 	report := func(strategy string, q voip.Quality) {
 		fmt.Fprintf(stdout, "  %-10s MOS=%.2f loss=%.2f%% worst-window=%.2f%% poor=%v\n",
 			strategy, q.MOS, 100*q.LossRate, 100*q.WorstWindowLoss, q.Poor)
 	}
-	report("stronger", voip.Assess(d.Stronger(), profile))
-	report("cross", voip.Assess(d.CrossLink(), profile))
-	r := core.RunDiversiFi(g.Scenario, core.DiversiFiOptions{Mode: core.ModeCustomAP})
-	report("diversifi", voip.Assess(r.Trace, profile))
+	// Restricting to one strategy also keeps the process on a single
+	// simulation — useful under -slo/-series, whose window collector follows
+	// the global clock high-water mark and so only sees the first simulation
+	// of a multi-sim process in full (docs/OBSERVABILITY.md).
+	if *strategy == "all" || *strategy == "dual" {
+		d := core.RunDualCall(g.Scenario)
+		report("stronger", voip.Assess(d.Stronger(), profile))
+		report("cross", voip.Assess(d.CrossLink(), profile))
+	}
+	if *strategy == "all" || *strategy == "diversifi" {
+		r := core.RunDiversiFi(g.Scenario, core.DiversiFiOptions{Mode: core.ModeCustomAP})
+		report("diversifi", voip.Assess(r.Trace, profile))
+	}
 	return nil
 }
 

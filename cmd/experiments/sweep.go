@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/campaign"
+	"repro/internal/obs/slo"
 	"repro/internal/sweep"
 )
 
@@ -13,15 +14,20 @@ import (
 // spec, in process. It is the single-machine twin of `campaign sweep
 // -report` — same engine, same cache, same deterministic fingerprint — for
 // when the grid fits one box and no control plane is wanted. See
-// docs/RESULTS.md for the checked-in artifact this regenerates.
-func runSweepMode(path string, cache *campaign.Cache, stdout, stderr io.Writer) error {
+// docs/RESULTS.md for the checked-in artifact this regenerates. A -slo
+// rule set with cell bindings stamps per-cell verdicts on the summary,
+// exactly like the sharded path.
+func runSweepMode(path string, cache *campaign.Cache, rules *slo.RuleSet, stdout, stderr io.Writer) error {
 	spec, err := sweep.LoadSpec(path)
 	if err != nil {
 		return err
 	}
+	if err := sweep.ValidateSLOBindings(rules); err != nil {
+		return err
+	}
 	fmt.Fprintf(stderr, "sweep %q: %s (spec %s)\n",
 		spec.Name, spec.Grid(), spec.Hash())
-	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{})
+	coord := sweep.NewCoordinator(spec, sweep.CoordinatorOptions{SLO: rules})
 	if _, err := sweep.RunWorker(sweep.LocalTransport{C: coord},
 		&sweep.Runner{Cache: cache},
 		sweep.WorkerOptions{Name: "experiments", Progress: stderr}); err != nil {

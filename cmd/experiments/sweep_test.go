@@ -24,7 +24,7 @@ func TestRunSweepMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if err := runSweepMode(spec, cache, &out, &errOut); err != nil {
+	if err := runSweepMode(spec, cache, nil, &out, &errOut); err != nil {
 		t.Fatalf("%v, stderr %q", err, errOut.String())
 	}
 	text := out.String()
@@ -41,7 +41,7 @@ func TestRunSweepMode(t *testing.T) {
 
 func TestRunSweepModeBadSpec(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := runSweepMode(filepath.Join(t.TempDir(), "nope.json"), nil, &out, &errOut); err == nil {
+	if err := runSweepMode(filepath.Join(t.TempDir(), "nope.json"), nil, nil, &out, &errOut); err == nil {
 		t.Error("missing spec accepted")
 	}
 }

@@ -10,6 +10,7 @@
 //	tracetool summary [-json] FILE...
 //	tracetool export [-format chrome] [-o FILE] FILE
 //	tracetool fleet [-json] [-max N] [-export chrome] [-o FILE] FILE...
+//	tracetool slo [-json] [-max N] [-export chrome] [-o FILE] FILE...
 //
 // lint checks every line against the trace contract — strict schema decode,
 // per-(run, node) timestamp ordering, episode well-formedness, and
@@ -44,6 +45,14 @@
 // renders per-worker lanes with lease spans for chrome://tracing /
 // Perfetto; violations exit nonzero so CI can gate on clean fleet traces.
 //
+// slo analyzes the slo-trace-v1 alert transitions the streaming SLO engine
+// (-slo RULES.yaml, internal/obs/slo) emits under its "slo/<hash8>" run
+// label: per-rule episode accounting, every pending→firing→resolved
+// episode's timeline, and a lint over the alert state machine (sequences
+// strictly increase, one open episode per rule, firing and resolved only
+// against the open episode). -export chrome renders one lane per rule with
+// episode spans and firing arcs.
+//
 // FILE may be "-" for stdin. All subcommands accept -json for
 // machine-readable output.
 package main
@@ -71,6 +80,7 @@ func usage(w io.Writer) {
   tracetool summary [-json] FILE...
   tracetool export [-format chrome] [-o FILE] FILE
   tracetool fleet [-json] [-max N] [-export chrome] [-o FILE] FILE...
+  tracetool slo [-json] [-max N] [-export chrome] [-o FILE] FILE...
 
 FILE may be "-" for stdin. See docs/OBSERVABILITY.md for the trace schema.
 `)
@@ -97,6 +107,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdExport(rest, stdin, stdout, stderr)
 	case "fleet":
 		return cmdFleet(rest, stdin, stdout, stderr)
+	case "slo":
+		return cmdSLO(rest, stdin, stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -524,6 +536,146 @@ func fleetExport(path, outPath string, stdin io.Reader, stdout, stderr io.Writer
 		out = f
 	}
 	if err := analyze.FleetChromeTrace(in, out); err != nil {
+		fmt.Fprintln(stderr, "tracetool:", err)
+		if outFile != nil {
+			outFile.Close()
+		}
+		return 1
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmdSLO(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the full SLO report as JSON")
+	maxV := fs.Int("max", 0, "max violations to print per file (0 = default 100, negative = all)")
+	export := fs.String("export", "", "export format instead of a report (chrome)")
+	outPath := fs.String("o", "", "write the export to this file instead of stdout")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	if *export != "" {
+		if *export != "chrome" {
+			fmt.Fprintf(stderr, "tracetool: unknown slo export format %q (supported: chrome)\n", *export)
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "tracetool: slo -export takes exactly one FILE")
+			return 2
+		}
+		return sloExport(fs.Arg(0), *outPath, stdin, stdout, stderr)
+	}
+	code := 0
+	dirty := false
+	for _, path := range fs.Args() {
+		in := stdin
+		var f *os.File
+		if path != "-" {
+			var err error
+			if f, err = os.Open(path); err != nil {
+				fmt.Fprintln(stderr, "tracetool:", err)
+				code = 1
+				continue
+			}
+			in = f
+		}
+		rep, rerr := analyze.AnalyzeSLO(in, *maxV)
+		if f != nil {
+			f.Close()
+		}
+		if rerr != nil {
+			fmt.Fprintln(stderr, "tracetool:", rerr)
+			code = 1
+			continue
+		}
+		if !printSLO(stdout, path, rep, *asJSON) {
+			dirty = true
+		}
+	}
+	if code == 0 && dirty {
+		code = 1
+	}
+	return code
+}
+
+// printSLO renders one file's SLO report, returning rep.Clean().
+func printSLO(stdout io.Writer, path string, rep *analyze.SLOReport, asJSON bool) bool {
+	if asJSON {
+		writeJSON(stdout, struct {
+			File string `json:"file"`
+			*analyze.SLOReport
+		}{path, rep})
+		return rep.Clean()
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", path, v.Line, v.Kind, v.Msg)
+	}
+	fmt.Fprintf(stdout, "%s: %d events (%d slo, %d skipped)", path, rep.Events, rep.SLOEvents, rep.Skipped)
+	if len(rep.Runs) > 0 {
+		fmt.Fprintf(stdout, ", runs %v", rep.Runs)
+	}
+	fmt.Fprintln(stdout)
+
+	rules := stats.NewTable("rules", "rule", "episodes", "fired", "resolved", "open", "firing_us")
+	for _, name := range sortedKeys(rep.Rules) {
+		st := rep.Rules[name]
+		rules.AddRow(name, fmt.Sprint(st.Episodes), fmt.Sprint(st.Fired),
+			fmt.Sprint(st.Resolved), fmt.Sprint(st.Open), fmt.Sprint(st.FiringUS))
+	}
+	fmt.Fprint(stdout, rules.String())
+
+	eps := stats.NewTable("episodes",
+		"rule", "seq", "pending_us", "firing_us", "resolved_us", "outcome", "value", "bound")
+	for _, e := range rep.Episodes {
+		eps.AddRow(e.Rule, fmt.Sprint(e.Seq), fmt.Sprint(e.PendingUS),
+			orDash(e.FiringUS), orDash(e.ResolvedUS), e.Outcome, e.Value, e.Bound)
+	}
+	fmt.Fprint(stdout, eps.String())
+
+	if rep.Clean() {
+		fmt.Fprintln(stdout, "slo lint: clean")
+	} else {
+		fmt.Fprintf(stdout, "slo lint: %d violations (%d shown)\n",
+			rep.TotalViolations, len(rep.Violations))
+	}
+	return rep.Clean()
+}
+
+// sloExport renders one trace's slo-* events as Chrome trace-event JSON.
+func sloExport(path, outPath string, stdin io.Reader, stdout, stderr io.Writer) int {
+	in := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	out := stdout
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	if err := analyze.SLOChromeTrace(in, out); err != nil {
 		fmt.Fprintln(stderr, "tracetool:", err)
 		if outFile != nil {
 			outFile.Close()

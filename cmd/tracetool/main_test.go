@@ -34,6 +34,8 @@ func TestGoldenOutputs(t *testing.T) {
 	dirty := filepath.Join("testdata", "dirty.trace.jsonl")
 	fleet := filepath.Join("testdata", "fleet.trace.jsonl")
 	fleetDirty := filepath.Join("testdata", "fleet-dirty.trace.jsonl")
+	sloTrace := filepath.Join("testdata", "slo.trace.jsonl")
+	sloDirty := filepath.Join("testdata", "slo-dirty.trace.jsonl")
 	// A real simulation trace, pinned by the simtest golden harness: the
 	// chrome export of a byte-stable input must itself be byte-stable.
 	simtrace := filepath.Join("..", "..", "internal", "simtest", "testdata", "head-drop-recovery.trace.jsonl")
@@ -54,6 +56,10 @@ func TestGoldenOutputs(t *testing.T) {
 		{"fleet.json", []string{"fleet", "-json", fleet}, 0},
 		{"fleet-dirty.txt", []string{"fleet", fleet, fleetDirty}, 1},
 		{"fleet-chrome.json", []string{"fleet", "-export", "chrome", fleet}, 0},
+		{"slo.txt", []string{"slo", sloTrace}, 0},
+		{"slo.json", []string{"slo", "-json", sloTrace}, 0},
+		{"slo-dirty.txt", []string{"slo", sloTrace, sloDirty}, 1},
+		{"slo-chrome.json", []string{"slo", "-export", "chrome", sloTrace}, 0},
 	}
 	for _, c := range cases {
 		t.Run(c.golden, func(t *testing.T) {
@@ -316,5 +322,93 @@ func TestFleetSubcommand(t *testing.T) {
 	if code := run([]string{"fleet", "-"}, bytes.NewReader(data), &buf, &buf); code != 0 ||
 		!strings.Contains(buf.String(), "fleet lint: clean") {
 		t.Fatalf("fleet over stdin: code %d, out %q", code, buf.String())
+	}
+}
+
+// TestSLOSubcommand pins the slo analyzer CLI's exit-code contract and the
+// handles scripts/slo-smoke.sh greps: the per-rule episode accounting and
+// the "slo lint: clean" verdict line.
+func TestSLOSubcommand(t *testing.T) {
+	sloTrace := filepath.Join("testdata", "slo.trace.jsonl")
+	sloDirty := filepath.Join("testdata", "slo-dirty.trace.jsonl")
+
+	code, out, _ := exec(t, "slo", sloTrace)
+	if code != 0 {
+		t.Fatalf("slo on clean trace exited %d", code)
+	}
+	if !strings.Contains(out, "slo lint: clean") {
+		t.Errorf("clean trace output missing lint verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "mos-floor") || !strings.Contains(out, "resolved") {
+		t.Errorf("output missing the episode table:\n%s", out)
+	}
+
+	code, out, _ = exec(t, "slo", "-json", sloTrace)
+	if code != 0 {
+		t.Fatalf("slo -json exited %d", code)
+	}
+	var rep struct {
+		SLOEvents  int64 `json:"slo_events"`
+		Violations int64 `json:"total_violations"`
+		Rules      map[string]struct {
+			Episodes int64 `json:"episodes"`
+			Fired    int64 `json:"fired"`
+			Open     int64 `json:"open"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("parse slo JSON: %v", err)
+	}
+	if rep.SLOEvents != 4 || rep.Violations != 0 {
+		t.Errorf("slo JSON events/violations = %d/%d, want 4/0", rep.SLOEvents, rep.Violations)
+	}
+	if r := rep.Rules["mos-floor"]; r.Episodes != 1 || r.Fired != 1 {
+		t.Errorf("mos-floor = %+v", r)
+	}
+	if r := rep.Rules["miss-rate"]; r.Open != 1 {
+		t.Errorf("miss-rate = %+v", r)
+	}
+
+	if code, _, _ := exec(t, "slo", sloDirty); code != 1 {
+		t.Errorf("slo on dirty trace exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t, "slo", filepath.Join("testdata", "no-such.jsonl")); code != 1 {
+		t.Errorf("slo on missing file exited %d, want 1", code)
+	}
+	if code, _, _ := exec(t, "slo"); code != 2 {
+		t.Errorf("slo with no files exited %d, want 2", code)
+	}
+	if code, _, stderr := exec(t, "slo", "-export", "svg", sloTrace); code != 2 ||
+		!strings.Contains(stderr, "unknown slo export format") {
+		t.Errorf("bad export format: code %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := exec(t, "slo", "-export", "chrome", sloTrace, sloTrace); code != 2 {
+		t.Errorf("export with two files exited %d, want usage error", code)
+	}
+
+	outPath := filepath.Join(t.TempDir(), "slo.json")
+	if code, stdout, stderr := exec(t, "slo", "-export", "chrome", "-o", outPath, sloTrace); code != 0 || stdout != "" {
+		t.Fatalf("slo -export -o: code %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	written, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "slo-chrome.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(written, golden) {
+		t.Error("slo -export -o output differs from stdout golden")
+	}
+
+	data, err := os.ReadFile(sloTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if code := run([]string{"slo", "-"}, bytes.NewReader(data), &buf, &buf); code != 0 ||
+		!strings.Contains(buf.String(), "slo lint: clean") {
+		t.Fatalf("slo over stdin: code %d, out %q", code, buf.String())
 	}
 }

@@ -98,10 +98,11 @@ type StatusSnapshot struct {
 }
 
 // WorkerStatus is one sweep worker's row in the fleet view. Beyond lease
-// accounting it carries the heartbeat-federated metrics (sweep-proto-v3):
+// accounting it carries the heartbeat-federated metrics (sweep-proto-v4):
 // mid-lease job counters, the elapsed p50 from the worker's own digest,
-// and the coordinator's straggler verdict (worker p50 far above the
-// fleet-merged p50; see docs/FLEET.md for the thresholds).
+// the coordinator's straggler verdict (worker p50 far above the
+// fleet-merged p50; see docs/FLEET.md for the thresholds), and the
+// worker's streaming SLO alert state when it runs with -slo.
 type WorkerStatus struct {
 	Name       string `json:"name"`
 	JobsDone   int64  `json:"jobs_done"`
@@ -115,6 +116,14 @@ type WorkerStatus struct {
 	Samples      int64 `json:"samples,omitempty"`
 	ElapsedP50MS int64 `json:"elapsed_p50_ms,omitempty"`
 	Straggler    bool  `json:"straggler,omitempty"`
+
+	// SLO alert federation: SLOArmed marks a worker running a streaming
+	// SLO engine; Pending/Firing are its current alert counts and Fired
+	// the cumulative episodes that reached firing (internal/obs/slo).
+	SLOArmed   bool  `json:"slo_armed,omitempty"`
+	SLOPending int64 `json:"slo_pending,omitempty"`
+	SLOFiring  int64 `json:"slo_firing,omitempty"`
+	SLOFired   int64 `json:"slo_fired,omitempty"`
 }
 
 // recentCap bounds the finished-job ring the snapshot reports.
@@ -297,7 +306,7 @@ func (snap *StatusSnapshot) Text() string {
 	out := t.String()
 	if len(snap.Fleet) > 0 {
 		f := stats.NewTable("Fleet workers", "worker", "jobs done", "leases",
-			"exec/cache/fail", "p50", "last seen", "state")
+			"exec/cache/fail", "p50", "alerts", "last seen", "state")
 		for _, w := range snap.Fleet {
 			state := "alive"
 			if !w.Alive {
@@ -310,8 +319,13 @@ func (snap *StatusSnapshot) Text() string {
 			if w.Samples > 0 {
 				p50 = fmt.Sprintf("%dms", w.ElapsedP50MS)
 			}
+			// alerts is pending/firing now, plus lifetime fired episodes.
+			alerts := "-"
+			if w.SLOArmed {
+				alerts = fmt.Sprintf("%dp/%df (%d fired)", w.SLOPending, w.SLOFiring, w.SLOFired)
+			}
 			f.AddRow(w.Name, fmt.Sprintf("%d", w.JobsDone), fmt.Sprintf("%d", w.Leases),
-				fmt.Sprintf("%d/%d/%d", w.Executed, w.Cached, w.Failed), p50,
+				fmt.Sprintf("%d/%d/%d", w.Executed, w.Cached, w.Failed), p50, alerts,
 				(time.Duration(w.LastSeenMS)*time.Millisecond).Round(time.Millisecond).String()+" ago", state)
 		}
 		out += "\n" + f.String()

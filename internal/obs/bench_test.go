@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 )
 
@@ -70,6 +71,26 @@ func BenchmarkSimEventLoopDisabled(b *testing.B) { benchSimLoop(b, nil) }
 
 func BenchmarkSimEventLoopEnabled(b *testing.B) { benchSimLoop(b, obs.NewRegistry()) }
 
+// armedQuietRegistry builds a registry with a streaming SLO engine armed on
+// a series collector, using a ruleset that needs no event tap and whose
+// gauge never violates — the "armed but quiet" configuration every
+// instrumented-but-healthy run pays.
+func armedQuietRegistry(tb testing.TB) *obs.Registry {
+	tb.Helper()
+	rs, err := slo.DecodeRules([]byte(
+		`{"schema":"slo-v1","rules":[{"name":"quiet","signal":"gauge(bench.depth)","max":1e18}]}`))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	se := obs.NewSeries(reg, 0)
+	reg.SetSeries(se)
+	slo.NewEngine(rs).Arm(reg, se)
+	return reg
+}
+
+func BenchmarkSimEventLoopSLOArmedQuiet(b *testing.B) { benchSimLoop(b, armedQuietRegistry(b)) }
+
 // TestSimLoopDisabledAddsNoAllocs is the hard form of the benchmark pair
 // above: executing events on an unobserved simulator allocates exactly as
 // much as the engine itself (one event record per Schedule), nothing more
@@ -88,5 +109,29 @@ func TestSimLoopDisabledAddsNoAllocs(t *testing.T) {
 	})
 	if withNil > allocs {
 		t.Errorf("nil-registry loop allocates %.1f/op vs %.1f/op baseline", withNil, allocs)
+	}
+}
+
+// TestSimLoopArmedQuietSLOAddsNoAllocs extends the alloc ceiling to the SLO
+// plane: arming an engine (tap-less ruleset, non-violating rules) on an
+// instrumented simulator must add zero allocations per event over the plain
+// instrumented loop — the engine only runs at series window captures, never
+// on the event hot path.
+func TestSimLoopArmedQuietSLOAddsNoAllocs(t *testing.T) {
+	base := sim.New(1)
+	base.SetObs(obs.NewRegistry())
+	plain := testing.AllocsPerRun(1000, func() {
+		base.After(1, func() {})
+		base.RunAll()
+	})
+	armed := sim.New(2)
+	armed.SetObs(armedQuietRegistry(t))
+	withSLO := testing.AllocsPerRun(1000, func() {
+		armed.After(1, func() {})
+		armed.RunAll()
+	})
+	if withSLO > plain {
+		t.Errorf("armed-but-quiet SLO loop allocates %.1f/op vs %.1f/op instrumented baseline",
+			withSLO, plain)
 	}
 }

@@ -82,6 +82,30 @@ var FleetEventTypes = []string{
 	EvReLease, EvLeaseComplete, EvRejectStale,
 }
 
+// slo-trace-v1 event types. Each names one transition of a streaming SLO
+// rule's alert state machine (internal/obs/slo); docs/OBSERVABILITY.md
+// documents the field mapping. Timestamps are simulated microseconds (the
+// window boundary that triggered the transition), Run is "slo/<hash8>" with
+// the ruleset's canonical hash, Node is the rule name, Seq is the rule's
+// 1-based episode counter (one episode = one pending→…→resolved arc), and
+// Detail is a space-separated k=v token list led by src=slo carrying the
+// observed value and threshold.
+const (
+	// EvSLOPending is a rule's threshold first crossed: the alert is
+	// pending until the violation persists for the rule's `for` duration.
+	EvSLOPending = "slo-pending"
+	// EvSLOFiring is a pending alert whose violation persisted for the
+	// full `for` duration. DurUS carries simulated time spent pending.
+	EvSLOFiring = "slo-firing"
+	// EvSLOResolved is a pending or firing alert whose signal returned
+	// within threshold. DurUS carries simulated time since the episode's
+	// pending transition.
+	EvSLOResolved = "slo-resolved"
+)
+
+// SLOEventTypes lists every slo-trace-v1 event type.
+var SLOEventTypes = []string{EvSLOPending, EvSLOFiring, EvSLOResolved}
+
 // Detail values with fixed vocabularies (see docs/OBSERVABILITY.md).
 const (
 	// tx outcomes.
@@ -165,6 +189,19 @@ func SampleFleetEvents() []Event {
 	}
 }
 
+// SampleSLOEvents returns one well-formed slo-trace-v1 event of every
+// type, ordered as one coherent alert episode: the mos-floor rule crosses
+// its threshold at 3 s, fires after its 2 s `for` duration, and resolves
+// at 9 s. Freshly allocated; callers may mutate it.
+func SampleSLOEvents() []Event {
+	run := "slo/9f8e7d6c"
+	return []Event{
+		{TUS: 3_000_000, Ev: EvSLOPending, Run: run, Node: "mos-floor", Seq: 1, Detail: "src=slo value=3.41 min=3.60"},
+		{TUS: 5_000_000, Ev: EvSLOFiring, Run: run, Node: "mos-floor", Seq: 1, DurUS: 2_000_000, Detail: "src=slo value=3.22 min=3.60"},
+		{TUS: 9_000_000, Ev: EvSLOResolved, Run: run, Node: "mos-floor", Seq: 1, DurUS: 6_000_000, Detail: "src=slo value=3.78 min=3.60"},
+	}
+}
+
 // Validate checks ev against the documented schema: a known type, a
 // non-negative timestamp, and the per-type required fields. It returns nil
 // for conforming events.
@@ -235,6 +272,15 @@ func (ev Event) Validate() error {
 			return err
 		}
 		return requireSeq()
+	case EvSLOPending, EvSLOFiring, EvSLOResolved:
+		// Node is the rule name, Seq the 1-based episode counter.
+		if err := requireNode(); err != nil {
+			return err
+		}
+		if ev.Seq < 1 {
+			return fmt.Errorf("obs: %s event needs episode seq >= 1, got %d", ev.Ev, ev.Seq)
+		}
+		return nil
 	case EvSpecFetch:
 		// Not lease-scoped; only the worker/coordinator node is required.
 		return requireNode()

@@ -106,6 +106,62 @@ func TestEventTypesListMatchesValidator(t *testing.T) {
 			t.Errorf("type %q from FleetEventTypes does not validate: %v", typ, err)
 		}
 	}
+	for _, typ := range SLOEventTypes {
+		ev := Event{TUS: 1, Ev: typ, Node: "mos-floor", Seq: 1, Detail: "src=slo value=3.410 min=3.600"}
+		if err := ev.Validate(); err != nil {
+			t.Errorf("type %q from SLOEventTypes does not validate: %v", typ, err)
+		}
+	}
+}
+
+// TestSLOSampleEventsRoundTripAndValidate holds the slo-trace-v1 worked
+// examples to the same contract: one sample per type, every sample
+// validates and survives the strict JSONL round trip unchanged.
+func TestSLOSampleEventsRoundTripAndValidate(t *testing.T) {
+	samples := SampleSLOEvents()
+	if len(samples) != len(SLOEventTypes) {
+		t.Fatalf("SampleSLOEvents has %d events, want one per type (%d)",
+			len(samples), len(SLOEventTypes))
+	}
+	seen := map[string]bool{}
+	for _, ev := range samples {
+		seen[ev.Ev] = true
+		if err := ev.Validate(); err != nil {
+			t.Errorf("sample %s event invalid: %v", ev.Ev, err)
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEvent(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		if got != ev {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, ev)
+		}
+	}
+	for _, typ := range SLOEventTypes {
+		if !seen[typ] {
+			t.Errorf("SampleSLOEvents missing type %q", typ)
+		}
+	}
+}
+
+func TestSLOEventValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"pending without node", Event{TUS: 1, Ev: EvSLOPending, Seq: 1}},
+		{"firing with zero seq", Event{TUS: 1, Ev: EvSLOFiring, Node: "mos-floor", Seq: 0}},
+		{"resolved with negative seq", Event{TUS: 1, Ev: EvSLOResolved, Node: "mos-floor", Seq: -1}},
+	}
+	for _, c := range cases {
+		if err := c.ev.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.ev)
+		}
+	}
 }
 
 // TestFleetSampleEventsRoundTripAndValidate holds the fleet-trace-v1 worked

@@ -31,6 +31,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -65,6 +66,13 @@ type Server struct {
 	// extra routes registered via Handle/HandleJSON, for the index page.
 	extraMu sync.Mutex
 	extra   []string
+
+	// onMetrics hooks append extra families to /metrics after the registry
+	// exposition (OnMetrics). They let registry-external state — the SLO
+	// engine's alert gauges, derived rates — appear on the scrape without
+	// creating instruments, keeping golden metric snapshots byte-identical.
+	hookMu  sync.Mutex
+	onMetrs []func(io.Writer)
 }
 
 // New returns a server exposing reg (nil is allowed: /metrics is then an
@@ -165,10 +173,54 @@ func (s *Server) Close() error {
 // Scrapes returns how many /metrics requests this server has served.
 func (s *Server) Scrapes() int64 { return s.scrapes.Load() }
 
+// OnMetrics registers a hook that appends extra exposition families to
+// every /metrics response, after the registry's own families. Hooks must
+// write complete, valid family blocks (# HELP, # TYPE, samples) whose names
+// do not collide with registry instruments. Call before Start.
+func (s *Server) OnMetrics(fn func(w io.Writer)) {
+	if fn == nil {
+		return
+	}
+	s.hookMu.Lock()
+	s.onMetrs = append(s.onMetrs, fn)
+	s.hookMu.Unlock()
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.scrapes.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteExposition(w, s.reg)
+	s.writeEventsRate(w)
+	s.hookMu.Lock()
+	hooks := append([]func(io.Writer){}, s.onMetrs...)
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(w)
+	}
+}
+
+// writeEventsRate appends the honest fleet-wide events-per-second gauge:
+// the sim.events_executed counter (shared by every in-process runner
+// goroutine) divided by the server's wall-clock uptime, computed at scrape
+// time so it needs no registry instrument and cannot perturb snapshots.
+func (s *Server) writeEventsRate(w io.Writer) {
+	if s.reg == nil {
+		return
+	}
+	// Read via Visit rather than Counter(): a lookup must not create the
+	// instrument, or scraping would perturb golden metric snapshots.
+	var events int64
+	s.reg.Visit(obs.Visitor{Counter: func(name string, v int64) {
+		if name == "sim.events_executed" {
+			events = v
+		}
+	}})
+	rate := 0.0
+	if secs := time.Since(s.started).Seconds(); secs > 0 {
+		rate = float64(events) / secs
+	}
+	fmt.Fprintf(w, "# HELP sim_events_per_sec Fleet-wide simulator events executed per wall-clock second (lifetime average)\n"+
+		"# TYPE sim_events_per_sec gauge\nsim_events_per_sec %g\n", rate)
 }
 
 // Statusz is the /statusz JSON document: live per-run progress derived

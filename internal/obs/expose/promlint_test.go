@@ -149,3 +149,104 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateExpositionLabelEscaping pins the label-value escape rules:
+// the three legal escapes decode, everything else is rejected with a
+// position-bearing error.
+func TestValidateExpositionLabelEscaping(t *testing.T) {
+	accepts := []string{
+		`m{l="back\\slash"} 1` + "\n",
+		`m{l="quo\"te"} 1` + "\n",
+		`m{l="new\nline"} 1` + "\n",
+		`m{l="all\\three\n\"at once"} 1` + "\n",
+		`m{} 1` + "\n",              // empty label block
+		`m{a="1",} 1` + "\n",        // trailing comma
+		`m{a="1", b="2"} 1` + "\n",  // space after comma
+	}
+	for _, doc := range accepts {
+		if _, err := ValidateExposition([]byte(doc)); err != nil {
+			t.Errorf("escaped document rejected: %v\n%s", err, doc)
+		}
+	}
+	rejects := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"tab escape", `m{l="a\t"} 1` + "\n", "invalid escape"},
+		{"dangling escape", `m{l="a\` + "\n", "dangling escape"},
+		{"unterminated value", `m{l="a} 1` + "\n", "unterminated label value"},
+		{"missing equals", `m{l} 1` + "\n", "malformed label block"},
+	}
+	for _, tc := range rejects {
+		if _, err := ValidateExposition([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.doc)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateExpositionInfBucketOrdering pins the +Inf checks: bucket
+// lines may appear in any file order (the lint sorts by le), the +Inf
+// bucket caps every finite bound, and each label set is audited
+// independently.
+func TestValidateExpositionInfBucketOrdering(t *testing.T) {
+	// File order descending, but cumulative in ascending le order: valid.
+	shuffled := "# TYPE h histogram\n" +
+		"h_bucket{le=\"+Inf\"} 7\nh_bucket{le=\"20\"} 5\nh_bucket{le=\"10\"} 2\n" +
+		"h_sum 99\nh_count 7\n"
+	if _, err := ValidateExposition([]byte(shuffled)); err != nil {
+		t.Errorf("out-of-file-order buckets rejected: %v", err)
+	}
+	// Counts that decrease in ascending le order must fail even when the
+	// file order makes them look non-decreasing.
+	misordered := "# TYPE h histogram\n" +
+		"h_bucket{le=\"20\"} 3\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"+Inf\"} 5\n" +
+		"h_sum 1\nh_count 5\n"
+	if _, err := ValidateExposition([]byte(misordered)); err == nil {
+		t.Error("descending cumulative counts accepted")
+	} else if !strings.Contains(err.Error(), "not cumulative") {
+		t.Errorf("error %q does not mention cumulativity", err)
+	}
+	// Two label sets share the family; only {link="b"} is broken.
+	perSet := "# TYPE h histogram\n" +
+		"h_bucket{link=\"a\",le=\"10\"} 1\nh_bucket{link=\"a\",le=\"+Inf\"} 1\n" +
+		"h_bucket{link=\"b\",le=\"10\"} 4\nh_bucket{link=\"b\",le=\"+Inf\"} 2\n" +
+		"h_sum{link=\"a\"} 1\nh_count{link=\"a\"} 1\n" +
+		"h_sum{link=\"b\"} 1\nh_count{link=\"b\"} 2\n"
+	if _, err := ValidateExposition([]byte(perSet)); err == nil {
+		t.Error("per-label-set +Inf below last bound accepted")
+	} else if !strings.Contains(err.Error(), `link="b"`) {
+		t.Errorf("error %q does not name the broken label set", err)
+	}
+}
+
+// TestValidateExpositionDuplicateFamilies pins the grouping rule from
+// every angle a generator could break it: a family reopened by a sample,
+// by a HELP comment, or by a TYPE comment after other families closed it.
+func TestValidateExpositionDuplicateFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"sample reopens", "a 1\nb 2\na 3\n"},
+		{"help reopens", "# HELP a x\na 1\nb 2\n# HELP a y\n"},
+		{"type reopens", "# TYPE a counter\na 1\nb 2\n# TYPE a counter\na 3\n"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateExposition([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be grouped") {
+			t.Errorf("%s: error %q does not mention grouping", tc.name, err)
+		}
+	}
+	// Consecutive samples of one family with different labels are fine.
+	ok := "a{l=\"1\"} 1\na{l=\"2\"} 2\nb 3\n"
+	if _, err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("consecutive labeled samples rejected: %v", err)
+	}
+}

@@ -55,6 +55,11 @@ type Series struct {
 	lastUS int64 // start of the open window (last capture point)
 	points []SeriesPoint
 	npts   atomic.Int64
+	// onCapture, when set, observes every captured point (streaming SLO
+	// evaluation). It runs under se.mu after the registry read lock is
+	// released, so it may Emit trace events but must not call back into
+	// the series.
+	onCapture func(SeriesPoint)
 	// Previous cumulative values, for delta computation. Histograms are
 	// remembered as HistSnapshots — the same audited bucket copy the
 	// Prometheus exposition renders — so sub-snapshot differencing and
@@ -227,6 +232,22 @@ func (se *Series) captureLocked(endUS int64) {
 	se.lastUS = endUS
 	se.points = append(se.points, p)
 	se.npts.Add(1)
+	if se.onCapture != nil {
+		se.onCapture(p)
+	}
+}
+
+// OnCapture installs a callback observing every captured window point, in
+// order, on the capturing goroutine (nil removes it). Install it before the
+// first Tick; the streaming SLO engine uses it to evaluate rules at window
+// boundaries. A nil series ignores the call.
+func (se *Series) OnCapture(fn func(SeriesPoint)) {
+	if se == nil {
+		return
+	}
+	se.mu.Lock()
+	se.onCapture = fn
+	se.mu.Unlock()
 }
 
 // quantileFromBuckets interpolates the q-th quantile over one window's

@@ -157,3 +157,40 @@ var errDiskGone = &diskGoneError{}
 type diskGoneError struct{}
 
 func (*diskGoneError) Error() string { return "disk gone" }
+
+// TestSeriesOnCapture pins the window-callback contract the SLO engine
+// builds on: the callback observes every captured point in order —
+// boundary crossings and the final Flush partial — with the same deltas
+// the dump records, and a nil series ignores the installation.
+func TestSeriesOnCapture(t *testing.T) {
+	r := NewRegistry()
+	se := NewSeries(r, 1000)
+	var got []SeriesPoint
+	se.OnCapture(func(p SeriesPoint) { got = append(got, p) })
+
+	c := r.Counter("net.drops")
+	c.Inc()
+	se.Tick(500)     // inside window 1: no capture
+	se.Tick(1000)    // boundary: captures [0,1000)
+	c.Add(2)
+	se.Tick(2500)    // crosses window 2: captures [1000,2000)
+	se.Flush()       // partial [2000,2500)
+
+	if len(got) != 3 {
+		t.Fatalf("captured %d points, want 3: %+v", len(got), got)
+	}
+	if got[0].EndUS != 1000 || got[0].Counters["net.drops"] != 1 {
+		t.Errorf("point 0 = %+v", got[0])
+	}
+	if got[1].EndUS != 2000 || got[1].Counters["net.drops"] != 2 {
+		t.Errorf("point 1 = %+v", got[1])
+	}
+	if got[2].StartUS != 2000 || got[2].EndUS != 2500 || len(got[2].Counters) != 0 {
+		t.Errorf("flush point = %+v", got[2])
+	}
+
+	var nilSe *Series
+	nilSe.OnCapture(func(SeriesPoint) { t.Error("callback on nil series invoked") })
+	nilSe.Tick(100)
+	nilSe.Flush()
+}

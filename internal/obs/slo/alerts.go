@@ -1,0 +1,137 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// AlertsSchema versions the /alerts JSON document.
+const AlertsSchema = "slo-alerts-v1"
+
+// Alerts is the live /alerts document: the ruleset identity plus one
+// status row per rule.
+type Alerts struct {
+	Schema   string       `json:"schema"`
+	RuleSet  string       `json:"ruleset"`
+	StreamHz float64      `json:"stream_hz"`
+	Windows  int64        `json:"windows"`
+	ClockUS  int64        `json:"clock_us"`
+	Rules    []RuleStatus `json:"rules"`
+}
+
+// RuleStatus is one rule's live state: its declaration echoed back plus
+// the state machine's position and cumulative episode counts.
+type RuleStatus struct {
+	Name   string            `json:"name"`
+	Signal string            `json:"signal"`
+	Min    *float64          `json:"min,omitempty"`
+	Max    *float64          `json:"max,omitempty"`
+	For    string            `json:"for,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	State string `json:"state"`
+	// Value is the last evaluated signal value (after scale); meaningful
+	// only once HasValue is true.
+	Value    float64 `json:"value"`
+	HasValue bool    `json:"has_value"`
+	// SinceUS is the open episode's pending-transition time (simulated
+	// µs); omitted when inactive.
+	SinceUS int64 `json:"since_us,omitempty"`
+	// Episodes counts pending arcs started; Fired counts those that
+	// reached firing. Both are cumulative, so pollers can detect a
+	// fire-and-resolve cycle they never observed mid-flight.
+	Episodes int64 `json:"episodes"`
+	Fired    int64 `json:"fired"`
+}
+
+// Alerts snapshots the engine's live state. An empty document (no rules)
+// on a nil engine.
+func (e *Engine) Alerts() *Alerts {
+	a := &Alerts{Schema: AlertsSchema, Rules: []RuleStatus{}}
+	if e == nil {
+		return a
+	}
+	a.RuleSet = e.rs.Hash()
+	a.StreamHz = e.rs.StreamHz
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a.Windows = e.windows
+	a.ClockUS = e.clockUS
+	for i := range e.rules {
+		r := &e.rules[i]
+		st := RuleStatus{
+			Name:     r.rule.Name,
+			Signal:   r.rule.Signal,
+			Min:      r.rule.Min,
+			Max:      r.rule.Max,
+			For:      r.rule.For,
+			Labels:   r.rule.Labels,
+			State:    r.state.String(),
+			Value:    r.value,
+			HasValue: r.hasValue,
+			Episodes: r.episodes,
+			Fired:    r.fired,
+		}
+		if r.state != StateInactive {
+			st.SinceUS = r.sinceUS
+		}
+		a.Rules = append(a.Rules, st)
+	}
+	return a
+}
+
+// ServeHTTP serves the live alert table: indented JSON by default, an
+// auto-refreshing HTML table with ?format=html (or a text/html Accept
+// header). Mount it at /alerts on the expose server.
+func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a := e.Alerts()
+	if r.URL.Query().Get("format") == "html" ||
+		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/html")) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeAlertsHTML(w, a)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// writeAlertsHTML renders the human page, styled like /statusz.
+func writeAlertsHTML(w http.ResponseWriter, a *Alerts) {
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><meta charset="utf-8">`+
+		`<meta http-equiv="refresh" content="2"><title>alerts</title>`+
+		`<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}`+
+		`td,th{border:1px solid #999;padding:2px 8px;text-align:right}`+
+		`th{background:#eee}td:first-child,th:first-child{text-align:left}`+
+		`.firing{background:#fbb}.pending{background:#ffd}</style>`+
+		`</head><body><h1>DiversiFi SLO alerts</h1>`)
+	fmt.Fprintf(w, `<p>ruleset %s — %d windows — sim clock %.3fs</p>`,
+		html.EscapeString(a.RuleSet), a.Windows, float64(a.ClockUS)/1e6)
+	fmt.Fprint(w, `<table><tr><th>rule</th><th>signal</th><th>bound</th>`+
+		`<th>for</th><th>state</th><th>value</th><th>episodes</th><th>fired</th></tr>`)
+	for _, r := range a.Rules {
+		bound := ""
+		if r.Min != nil {
+			bound = fmt.Sprintf("&ge; %g", *r.Min)
+		} else if r.Max != nil {
+			bound = fmt.Sprintf("&le; %g", *r.Max)
+		}
+		value := "—"
+		if r.HasValue {
+			value = fmt.Sprintf("%.3f", r.Value)
+		}
+		fmt.Fprintf(w, `<tr class=%q><td>%s</td><td>%s</td><td>%s</td><td>%s</td>`+
+			`<td>%s</td><td>%s</td><td>%d</td><td>%d</td></tr>`,
+			r.State, html.EscapeString(r.Name), html.EscapeString(r.Signal),
+			bound, html.EscapeString(r.For), r.State, value, r.Episodes, r.Fired)
+	}
+	fmt.Fprint(w, "</table></body></html>")
+}

@@ -1,7 +1,7 @@
 // Package obsflag wires the observability layer (internal/obs) into a CLI:
-// it registers the shared -metrics / -trace / -series / -pprof / -http
-// flags, builds the root registry, trace sink, time-series collector, and
-// live introspection server they request,
+// it registers the shared -metrics / -trace / -series / -slo / -pprof /
+// -http flags, builds the root registry, trace sink, time-series collector,
+// streaming SLO engine, and live introspection server they request,
 // installs sim.ObsProvider so every simulator constructed anywhere in the
 // process is instrumented, and writes all outputs on Close. Both
 // cmd/experiments and cmd/campaign use it, so the flags behave identically
@@ -13,17 +13,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/expose"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/sim"
 )
 
@@ -54,16 +57,24 @@ type Flags struct {
 	// timeout, or lease expiry. "" disables — and disabled costs zero
 	// allocations on the hot path.
 	Flight string
+	// Slo is an slo-v1 ruleset path (JSON or the YAML subset): arm the
+	// streaming SLO engine (internal/obs/slo) evaluating the rules on
+	// every captured series window, served at /alerts and as slo_*
+	// families on /metrics when -http is set. Without -series a
+	// default-window collector is installed to drive evaluation (its
+	// points are not dumped). "" disables.
+	Slo string
 }
 
-// Register installs -metrics, -trace, -series, -pprof, -http, and -flight
-// on fs (typically flag.CommandLine) and returns the struct their values
-// land in.
+// Register installs -metrics, -trace, -series, -slo, -pprof, -http, and
+// -flight on fs (typically flag.CommandLine) and returns the struct their
+// values land in.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics snapshot on exit ("-" = stderr as text, *.json = JSON, else text file)`)
 	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this file (schema: docs/OBSERVABILITY.md)")
 	fs.StringVar(&f.Series, "series", "", `write a time-windowed metrics series on exit: PATH[,WINDOW] (WINDOW = Go duration of simulated time, default 1s; "-" = stderr, *.json = JSON, *.jsonl = JSONL, else text)`)
+	fs.StringVar(&f.Slo, "slo", "", "evaluate the slo-v1 alert rules in this file (JSON or YAML) on every series window; live state at /alerts and slo_* on /metrics with -http")
 	fs.StringVar(&f.Pprof, "pprof", "", "write cpu.pprof and heap.pprof to this directory")
 	fs.StringVar(&f.HTTP, "http", "", `serve live introspection (/metrics, /statusz, /healthz, /debug/pprof/) on this address (e.g. "127.0.0.1:6060"; ":0" picks a free port)`)
 	fs.StringVar(&f.Flight, "flight", "", `arm the flight recorder: DIR[,N] keeps the last N lifecycle events (default 256) and dumps them to DIR as JSONL on panic, job timeout, or lease expiry`)
@@ -73,7 +84,7 @@ func Register(fs *flag.FlagSet) *Flags {
 // Enabled reports whether any simulator instrumentation was requested.
 // Profiling alone does not need a registry; a live HTTP endpoint does.
 func (f *Flags) Enabled() bool {
-	return f.Metrics != "" || f.Trace != "" || f.Series != "" || f.HTTP != ""
+	return f.Metrics != "" || f.Trace != "" || f.Series != "" || f.Slo != "" || f.HTTP != ""
 }
 
 // parseFlightSpec splits a -flight value into its dump directory and ring
@@ -130,10 +141,13 @@ type Session struct {
 	flags      *Flags
 	series     *obs.Series
 	seriesPath string
+	slo        *slo.Engine
+	sloSeries  *obs.Series // engine-owned series when -slo is set without -series
 	http       *expose.Server
 	flight     *flight.Recorder
 	flightDir  string
 	cpuFile    *os.File
+	closeMu    sync.Mutex
 	closed     bool
 }
 
@@ -170,13 +184,31 @@ func (f *Flags) Setup() (*Session, error) {
 			s.seriesPath = path
 			reg.SetSeries(s.series)
 		}
+		if f.Slo != "" {
+			rules, err := slo.LoadRules(f.Slo)
+			if err != nil {
+				return nil, err
+			}
+			eng := slo.NewEngine(rules)
+			driver := s.series
+			if driver == nil {
+				// No -series collector: the engine still needs window
+				// boundaries to evaluate at, so install a default-window
+				// series purely to drive it (its points are never dumped).
+				driver = obs.NewSeries(reg, obs.DefaultSeriesWindowUS)
+				reg.SetSeries(driver)
+				s.sloSeries = driver
+			}
+			eng.Arm(reg, driver)
+			s.slo = eng
+		}
 		if f.Metrics != "" && f.Metrics != "-" {
 			if err := ensureDir(f.Metrics); err != nil {
 				return nil, fmt.Errorf("metrics: %w", err)
 			}
 		}
 		if f.HTTP != "" {
-			if s.series == nil {
+			if s.series == nil && s.sloSeries == nil {
 				// No -series collector, but /statusz still wants the simulated
 				// clock: install a clock-only series (its window is beyond any
 				// horizon, so it never captures a point and job SeriesPoints
@@ -184,6 +216,10 @@ func (f *Flags) Setup() (*Session, error) {
 				reg.SetSeries(obs.NewSeries(reg, obs.ClockOnlyWindowUS))
 			}
 			srv := expose.New(reg)
+			if s.slo != nil {
+				srv.Handle("/alerts", s.slo)
+				srv.OnMetrics(s.slo.WriteMetrics)
+			}
 			if err := srv.Start(f.HTTP); err != nil {
 				return nil, err
 			}
@@ -250,6 +286,16 @@ func (s *Session) Series() *obs.Series {
 	return s.series
 }
 
+// SLO returns the armed streaming SLO engine (nil unless -slo was set;
+// the slo.Engine API is nil-safe). Drivers use it to federate alert state
+// over sweep heartbeats and stamp per-cell verdicts on summaries.
+func (s *Session) SLO() *slo.Engine {
+	if s == nil {
+		return nil
+	}
+	return s.slo
+}
+
 // Flight returns the armed flight recorder (nil unless -flight was set;
 // the flight API is nil-safe, so callers may wire it unconditionally).
 func (s *Session) Flight() *flight.Recorder {
@@ -286,6 +332,41 @@ func (s *Session) HTTPAddr() string {
 	return s.http.Addr()
 }
 
+// HandleSignals installs a SIGINT/SIGTERM handler that shuts the session
+// down cleanly instead of losing buffered observability state on Ctrl-C:
+// the flight ring is dumped as "interrupt-<tag>", then Close runs — trace
+// sink flushed, metrics/series snapshots written, HTTP server closed —
+// before the process exits with the conventional 128+signal code. Call
+// once after Setup; a second signal during shutdown kills the process the
+// default way. Safe on a nil session (no handler is installed).
+func (s *Session) HandleSignals(tag string) {
+	if s == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		signal.Stop(ch) // restore default handling for a second signal
+		fmt.Fprintf(s.stderr(), "obsflag: %v — flushing observability state\n", sig)
+		if s.flight != nil && s.flightDir != "" {
+			if path, err := s.flight.Dump(s.flightDir, "interrupt-"+tag); err != nil {
+				fmt.Fprintln(s.stderr(), "obsflag: flight dump:", err)
+			} else if path != "" {
+				fmt.Fprintf(s.stderr(), "obsflag: flight ring dumped to %s\n", path)
+			}
+		}
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(s.stderr(), "obsflag:", err)
+		}
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+}
+
 // ensureDir creates the parent directory of path if it is missing.
 func ensureDir(path string) error {
 	if dir := filepath.Dir(path); dir != "." {
@@ -308,7 +389,12 @@ func (s *Session) stderr() io.Writer {
 // and safe on a nil session (so `defer sess.Close()` composes with an
 // explicit error-checked Close), returning the first error.
 func (s *Session) Close() error {
-	if s == nil || s.closed {
+	if s == nil {
+		return nil
+	}
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
 		return nil
 	}
 	s.closed = true
@@ -323,6 +409,12 @@ func (s *Session) Close() error {
 	s.http = nil
 	if s.Reg != nil {
 		sim.ObsProvider = nil
+		// Flush the final partial series window before the sink closes, so
+		// SLO transitions evaluated at flush still reach the trace. The
+		// series-dump path below must not Flush again (it would append a
+		// degenerate extra point).
+		s.series.Flush()
+		s.sloSeries.Flush()
 		sink := s.Reg.Sink()
 		closeErr := sink.Close()
 		// A sink drops events rather than aborting a simulation; surface
@@ -351,7 +443,6 @@ func (s *Session) Close() error {
 		}
 	}
 	if s.series != nil {
-		s.series.Flush()
 		dump := s.series.Snapshot()
 		switch {
 		case s.seriesPath == "-":

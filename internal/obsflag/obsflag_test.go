@@ -463,3 +463,92 @@ func TestSetupRejectsBadFlightSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestSLOSession: -slo arms the engine against the session registry. With
+// no -series set, a default-window collector is installed purely to drive
+// evaluation, so rules still see window boundaries.
+func TestSLOSession(t *testing.T) {
+	rules := filepath.Join(t.TempDir(), "rules.yaml")
+	doc := "schema: slo-v1\nrules:\n  - name: exec-rate\n    signal: rate(sim.events_executed)\n    max: 0.000001\n"
+	if err := os.WriteFile(rules, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := &Flags{Slo: rules}
+	if !f.Enabled() {
+		t.Fatal("Enabled() = false for slo-only flags")
+	}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sess.SLO()
+	if eng == nil {
+		t.Fatal("SLO() = nil with -slo set")
+	}
+	if eng.RuleSet() == nil || len(eng.RuleSet().Rules) != 1 {
+		t.Fatalf("armed ruleset: %+v", eng.RuleSet())
+	}
+	runInstrumented(t)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close flushes the driver series, so the engine saw at least one
+	// window — and the impossible-rate ceiling above must have fired.
+	a := eng.Alerts()
+	if a.Windows < 1 {
+		t.Fatalf("engine observed %d windows, want >= 1", a.Windows)
+	}
+	if a.Rules[0].State == "inactive" && a.Rules[0].Fired == 0 {
+		t.Errorf("exec-rate never alerted: %+v", a.Rules[0])
+	}
+
+	var nilSess *Session
+	if nilSess.SLO() != nil {
+		t.Error("nil session SLO() not inert")
+	}
+}
+
+// TestSLOSessionSharesSeries: with both -series and -slo set, the engine
+// rides the explicit series collector instead of installing its own.
+func TestSLOSessionSharesSeries(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.json")
+	doc := `{"schema":"slo-v1","rules":[{"name":"quiet","signal":"gauge(ap.queue_depth)","max":1e12}]}`
+	if err := os.WriteFile(rules, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := &Flags{Series: filepath.Join(dir, "s.json") + ",100ms", Slo: rules}
+	sess, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.sloSeries != nil {
+		t.Error("engine installed its own series despite -series being set")
+	}
+	runInstrumented(t)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w := sess.SLO().Alerts().Windows; w < 2 {
+		t.Errorf("engine observed %d windows over the shared 100ms series, want >= 2", w)
+	}
+}
+
+// TestSetupRejectsBadSLO pins -slo error propagation: a missing file and
+// an invalid document both fail Setup with the offending path named.
+func TestSetupRejectsBadSLO(t *testing.T) {
+	if _, err := (&Flags{Slo: filepath.Join(t.TempDir(), "nope.yaml")}).Setup(); err == nil {
+		t.Error("Setup accepted a missing ruleset file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("schema: slo-v1\nrules: []\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := (&Flags{Slo: bad}).Setup()
+	if err == nil {
+		t.Fatal("Setup accepted an empty ruleset")
+	}
+	if !strings.Contains(err.Error(), "no rules") || !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q should name the violation and the file", err)
+	}
+}

@@ -1,0 +1,11 @@
+package scenario
+
+// YAMLToValue parses a document in the repo's YAML subset (yaml.go) into
+// the shape encoding/json produces: map[string]any, []any, string, float64,
+// bool, nil (integers as int64). It is exported for other declarative-spec
+// decoders that reuse the scenario idiom — sniff '{' for JSON, otherwise
+// convert YAML to a value, re-marshal, and decode strictly — such as the
+// slo-v1 ruleset loader (internal/obs/slo).
+func YAMLToValue(data []byte) (any, error) {
+	return yamlToValue(data)
+}

@@ -255,6 +255,11 @@ type CellSummary struct {
 	// Sketches carries the cell's merged quantile digests, one per
 	// canonical metric key. Quantiles have relative error ≤ 1 %.
 	Sketches map[string]*sketch.Digest `json:"sketches"`
+
+	// Verdicts holds this cell's SLO verdicts when the sweep ran with a
+	// rule set carrying cell bindings (Summary.ApplyVerdicts). Derived,
+	// diagnostic data — excluded from the fingerprint.
+	Verdicts []CellVerdict `json:"slo_verdicts,omitempty"`
 }
 
 // Quantile reads one metric's quantile from the cell's digest (0 when the
@@ -409,11 +414,21 @@ func (s *Summary) JSON() ([]byte, error) {
 // columns come from Strategies(), so the layout tracks the canonical
 // strategy list (metrickeys_test.go pins the coupling).
 func (s *Summary) Text() string {
+	withVerdicts := false
+	for i := range s.Cells {
+		if len(s.Cells[i].Verdicts) > 0 {
+			withVerdicts = true
+			break
+		}
+	}
 	headers := []string{"impairment", "device", "density", "calls"}
 	for _, strat := range Strategies() {
 		headers = append(headers, strat+" PCR %")
 	}
 	headers = append(headers, "improve", "dvf MOS p50/p99", "dup KB/call")
+	if withVerdicts {
+		headers = append(headers, "SLO")
+	}
 	t := stats.NewTable(fmt.Sprintf("Fleet sweep %q: PCR by cell (%d/%d jobs)", s.Name, s.Done, s.TotalJobs),
 		headers...)
 	for i := range s.Cells {
@@ -431,6 +446,9 @@ func (s *Summary) Text() string {
 		row = append(row, improve,
 			fmt.Sprintf("%.2f / %.2f", c.Quantile("diversifi_mos", 0.50), c.Quantile("diversifi_mos", 0.99)),
 			fmt.Sprintf("%.1f", c.Mean("diversifi_dup_bytes")/1024))
+		if withVerdicts {
+			row = append(row, verdictCell(c.Verdicts))
+		}
 		t.AddRow(row...)
 	}
 	var b strings.Builder

@@ -8,6 +8,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/sketch"
 )
 
@@ -45,6 +46,13 @@ type workerInfo struct {
 	fedCached   int64
 	fedFailed   int64
 	fedElapsed  *sketch.Digest
+
+	// SLO alert federation (sweep-proto-v4): the worker's latest streaming
+	// SLO engine snapshot, applied under the same Seq guard.
+	fedSLOArmed   bool
+	fedSLOPending int64
+	fedSLOFiring  int64
+	fedSLOFired   int64
 }
 
 // CoordinatorOptions tunes leasing and the fleet observability plane.
@@ -73,6 +81,14 @@ type CoordinatorOptions struct {
 	// StragglerMinSamples is the minimum federated sample count before a
 	// worker can be flagged (default 16) — below it the digest is noise.
 	StragglerMinSamples int64
+
+	// SLO, when non-nil, stamps per-cell pass/fail verdicts on the summary:
+	// every cell-bound rule of the set (Rule.Cell, see internal/obs/slo) is
+	// evaluated against the cell's merged metric sketches at Summarize time.
+	// Verdicts are derived, diagnostic data — the summary fingerprint is
+	// computed over the aggregate alone and is identical with or without
+	// them.
+	SLO *slo.RuleSet
 }
 
 // Coordinator owns a sweep's job stream: it hands out leases, merges
@@ -285,6 +301,10 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 			w.fedExecuted = m.Executed
 			w.fedCached = m.Cached
 			w.fedFailed = m.Failed
+			w.fedSLOArmed = m.SLOArmed
+			w.fedSLOPending = m.SLOPending
+			w.fedSLOFiring = m.SLOFiring
+			w.fedSLOFired = m.SLOFired
 			if m.Elapsed != nil {
 				// The snapshot digest is self-contained (workers deep-copy
 				// before sending), so replacing the pointer is safe.
@@ -452,6 +472,10 @@ func (c *Coordinator) Snapshot() *campaign.StatusSnapshot {
 			Executed:   w.fedExecuted,
 			Cached:     w.fedCached,
 			Failed:     w.fedFailed,
+			SLOArmed:   w.fedSLOArmed,
+			SLOPending: w.fedSLOPending,
+			SLOFiring:  w.fedSLOFiring,
+			SLOFired:   w.fedSLOFired,
 		}
 		if w.fedElapsed != nil && w.fedElapsed.Count() > 0 {
 			ws.Samples = int64(w.fedElapsed.Count())
@@ -487,6 +511,7 @@ func (c *Coordinator) Summary() *Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Summarize(c.spec, c.agg)
+	s.ApplyVerdicts(c.opts.SLO)
 	s.Executed = c.executed
 	s.Cached = c.cached
 	s.Workers = len(c.workers)

@@ -183,7 +183,7 @@ func repeat(v float64, n int) []float64 {
 	return out
 }
 
-// TestHeartbeatFederationIdempotent pins the sweep-proto-v3 federation
+// TestHeartbeatFederationIdempotent pins the sweep-proto-v4 federation
 // semantics: a snapshot applies only when its sequence advances, the
 // coordinator derives counter deltas from consecutive cumulative
 // snapshots, and retransmitted or stale snapshots never double-count.

@@ -17,10 +17,11 @@ import (
 // aggregate from five fixed digests to the keyed metric set of
 // metrickeys.go; v3 added heartbeat metric federation (sequenced
 // cumulative WorkerMetrics snapshots piggybacked on heartbeats) and
-// per-lease failure reporting on Complete. Older workers and coordinators
-// are mutually rejected (there is no down-negotiation — rebuild the older
-// binary).
-const ProtoSchema = "sweep-proto-v3"
+// per-lease failure reporting on Complete; v4 added SLO alert federation
+// (the slo_* snapshot fields of WorkerMetrics, surfaced as the fleet
+// view's alerts column). Older workers and coordinators are mutually
+// rejected (there is no down-negotiation — rebuild the older binary).
+const ProtoSchema = "sweep-proto-v4"
 
 // SpecResponse is GET /sweep/spec: the sweep a worker should run.
 type SpecResponse struct {
@@ -76,6 +77,18 @@ type WorkerMetrics struct {
 	Failed   int64 `json:"failed"`
 	// Elapsed sketches per-job wall clocks (ms) over the worker lifetime.
 	Elapsed *sketch.Digest `json:"elapsed,omitempty"`
+
+	// SLO alert federation (sweep-proto-v4): the worker's local streaming
+	// SLO engine state (internal/obs/slo, armed with -slo). SLOArmed
+	// distinguishes "no engine" from "engine armed, all quiet"; Pending and
+	// Firing are the rule counts in those states right now, Fired is the
+	// cumulative count of episodes that reached firing. Like the rest of
+	// the snapshot these are cumulative-or-instantaneous values the
+	// coordinator applies only when Seq advances.
+	SLOArmed   bool  `json:"slo_armed,omitempty"`
+	SLOPending int64 `json:"slo_pending,omitempty"`
+	SLOFiring  int64 `json:"slo_firing,omitempty"`
+	SLOFired   int64 `json:"slo_fired,omitempty"`
 }
 
 // HeartbeatResponse: OK=false means the lease expired and was re-queued.

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs/slo"
+)
+
+// CellVerdict is one cell-bound SLO rule's pass/fail verdict against a
+// cell's merged metric sketches. Value is the evaluated statistic after the
+// rule's scale, so it compares directly against the rule's threshold.
+type CellVerdict struct {
+	Rule  string  `json:"rule"`
+	Value float64 `json:"value"`
+	Pass  bool    `json:"pass"`
+}
+
+// ValidateSLOBindings checks that every cell-bound rule of the set
+// references a canonical sweep metric key, so a typo'd binding fails at
+// startup instead of silently producing verdict-less cells. The check
+// lives sweep-side because internal/obs/slo must not import this package
+// (the dependency runs the other way).
+func ValidateSLOBindings(rs *slo.RuleSet) error {
+	if rs == nil {
+		return nil
+	}
+	for _, r := range rs.CellRules() {
+		if _, ok := MetricDefByKey(r.Cell.Metric); !ok {
+			return fmt.Errorf("sweep: slo rule %q binds unknown cell metric %q (canonical keys: %s)",
+				r.Name, r.Cell.Metric, strings.Join(MetricKeys(), ", "))
+		}
+	}
+	return nil
+}
+
+// ApplyVerdicts evaluates a rule set's cell-bound rules against every
+// cell's merged sketches and stamps the results on the summary. A cell
+// whose bound metric never observed anything gets no verdict for that rule
+// (matching the live engine's missing-data-is-non-violating semantics
+// would claim a pass on zero evidence). Verdicts are derived data: the
+// summary fingerprint is computed over the aggregate alone and does not
+// change. No-op when rs is nil or carries no cell bindings.
+func (s *Summary) ApplyVerdicts(rs *slo.RuleSet) {
+	rules := rs.CellRules()
+	if len(rules) == 0 {
+		return
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		c.Verdicts = nil
+		for j := range rules {
+			r := &rules[j]
+			sk := c.Sketches[r.Cell.Metric]
+			if sk == nil || sk.Count() == 0 {
+				continue
+			}
+			var v float64
+			switch r.Cell.Stat {
+			case "p50":
+				v = sk.Quantile(0.50)
+			case "p95":
+				v = sk.Quantile(0.95)
+			case "mean":
+				v = sk.Mean()
+			}
+			c.Verdicts = append(c.Verdicts, CellVerdict{
+				Rule: r.Name, Value: v * r.Scale, Pass: r.Pass(v),
+			})
+		}
+	}
+}
+
+// verdictCell renders one cell's verdicts for the summary table: "-" when
+// none apply, "pass" when all pass, else the failing rule names.
+func verdictCell(vs []CellVerdict) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	var failing []string
+	for _, v := range vs {
+		if !v.Pass {
+			failing = append(failing, v.Rule)
+		}
+	}
+	if len(failing) == 0 {
+		return "pass"
+	}
+	return "FAIL " + strings.Join(failing, ",")
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/slo"
 	"repro/internal/sketch"
 )
 
@@ -39,6 +40,12 @@ type WorkerOptions struct {
 	Flight *flight.Recorder
 	// FlightDir is where dumps land ("" disables dumping).
 	FlightDir string
+
+	// SLO, when non-nil, is the worker's armed streaming SLO engine; its
+	// live alert counts ride every heartbeat snapshot (sweep-proto-v4) so
+	// the coordinator's fleet view shows which workers have alerts pending
+	// or firing mid-sweep. Purely observational.
+	SLO *slo.Engine
 }
 
 // workerMeter accumulates the metric snapshot a worker piggybacks on
@@ -221,6 +228,10 @@ func runLease(transport Transport, runner *Runner, spec *Spec, grant LeaseRespon
 					// worker's earliest notice its lease died, so it narrates
 					// the expiry and dumps the ring once for the postmortem.
 					seq, metrics := meter.snapshot()
+					if opts.SLO != nil {
+						metrics.SLOArmed = true
+						metrics.SLOPending, metrics.SLOFiring, metrics.SLOFired = opts.SLO.Counts()
+					}
 					ft.Heartbeat(opts.Name, leaseSeq(grant.LeaseID), true)
 					resp, err := transport.Heartbeat(HeartbeatRequest{
 						Worker: opts.Name, LeaseID: grant.LeaseID,

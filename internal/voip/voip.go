@@ -111,8 +111,16 @@ func burstRatio(lost []bool, p float64) float64 {
 // rFactor computes the E-model transmission rating for the given loss rate
 // with the call's burst structure and mean one-way delay.
 func rFactor(lossRate float64, lost []bool, delayMs float64) float64 {
+	return RFromLoss(lossRate, burstRatio(lost, lossRate), delayMs)
+}
+
+// RFromLoss computes the E-model transmission rating from a loss rate, a
+// burst ratio (BurstR; pass 1 for random loss), and a mean one-way delay in
+// milliseconds. It is the streaming form of the per-call rating: live
+// monitors (internal/obs/slo) that only see windowed loss counts call it
+// directly, with exactly the arithmetic the offline assessor uses.
+func RFromLoss(lossRate, burstR, delayMs float64) float64 {
 	ppl := lossRate * 100
-	burstR := burstRatio(lost, lossRate)
 	ieEff := (95.0) * ppl / (ppl/burstR + Bpl)
 	d := delayMs + PlayoutDelay.Milliseconds()
 	id := 0.024 * d
